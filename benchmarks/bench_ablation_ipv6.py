@@ -1,0 +1,76 @@
+"""Ablation — IPv6 scaling (the paper's §4.1 capacity concern).
+
+"The size of a routing table will even quadruple as we adopt IPv6.
+Despite the current large TCAM development efforts, the sheer amount of
+required associative storage capacity remains a serious challenge."
+
+Regenerates the Figure 8-style comparison at IPv6 scale: 4x the entries
+at 128-bit (256 stored-bit) keys, CA-RAM design D6 (Table 2's design D
+re-sized to the same 0.36 load factor) vs the 6T dynamic TCAM.
+"""
+
+import pytest
+
+from repro.apps.iplookup.ipv6 import (
+    FULL_V6_PREFIX_COUNT,
+    IPV6_DESIGN_D6,
+    Ipv6Config,
+    Ipv6Design,
+    compare_ipv6,
+    generate_ipv6_table,
+)
+from repro.core.config import Arrangement
+from repro.experiments import fig8
+from repro.experiments.reporting import format_table
+
+#: Quarter scale keeps the bench fast; the design shrinks alongside so
+#: the load factor (and hence AMAL) is preserved.
+SCALE_DIVISOR = 4
+SCALED_DESIGN = Ipv6Design("D6/4", 12, 64, 2, Arrangement.HORIZONTAL)
+
+
+@pytest.fixture(scope="module")
+def v6_table():
+    return generate_ipv6_table(
+        Ipv6Config(total_prefixes=FULL_V6_PREFIX_COUNT // SCALE_DIVISOR, seed=7)
+    )
+
+
+def test_ipv6_comparison(benchmark, v6_table):
+    result = benchmark.pedantic(
+        compare_ipv6, args=(v6_table,), kwargs={"design": SCALED_DESIGN},
+        rounds=1, iterations=1,
+    )
+    # Occupancy stays healthy at the design-D load factor.
+    assert result.report.amal_uniform < 1.3
+    # Area saving tracks the IPv4 figure (same alpha, same cells).
+    assert 0.35 < result.area_saving < 0.50
+    # Power saving exceeds the IPv4 figure: the TCAM now burns 128
+    # symbols per entry on 4x the entries, CA-RAM still reads one bucket.
+    assert result.power_saving > 0.6
+
+
+def test_ipv6_advantage_grows_vs_ipv4(v6_table, bgp_table):
+    """CA-RAM's relative power advantage widens from IPv4 to IPv6."""
+    v4 = fig8.run_ip(table=bgp_table)
+    v6 = compare_ipv6(v6_table, design=SCALED_DESIGN)
+    assert v6.power_saving >= v4["power_reduction"] - 0.02
+    rows = [
+        {
+            "table": "IPv4 (186,760 prefixes)",
+            "area_saving_pct": round(100 * v4["area_reduction"], 1),
+            "power_saving_pct": round(100 * v4["power_reduction"], 1),
+        },
+        {
+            "table": f"IPv6 ({len(v6_table):,} prefixes, 128-bit keys)",
+            "area_saving_pct": round(100 * v6.area_saving, 1),
+            "power_saving_pct": round(100 * v6.power_saving, 1),
+        },
+    ]
+    print("\n" + format_table(rows))
+
+
+def test_ipv6_tcam_offload_is_small(v6_table):
+    """The short-prefix TCAM offload stays a fraction of a percent."""
+    result = compare_ipv6(v6_table, design=SCALED_DESIGN)
+    assert result.tcam_offloaded < 0.01 * len(v6_table)

@@ -1,0 +1,83 @@
+"""Ablation — the load-factor/AMAL trade-off (Section 4.3).
+
+"there is a trade-off between area (or alpha) and AMAL; the more area is
+spent (i.e., the lower alpha is), the smaller AMAL gets.  The ratio of
+changes in these two values (dAMAL/dalpha) however depends on the
+application, the hash function, and the value of alpha."
+
+Sweeps slots-per-bucket at fixed bucket count on both applications and
+checks monotonicity plus the paper's observation that the trigram
+application's curve is far flatter (dAMAL/dalpha ~ 0 at alpha 0.68-0.86).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.iplookup.mapping import map_prefixes_to_buckets
+from repro.hashing.analysis import occupancy_report
+from repro.experiments.reporting import format_table
+from repro.experiments.table3 import DEFAULT_SCALE_SHIFT
+
+
+def sweep(home, bucket_count, slot_grid):
+    rows = []
+    for slots in slot_grid:
+        report = occupancy_report(home, bucket_count, slots)
+        rows.append(
+            {
+                "slots_per_bucket": slots,
+                "alpha": round(report.load_factor, 3),
+                "AMAL": round(report.amal_uniform, 4),
+                "spilled_pct": round(100 * report.spilled_fraction, 2),
+            }
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def ip_home(bgp_table):
+    return map_prefixes_to_buckets(bgp_table, 11).home
+
+
+@pytest.fixture(scope="module")
+def trigram_home(trigram_db):
+    buckets = 4 * (1 << (14 - DEFAULT_SCALE_SHIFT))
+    return trigram_db.bucket_indices(buckets)
+
+
+def test_ip_load_factor_sweep(benchmark, ip_home):
+    rows = benchmark.pedantic(
+        sweep, args=(ip_home, 2048, (128, 160, 192, 224, 256, 320)),
+        rounds=1, iterations=1,
+    )
+    amals = [row["AMAL"] for row in rows]
+    # More slots (lower alpha) monotonically lowers AMAL.
+    assert all(a >= b for a, b in zip(amals, amals[1:]))
+    # And the curve is steep at high alpha.
+    assert amals[0] - amals[-1] > 0.05
+    print("\n" + format_table(rows))
+
+
+def test_trigram_load_factor_sweep(benchmark, trigram_home):
+    buckets = 4 * (1 << (14 - DEFAULT_SCALE_SHIFT))
+    rows = benchmark.pedantic(
+        sweep, args=(trigram_home, buckets, (96, 112, 128)),
+        rounds=1, iterations=1,
+    )
+    amals = [row["AMAL"] for row in rows]
+    assert all(a >= b for a, b in zip(amals, amals[1:]))
+    # "the benefit of spending more area is minimal in the trigram lookup
+    # application"
+    assert amals[0] - amals[-1] < 0.01
+    print("\n" + format_table(rows))
+
+
+def test_damal_dalpha_depends_on_application(ip_home, trigram_home):
+    """The same alpha reduction buys far more AMAL in IP lookup than in
+    trigram lookup."""
+    ip = sweep(ip_home, 2048, (192, 256))
+    buckets = 4 * (1 << (14 - DEFAULT_SCALE_SHIFT))
+    trigram = sweep(trigram_home, buckets, (96, 128))
+    ip_gain = ip[0]["AMAL"] - ip[1]["AMAL"]
+    trigram_gain = trigram[0]["AMAL"] - trigram[1]["AMAL"]
+    assert ip_gain > 5 * trigram_gain

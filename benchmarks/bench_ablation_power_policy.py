@@ -1,0 +1,65 @@
+"""Ablation — power-management policies (Sections 3.2 / 5.2).
+
+Compares ALWAYS_ON / BANK_SELECT / DROWSY background-power handling across
+lookup rates on a design-D-shaped subsystem, quantifying the paper's claim
+that CA-RAM's single-row access pattern is what makes bank-level gating
+effective ("a memory access is made on a single row most of the time").
+"""
+
+import pytest
+
+from repro.core.config import Arrangement, SliceConfig
+from repro.core.record import RecordFormat
+from repro.core.subsystem import SliceGroup
+from repro.cost.powermgmt import PowerPolicy, SubsystemPowerModel
+from repro.experiments.reporting import format_table
+from repro.hashing.base import ModuloHash
+from repro.memory.timing import DRAM_TIMING
+
+
+@pytest.fixture(scope="module")
+def model():
+    config = SliceConfig(
+        index_bits=12, row_bits=4096,
+        record_format=RecordFormat(key_bits=32, data_bits=16, ternary=True),
+        timing=DRAM_TIMING,
+    )
+    group = SliceGroup(
+        config, 8, Arrangement.VERTICAL,
+        ModuloHash(config.rows * 8), name="ip",
+    )
+    return SubsystemPowerModel([group])
+
+
+def test_policy_rate_sweep(benchmark, model):
+    def run():
+        rows = []
+        for rate_mhz in (0, 10, 50, 143, 260):
+            row = {"lookup_rate_M/s": rate_mhz}
+            for policy in PowerPolicy:
+                breakdown = model.breakdown(policy, rate_mhz * 1e6)
+                row[policy.value + "_W"] = round(breakdown.total_w, 4)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + format_table(rows))
+
+    idle = rows[0]
+    # When idle, gating saves real power; drowsy saves the most.
+    assert idle["bank-select_W"] < idle["always-on_W"]
+    assert idle["drowsy_W"] < idle["bank-select_W"]
+
+    # At any rate the policy ordering is monotone.
+    for row in rows:
+        assert row["drowsy_W"] <= row["bank-select_W"] <= row["always-on_W"] + 1e-9
+
+
+def test_gating_saving_shrinks_with_load(model):
+    """The busier the subsystem, the less there is to gate."""
+    def saving(rate):
+        on = model.breakdown(PowerPolicy.ALWAYS_ON, rate).total_w
+        gated = model.breakdown(PowerPolicy.BANK_SELECT, rate).total_w
+        return (on - gated) / on
+
+    assert saving(0.0) > saving(100e6) > saving(1e9) - 1e-9

@@ -1,0 +1,48 @@
+"""Figure 6 — cell size (a) and search power (b) comparison.
+
+Pure arithmetic over published 130 nm cell data; the ratios should match
+the paper closely: CA-RAM cell >12x smaller than 16T SRAM TCAM, 4.8x
+smaller than 6T dynamic TCAM; >26x and >7x more power-efficient.
+"""
+
+import pytest
+
+from repro.cost.area import cell_size_comparison
+from repro.cost.power import power_comparison
+from repro.experiments import fig6, paper_values
+from repro.experiments.reporting import format_table
+
+
+def test_fig6a_cell_size(benchmark):
+    rows = benchmark(cell_size_comparison)
+    areas = {r.scheme: r.area_um2 for r in rows}
+    ca_ram = areas["ternary DRAM CA-RAM"]
+    assert areas["16T SRAM TCAM"] / ca_ram > paper_values.FIG6_CA_RAM_VS_16T
+    assert areas["6T dynamic TCAM"] / ca_ram == pytest.approx(
+        paper_values.FIG6_CA_RAM_VS_6T, abs=0.05
+    )
+    # Published inputs are reproduced exactly.
+    for scheme, area in paper_values.FIG6_CELL_AREAS.items():
+        assert areas[scheme] == pytest.approx(area)
+
+
+def test_fig6b_power(benchmark):
+    rows = benchmark(power_comparison)
+    powers = {r.scheme: r.power_w for r in rows}
+    ca_ram = powers["ternary DRAM CA-RAM"]
+    assert powers["16T SRAM TCAM"] / ca_ram == pytest.approx(
+        paper_values.FIG6_POWER_VS_16T, abs=1.0
+    )
+    assert powers["6T dynamic TCAM"] / ca_ram == pytest.approx(
+        paper_values.FIG6_POWER_VS_6T, abs=0.5
+    )
+    # Scheme ordering is monotone in cell aggressiveness.
+    ordered = [r.power_w for r in rows]
+    assert ordered == sorted(ordered, reverse=True)
+
+
+def test_print_fig6():
+    print("\n" + format_table(fig6.run_area()))
+    print("\n" + format_table(fig6.run_power()))
+    ratios = fig6.headline_ratios()
+    assert ratios["area_vs_16t"] > 12

@@ -1,0 +1,62 @@
+"""Figure 7 — records-per-bucket distribution of trigram design A.
+
+The paper's figure shows a near-binomial distribution "centered around 81"
+with the 96-record bucket size putting "a majority of buckets in the
+non-overflowing region".
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.trigram.designs import TRIGRAM_DESIGNS
+from repro.apps.trigram.evaluate import evaluate_trigram_design
+from repro.experiments import paper_values
+from repro.experiments.table3 import DEFAULT_SCALE_SHIFT
+
+
+@pytest.fixture(scope="module")
+def design():
+    return TRIGRAM_DESIGNS["A"].scaled(DEFAULT_SCALE_SHIFT)
+
+
+def test_fig7_distribution(benchmark, trigram_db, design):
+    result = benchmark.pedantic(
+        evaluate_trigram_design, args=(design, trigram_db),
+        rounds=1, iterations=1,
+    )
+    histogram = result.report.histogram
+    occupancies = np.arange(histogram.size)
+    total = histogram.sum()
+    mean = (occupancies * histogram).sum() / total
+    mode = int(histogram.argmax())
+
+    # "centered around 81" (the mean load is 5.39M / 65536 ~ 82).
+    assert abs(mean - paper_values.FIG7_CENTER) < 4
+    assert abs(mode - paper_values.FIG7_CENTER) < 6
+
+    # "a majority of buckets in the non-overflowing region"
+    non_overflowing = histogram[: design.slots_per_bucket + 1].sum() / total
+    assert non_overflowing > 0.9
+
+    # Near-binomial shape: standard deviation close to sqrt(mean)
+    # (within 2x — DJB is a practical hash, not an ideal one).
+    variance = ((occupancies - mean) ** 2 * histogram).sum() / total
+    assert variance < 4 * mean
+
+
+def test_fig7_spill_follows_distribution(trigram_db, design):
+    """Choosing S=96 leaves ~0.3% of records spilled (paper: 0.34%)."""
+    result = evaluate_trigram_design(design, trigram_db)
+    assert 0.05 < result.spilled_records_pct < 1.5
+
+
+def test_print_fig7(trigram_db):
+    from repro.experiments import fig7
+
+    result = fig7.run(database=trigram_db)
+    from repro.experiments.reporting import format_table
+
+    print("\n" + format_table(result["rows"]))
+    print(f"mode={result['mode']} mean={result['mean']:.1f} "
+          f"non_overflowing={100 * result['non_overflowing_fraction']:.2f}%")
+    assert result["rows"]

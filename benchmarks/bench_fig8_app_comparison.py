@@ -1,0 +1,60 @@
+"""Figure 8 — application-level area and power comparison.
+
+IP lookup: CA-RAM design D (8 vertical banks, 200 MHz DRAM) vs the Noda 6T
+dynamic TCAM at 143 MHz.  Paper: ~45% area and ~70% power saving.
+
+Trigram: CA-RAM design A vs the scaled Yamagata CAM.  Paper: ~5.9x area
+reduction (no power comparison, as in the paper).
+"""
+
+import pytest
+
+from repro.experiments import fig8, paper_values
+from repro.experiments.reporting import format_table
+
+
+@pytest.fixture(scope="module")
+def ip_result(bgp_table):
+    return fig8.run_ip(table=bgp_table)
+
+
+def test_fig8_ip(benchmark, bgp_table):
+    result = benchmark.pedantic(
+        fig8.run_ip, kwargs={"table": bgp_table}, rounds=1, iterations=1
+    )
+    # Paper: 45% area saving; the model lands within a few points.
+    assert result["area_reduction"] == pytest.approx(
+        paper_values.FIG8_IP_AREA_REDUCTION, abs=0.07
+    )
+    # Paper: 70% power saving.
+    assert result["power_reduction"] == pytest.approx(
+        paper_values.FIG8_IP_POWER_REDUCTION, abs=0.08
+    )
+
+
+def test_fig8_ip_bandwidth_competitive(ip_result):
+    """The 8-bank, 200 MHz CA-RAM out-runs the 143 MHz TCAM."""
+    assert (
+        ip_result["ca_ram_bandwidth_lookups_s"]
+        > ip_result["tcam_bandwidth_lookups_s"]
+    )
+
+
+def test_fig8_trigram(benchmark):
+    result = benchmark(fig8.run_trigram)
+    assert result["area_ratio"] == pytest.approx(
+        paper_values.FIG8_TRIGRAM_AREA_RATIO, abs=0.3
+    )
+
+
+def test_fig8_conclusion_band(ip_result):
+    """Conclusions: "area and power savings of 50-80%"."""
+    low, high = paper_values.CONCLUSION_SAVINGS_RANGE
+    assert low < ip_result["power_reduction"] < high + 0.05
+    trigram = fig8.run_trigram()
+    trigram_saving = 1 - 1 / trigram["area_ratio"]
+    assert low < trigram_saving < high + 0.05
+
+
+def test_print_fig8(bgp_table):
+    print("\n" + format_table(fig8.run()))

@@ -1,0 +1,40 @@
+"""Section 3.4 — search bandwidth and latency.
+
+Validates ``B_CA-RAM = N_slice / n_mem * f_clk`` against the cycle-level
+throughput simulator and regenerates the latency comparison (CAM's exposed
+data access vs CA-RAM's fused lookup+data).
+"""
+
+import pytest
+
+from repro.experiments import s34_bandwidth
+from repro.experiments.reporting import format_table
+
+
+def test_bandwidth_sweep(benchmark):
+    rows = benchmark.pedantic(
+        s34_bandwidth.run_bandwidth,
+        kwargs={"slice_counts": (1, 2, 4, 8), "lookups": 10_000},
+        rounds=1, iterations=1,
+    )
+    for row in rows:
+        assert row["simulated_Mlookups_s"] == pytest.approx(
+            row["closed_form_Mlookups_s"], rel=0.08
+        )
+    # Throughput scales with slices until the dispatch port saturates.
+    assert rows[1]["simulated_Mlookups_s"] > 1.8 * rows[0]["simulated_Mlookups_s"]
+
+
+def test_latency_comparison(benchmark):
+    rows = benchmark(s34_bandwidth.run_latency)
+    # "T_CA-RAM will be comparable to or even shorter than T_CAM" once the
+    # data access is charged to the CAM.
+    assert all(row["ca_ram_wins_with_data"] for row in rows)
+    # Multi-cycle power-saving CAMs lose by more.
+    dram_rows = [r for r in rows if r["ca_ram_array"] == "DRAM"]
+    assert dram_rows[-1]["cam_plus_data_ns"] > dram_rows[0]["cam_plus_data_ns"]
+
+
+def test_print_s34():
+    print("\n" + format_table(s34_bandwidth.run_bandwidth(lookups=5000)))
+    print("\n" + format_table(s34_bandwidth.run_latency()))

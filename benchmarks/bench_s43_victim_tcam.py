@@ -1,0 +1,77 @@
+"""Section 4.3 — overflow area / victim TCAM for IP lookup.
+
+Regenerates the spilled-entry counts per design ("Designs C and E require
+1,829 and 1,163 entries ... designs A and F have over 6,000 and 21,000")
+and demonstrates AMAL = 1 with a parallel victim TCAM on the behavioral
+subsystem.
+"""
+
+import pytest
+
+from repro.apps.iplookup.designs import IP_DESIGNS
+from repro.apps.iplookup.evaluate import evaluate_ip_design
+from repro.cam.tcam import TCAM
+from repro.core.config import Arrangement, SliceConfig
+from repro.core.record import RecordFormat
+from repro.core.subsystem import CARAMSubsystem, SliceGroup
+from repro.experiments.reporting import format_table
+from repro.hashing.base import ModuloHash
+
+
+@pytest.fixture(scope="module")
+def spill_counts(bgp_table):
+    return {
+        name: evaluate_ip_design(IP_DESIGNS[name], bgp_table, seed=7)
+        for name in "ACEF"
+    }
+
+
+def test_s43_overflow_sizing(benchmark, bgp_table):
+    result = benchmark.pedantic(
+        evaluate_ip_design, args=(IP_DESIGNS["C"], bgp_table),
+        kwargs={"seed": 7}, rounds=1, iterations=1,
+    )
+    # Design C needs a small overflow area (paper: 1,829 entries ~ 1% of
+    # the table); the synthetic table lands in the same few-thousand band.
+    assert result.spilled_record_count < 0.05 * len(bgp_table)
+
+
+def test_s43_design_ordering(spill_counts):
+    """C and E need far smaller overflow areas than A and F."""
+    spills = {k: v.spilled_record_count for k, v in spill_counts.items()}
+    assert spills["C"] < spills["A"]
+    assert spills["E"] < spills["A"]
+    assert spills["F"] > 2 * spills["A"]
+
+
+def test_s43_victim_tcam_amal_one(benchmark):
+    """Behavioral demonstration: parallel victim TCAM pins AMAL at 1."""
+    config = SliceConfig(
+        index_bits=6, row_bits=256,
+        record_format=RecordFormat(key_bits=16, data_bits=8),
+    )
+    sub = CARAMSubsystem()
+    group = SliceGroup(
+        config, 1, Arrangement.VERTICAL, ModuloHash(64), name="db"
+    )
+    sub.add_group(group)
+    sub.attach_overflow("db", TCAM(512, 16))
+
+    # Overload a few buckets so spills are guaranteed.
+    keys = [b + 64 * i for b in range(8) for i in range(group.slots_per_bucket + 4)]
+    for key in keys:
+        sub.insert("db", key, data=key % 251)
+
+    def search_all():
+        return [sub.search("db", key) for key in keys]
+
+    results = benchmark.pedantic(search_all, rounds=1, iterations=1)
+    assert all(r.hit for r in results)
+    assert all(r.bucket_accesses == 1 for r in results)
+    assert sub.overflow_store("db").entry_count > 0
+
+
+def test_print_s43(bgp_table):
+    from repro.experiments import s43_victim
+
+    print("\n" + format_table(s43_victim.run(table=bgp_table)))

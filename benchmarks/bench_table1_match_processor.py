@@ -1,0 +1,58 @@
+"""Table 1 — match-processor synthesis model.
+
+Regenerates the per-stage cell/area/delay table at the paper's reference
+point (C = 1,600 bits) and checks the published totals, then sweeps the
+model across the geometries of the two application studies.
+"""
+
+import pytest
+
+from repro.cost.matchproc import MatchProcessorModel
+from repro.experiments import paper_values, table1
+from repro.experiments.reporting import format_table
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MatchProcessorModel()
+
+
+def test_table1_reference(benchmark, model):
+    """Reproduce Table 1 at the published synthesis point."""
+    result = benchmark(model.synthesize)
+    assert result.total_cells == paper_values.TABLE1_TOTAL[0]
+    assert result.total_area_um2 == pytest.approx(paper_values.TABLE1_TOTAL[1])
+    assert result.critical_path_ns == pytest.approx(paper_values.TABLE1_TOTAL[2])
+    # "a latency that will fit in a single cycle at over 200MHz"
+    assert result.max_clock_hz > 200e6
+
+
+def test_table1_power(benchmark, model):
+    """Reproduce the 60.8 mW worst-case dynamic power figure."""
+    power = benchmark(model.dynamic_power_mw)
+    assert power == pytest.approx(paper_values.TABLE1_POWER_MW, rel=1e-6)
+
+
+@pytest.mark.parametrize(
+    "row_bits,key_bits",
+    [
+        (1600, 8),     # reference
+        (2048, 64),    # Table 2 designs A-C (32 x 64-bit keys)
+        (4096, 64),    # Table 2 designs D-F
+        (12_288, 128), # Table 3 (96 x 128-bit keys)
+    ],
+)
+def test_table1_geometry_sweep(benchmark, model, row_bits, key_bits):
+    """Scale the synthesis model across the application geometries."""
+    result = benchmark(model.synthesize, row_bits=row_bits, key_bits=key_bits)
+    assert result.total_cells > 0
+    assert result.critical_path_ns > 0
+
+
+def test_print_table1(capsys):
+    """Emit the full Table 1 reproduction to the bench log."""
+    rows = table1.run()
+    print("\n" + format_table(rows))
+    power = table1.run_power()
+    print(f"power: {power['power_mw']} mW (paper {power['paper_power_mw']})")
+    assert len(rows) == 5

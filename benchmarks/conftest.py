@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Workload generation is hoisted into session-scoped fixtures so that the
+benchmarked functions measure the *evaluation* cost, and so the synthetic
+databases are built once per session.
+
+Scales are chosen so the full benchmark suite finishes in a few minutes:
+the IP table runs at the paper's full 186,760 prefixes (cheap), the trigram
+database at 1/8 scale (673k entries) with R reduced by 3 bits, which
+preserves every design's load factor and hence the Table 3 statistics.
+"""
+
+import pytest
+
+from repro.apps.iplookup.table_gen import SyntheticBgpConfig, generate_bgp_table
+from repro.apps.trigram.generator import (
+    FULL_TRIGRAM_COUNT,
+    TrigramConfig,
+    generate_trigram_database,
+)
+from repro.experiments.table3 import DEFAULT_SCALE_SHIFT as TRIGRAM_SCALE_SHIFT
+
+IP_SEED = 7
+TRIGRAM_SEED = 11
+
+
+@pytest.fixture(scope="session")
+def bgp_table():
+    """The full-scale synthetic BGP table (186,760 prefixes)."""
+    return generate_bgp_table(SyntheticBgpConfig(seed=IP_SEED))
+
+
+@pytest.fixture(scope="session")
+def trigram_db():
+    """The 1/8-scale synthetic trigram database (673k entries)."""
+    return generate_trigram_database(
+        TrigramConfig(
+            total_entries=FULL_TRIGRAM_COUNT >> TRIGRAM_SCALE_SHIFT,
+            seed=TRIGRAM_SEED,
+        )
+    )

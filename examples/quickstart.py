@@ -1,0 +1,94 @@
+"""Quickstart: build a CA-RAM slice, search it, and poke at every mode.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks through the core API surface:
+
+1. define a record format and slice geometry (Section 3.1 parameters);
+2. insert records and look them up (single bucket access + parallel match);
+3. ternary keys: stored don't-care bits and masked searches;
+4. overflow behavior: the auxiliary reach field and extended searches;
+5. RAM mode: the same array as plain addressable memory.
+"""
+
+from repro.core import CARAMSlice, RecordFormat, SliceConfig, TernaryKey
+from repro.core.index import make_index_generator
+from repro.hashing import BitSelectHash
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Geometry: 2^6 rows of 256 bits, 16-bit keys + 8-bit data.
+    # ------------------------------------------------------------------
+    record_format = RecordFormat(key_bits=16, data_bits=8)
+    config = SliceConfig(index_bits=6, row_bits=256, record_format=record_format)
+    print(f"slice geometry: {config.describe()}")
+    print(f"slots per bucket (S): {config.slots_per_bucket}, "
+          f"capacity: {config.capacity_records} records")
+
+    # The index generator is the hash function in hardware — here, plain
+    # bit selection of the key's last 6 bits.
+    index_gen = make_index_generator(BitSelectHash(16, range(10, 16)))
+    caram = CARAMSlice(config, index_gen)
+
+    # ------------------------------------------------------------------
+    # 2. CAM mode: insert and search.
+    # ------------------------------------------------------------------
+    inventory = {0xBEEF: 42, 0xCAFE: 7, 0xF00D: 99}
+    for key, data in inventory.items():
+        caram.insert(key, data)
+
+    for key, data in inventory.items():
+        result = caram.search(key)
+        print(f"search {key:#06x}: hit={result.hit} data={result.data} "
+              f"(bucket accesses: {result.bucket_accesses})")
+        assert result.data == data
+
+    missing = caram.search(0x1234)
+    print(f"search 0x1234: hit={missing.hit}")
+
+    # ------------------------------------------------------------------
+    # 3. Ternary searching (don't-care bits on either side).
+    # ------------------------------------------------------------------
+    ternary_config = config.with_ternary(True)
+    ternary = CARAMSlice(ternary_config, index_gen)
+    # Store a pattern matching any key starting 0xAB.
+    pattern = TernaryKey.from_prefix(0xAB, 8, 16)
+    ternary.insert(pattern, data=1)
+    print(f"\nstored ternary pattern: {pattern}")
+    for probe in (0xAB00, 0xABFF, 0xAC00):
+        print(f"  probe {probe:#06x}: hit={ternary.search(probe).hit}")
+
+    # Masked search: ignore the low byte of the search key.
+    exact = CARAMSlice(ternary_config, index_gen)
+    exact.insert(TernaryKey.exact(0x5511, 16), data=3)
+    masked = exact.search(0x55FF, search_mask=0x00FF)
+    print(f"masked search 0x55FF/ff00: hit={masked.hit}")
+
+    # ------------------------------------------------------------------
+    # 4. Overflow: collide more records than one bucket holds.
+    # ------------------------------------------------------------------
+    slots = config.slots_per_bucket
+    colliding = [i << 6 for i in range(slots + 2)]  # same home bucket
+    for key in colliding:
+        caram.insert(key, data=key % 251)
+    costs = sorted(caram.search(key).bucket_accesses for key in colliding)
+    print(f"\n{len(colliding)} records in one bucket of {slots} slots -> "
+          f"bucket-access costs {costs}")
+    print(f"slice AMAL so far: {caram.stats.amal:.3f}")
+
+    # ------------------------------------------------------------------
+    # 5. RAM mode: the same array, address in / data out.
+    # ------------------------------------------------------------------
+    raw = caram.ram_read(0)
+    print(f"\nRAM-mode read of row 0: {raw:#x}")
+    scratch = CARAMSlice(config, index_gen)
+    scratch.ram_write(5, 0xDEAD_BEEF)
+    assert scratch.ram_read(5) == 0xDEAD_BEEF
+    print("RAM-mode scratchpad write/read round-trip OK")
+
+
+if __name__ == "__main__":
+    main()

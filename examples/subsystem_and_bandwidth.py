@@ -1,0 +1,121 @@
+"""Multi-slice subsystem: ports, queues, and search bandwidth (Section 3.2
+and 3.4).
+
+Run with::
+
+    python examples/subsystem_and_bandwidth.py
+
+Builds a CA-RAM memory subsystem hosting two independent databases behind
+virtual ports, drives it through the input controller's request/result
+queues, and validates the paper's bandwidth equation
+``B = N_slice / n_mem * f_clk`` with the cycle-accounting simulator.
+"""
+
+import numpy as np
+
+from repro.core import (
+    Arrangement,
+    CARAMSubsystem,
+    RecordFormat,
+    SliceConfig,
+    SliceGroup,
+)
+from repro.core.controller import InputController, ThroughputSimulator
+from repro.cost.bandwidth import ca_ram_search_bandwidth
+from repro.experiments.reporting import print_table
+from repro.hashing.base import ModuloHash
+from repro.memory.timing import DRAM_TIMING
+from repro.utils.rng import make_rng
+
+
+def build_subsystem() -> CARAMSubsystem:
+    """Two databases: a flow table and a MAC table, separate slice groups."""
+    sub = CARAMSubsystem()
+    flow_config = SliceConfig(
+        index_bits=8, row_bits=512,
+        record_format=RecordFormat(key_bits=32, data_bits=16),
+        timing=DRAM_TIMING,
+    )
+    sub.add_group(SliceGroup(
+        flow_config, 4, Arrangement.VERTICAL,
+        ModuloHash(flow_config.rows * 4), name="flows",
+    ))
+    mac_config = SliceConfig(
+        index_bits=8, row_bits=512,
+        record_format=RecordFormat(key_bits=48, data_bits=8),
+        timing=DRAM_TIMING,
+    )
+    sub.add_group(SliceGroup(
+        mac_config, 2, Arrangement.HORIZONTAL,
+        ModuloHash(mac_config.rows), name="macs",
+    ))
+    # "each port address can be tied to a 'virtual port' mapped to a
+    # specific database"
+    sub.map_port("flow-port", "flows")
+    sub.map_port("mac-port", "macs")
+    return sub
+
+
+def queue_demo(sub: CARAMSubsystem) -> None:
+    print("=== request/result queues through virtual ports ===")
+    rng = make_rng(3)
+    flow_keys = rng.integers(0, 1 << 32, size=500, dtype=np.uint64)
+    for key in flow_keys:
+        sub.insert("flows", int(key), data=int(key) % 1000)
+    mac_keys = rng.integers(0, 1 << 48, size=300, dtype=np.uint64)
+    for key in mac_keys:
+        sub.insert("macs", int(key), data=int(key) % 100)
+
+    controller = InputController(sub, queue_depth=64)
+    tags = {}
+    for key in flow_keys[:32]:
+        tags[controller.submit("flow-port", int(key))] = int(key) % 1000
+    for key in mac_keys[:16]:
+        tags[controller.submit("mac-port", int(key))] = int(key) % 100
+    handled = controller.drain()
+    print(f"drained {handled} queued requests")
+    while (response := controller.fetch_result()) is not None:
+        assert response.result.data == tags[response.tag]
+    print("every queued lookup returned the right record\n")
+
+
+def bandwidth_demo() -> None:
+    print("=== Section 3.4: B = N_slice / n_mem * f_clk ===")
+    rng = make_rng(4)
+    rows = []
+    for slices in (1, 2, 4, 8):
+        config = SliceConfig(
+            index_bits=8, row_bits=512,
+            record_format=RecordFormat(key_bits=32, data_bits=16),
+            timing=DRAM_TIMING,
+        )
+        group = SliceGroup(
+            config, slices, Arrangement.VERTICAL,
+            ModuloHash(config.rows * slices), name=f"bw{slices}",
+        )
+        lookups = [
+            (int(bucket), 1)
+            for bucket in rng.integers(0, group.bucket_count, size=20_000)
+        ]
+        report = ThroughputSimulator(group).simulate(lookups)
+        closed_form = min(
+            ca_ram_search_bandwidth(slices, DRAM_TIMING),
+            DRAM_TIMING.clock_hz,
+        )
+        rows.append({
+            "slices": slices,
+            "simulated_Mlookups/s": round(report.lookups_per_second / 1e6, 1),
+            "closed_form_Mlookups/s": round(closed_form / 1e6, 1),
+            "slice_utilization_pct": round(100 * report.utilization, 1),
+        })
+    print_table("throughput vs the closed form (200 MHz DRAM, n_mem = 6)",
+                rows)
+    print("\nindependent lookups overlap across vertical slices until the\n"
+          "one-request-per-cycle dispatch port saturates — exactly the\n"
+          "paper's bandwidth argument.")
+
+
+if __name__ == "__main__":
+    sub = build_subsystem()
+    queue_demo(sub)
+    bandwidth_demo()

@@ -1,0 +1,57 @@
+"""CA-RAM: a behavioral reproduction of the ISPASS 2007 memory substrate.
+
+Cho, Martin, Xu, Hammoud, Melhem - "CA-RAM: A High-Performance Memory
+Substrate for Search-Intensive Applications", ISPASS 2007.
+
+Top-level convenience imports cover the core model; the full surface lives
+in the subpackages:
+
+* :mod:`repro.core` - slices, subsystems, match processors, ternary keys;
+* :mod:`repro.hashing` - hash functions, software tables, occupancy/AMAL
+  analytics;
+* :mod:`repro.cam` - CAM/TCAM baselines and published cell constants;
+* :mod:`repro.cost` - area / power / bandwidth / synthesis models;
+* :mod:`repro.memory` - arrays, device timing, banks, cache model;
+* :mod:`repro.apps.iplookup` / :mod:`repro.apps.trigram` - the two
+  application studies;
+* :mod:`repro.experiments` - one runnable harness per table/figure.
+"""
+
+from repro.core import (
+    Arrangement,
+    CARAMSlice,
+    CARAMSubsystem,
+    Record,
+    RecordFormat,
+    SearchResult,
+    SliceConfig,
+    SliceGroup,
+    TernaryKey,
+)
+from repro.errors import (
+    CapacityError,
+    CaRamError,
+    ConfigurationError,
+    KeyFormatError,
+    RamModeError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Arrangement",
+    "CARAMSlice",
+    "CARAMSubsystem",
+    "Record",
+    "RecordFormat",
+    "SearchResult",
+    "SliceConfig",
+    "SliceGroup",
+    "TernaryKey",
+    "CaRamError",
+    "CapacityError",
+    "ConfigurationError",
+    "KeyFormatError",
+    "RamModeError",
+    "__version__",
+]

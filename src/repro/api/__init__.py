@@ -1,0 +1,22 @@
+"""The Section 3.2 programming interface: a class library over CA-RAM.
+
+"When writing programs that utilize CA-RAM, it is desirable to hide and
+encapsulate CA-RAM hardware details in a program construct similar to a
+C++/Java object which can be accessed only through its access functions.
+For ease of programming, CA-RAM-related operations can be best provided as
+a class library."
+"""
+
+from repro.api.library import (
+    CaRamLibrary,
+    DatabaseHandle,
+    ExceptionEvent,
+    ScratchpadHandle,
+)
+
+__all__ = [
+    "CaRamLibrary",
+    "DatabaseHandle",
+    "ScratchpadHandle",
+    "ExceptionEvent",
+]

@@ -1,0 +1,2 @@
+"""The paper's two application studies: IP address lookup (Section 4.1) and
+trigram lookup for speech recognition (Section 4.2)."""

@@ -1,0 +1,26 @@
+"""IP routing-table lookup (Section 4.1): longest-prefix match over a
+BGP-scale table, mapped onto ternary CA-RAM."""
+
+from repro.apps.iplookup.prefix import Prefix
+from repro.apps.iplookup.trie import BinaryTrie
+from repro.apps.iplookup.table_gen import SyntheticBgpConfig, generate_bgp_table
+from repro.apps.iplookup.designs import IP_DESIGNS, IpDesign
+from repro.apps.iplookup.mapping import map_prefixes_to_buckets, PrefixMapping
+from repro.apps.iplookup.evaluate import evaluate_ip_design, IpDesignResult
+from repro.apps.iplookup.baseline_tcam import build_lpm_tcam
+from repro.apps.iplookup.caram import build_ip_caram
+
+__all__ = [
+    "Prefix",
+    "BinaryTrie",
+    "SyntheticBgpConfig",
+    "generate_bgp_table",
+    "IP_DESIGNS",
+    "IpDesign",
+    "map_prefixes_to_buckets",
+    "PrefixMapping",
+    "evaluate_ip_design",
+    "IpDesignResult",
+    "build_lpm_tcam",
+    "build_ip_caram",
+]

@@ -1,0 +1,48 @@
+"""TCAM baseline for IP lookup (the scheme CA-RAM competes with).
+
+"TCAM is a current preferred solution because ... the priority encoder in
+TCAM can be used to perform LPM when prefixes in TCAM are sorted on prefix
+length." (Section 4.1)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.apps.iplookup.prefix import ADDRESS_BITS, Prefix
+from repro.cam.tcam import TCAM
+from repro.core.record import Record
+
+
+def build_lpm_tcam(
+    prefixes: Iterable[Tuple[Prefix, int]],
+    capacity: Optional[int] = None,
+) -> TCAM:
+    """Load prefixes into a TCAM sorted for longest-prefix match.
+
+    Args:
+        prefixes: (prefix, next_hop) pairs.
+        capacity: TCAM entry count; defaults to exactly the table size.
+
+    Returns:
+        A :class:`~repro.cam.tcam.TCAM` whose priority encoder implements
+        LPM (longest prefixes in the lowest rows).
+    """
+    pairs = list(prefixes)
+    pairs.sort(key=lambda item: (-item[0].length, item[0].value))
+    records = [
+        Record(key=prefix.to_ternary_key(), data=next_hop)
+        for prefix, next_hop in pairs
+    ]
+    tcam = TCAM(entries=capacity or max(len(records), 1), key_bits=ADDRESS_BITS)
+    tcam.load_sorted(records)
+    return tcam
+
+
+def lpm_lookup(tcam: TCAM, address: int) -> Optional[int]:
+    """Longest-prefix-match lookup; returns the next hop or None."""
+    result = tcam.search(address)
+    return result.data if result.hit else None
+
+
+__all__ = ["build_lpm_tcam", "lpm_lookup"]

@@ -1,0 +1,106 @@
+"""Behavioral CA-RAM construction for IP lookup.
+
+Builds an actual :class:`~repro.core.subsystem.SliceGroup` (bit-accurate
+rows, match processors, probing) holding a routing table, with the LPM
+conventions of Section 4.1:
+
+* records are ternary keys (prefix bits + don't-cares), duplicated across
+  buckets when hash bits are masked;
+* bucket slots are kept sorted by descending prefix length, so the priority
+  encoder returns the longest matching prefix within a bucket;
+* the table is inserted longest-prefix-first, so longer prefixes win the
+  home-bucket slots and spills are short-prefix-biased (the paper's
+  pre-sorted placement).
+
+This is the model the integration tests drive against the binary trie and
+the TCAM baseline.  For full-scale Table 2 analytics use
+:mod:`repro.apps.iplookup.evaluate`, which is vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.apps.iplookup.designs import IpDesign
+from repro.apps.iplookup.prefix import ADDRESS_BITS, Prefix
+from repro.core.config import SliceConfig
+from repro.core.record import Record, RecordFormat
+from repro.core.subsystem import SliceGroup
+from repro.hashing.bit_select import BitSelectHash
+
+
+def ip_record_format(next_hop_bits: int = 16) -> RecordFormat:
+    """The stored-record layout: 32-bit ternary key + next-hop data.
+
+    The ternary mask doubles key storage to the paper's 64 stored bits.
+    """
+    return RecordFormat(
+        key_bits=ADDRESS_BITS, data_bits=next_hop_bits, ternary=True
+    )
+
+
+def ip_slice_config(design: IpDesign, next_hop_bits: int = 16) -> SliceConfig:
+    """Slice geometry for a design: rows sized to hold ``keys_per_row``
+    records (the behavioral row carries valid bits, data, and the aux field
+    on top of the paper's C = keys x 64 key-storage bits)."""
+    record_format = ip_record_format(next_hop_bits)
+    aux_bits = 8
+    row_bits = aux_bits + design.keys_per_row * record_format.slot_bits
+    return SliceConfig(
+        index_bits=design.index_bits,
+        row_bits=row_bits,
+        record_format=record_format,
+        aux_bits=aux_bits,
+    )
+
+
+def ip_hash_function(design: IpDesign) -> BitSelectHash:
+    """The paper's hash: the last R_eff bits of the first 16 address bits."""
+    r_eff = design.effective_index_bits
+    return BitSelectHash(ADDRESS_BITS, tuple(range(16 - r_eff, 16)))
+
+
+def prefix_priority(record: Record) -> float:
+    """Slot priority: longer prefixes first (fewer don't-care bits)."""
+    return float(record.key.width - record.key.dont_care_count)
+
+
+def build_ip_caram(
+    prefixes: Iterable[Tuple[Prefix, int]],
+    design: IpDesign,
+    next_hop_bits: int = 16,
+) -> SliceGroup:
+    """Build and load a behavioral CA-RAM for a routing table.
+
+    Prefixes are inserted longest-first.  Raises
+    :class:`~repro.errors.CapacityError` when the table does not fit the
+    design (choose a larger design or scale the table down).
+    """
+    group = SliceGroup(
+        config=ip_slice_config(design, next_hop_bits),
+        slice_count=design.slice_count,
+        arrangement=design.arrangement,
+        hash_function=ip_hash_function(design),
+        slot_priority=prefix_priority,
+        name=f"ip-{design.name}",
+    )
+    pairs = sorted(prefixes, key=lambda item: (-item[0].length, item[0].value))
+    for prefix, next_hop in pairs:
+        group.insert(prefix.to_ternary_key(), next_hop)
+    return group
+
+
+def lpm_search(group: SliceGroup, address: int) -> Optional[int]:
+    """Longest-prefix-match lookup against a loaded group."""
+    result = group.search(address)
+    return result.data if result.hit else None
+
+
+__all__ = [
+    "ip_record_format",
+    "ip_slice_config",
+    "ip_hash_function",
+    "prefix_priority",
+    "build_ip_caram",
+    "lpm_search",
+]

@@ -1,0 +1,110 @@
+"""Loading real routing tables.
+
+The paper evaluates on "the BGP (Border Gateway Protocol) routing tables
+of Internet core routers, obtained from the routing information service
+project" — data this reproduction replaces with a calibrated synthetic
+generator.  Users who *do* have a RIS/RouteViews export can load it here
+and run every Table 2 experiment on the real table.
+
+Accepted format: one prefix per line, ``A.B.C.D/L`` optionally followed by
+whitespace and a next-hop token (an integer index, or any string, which is
+interned to an index).  ``#`` comments and blank lines are ignored.
+Duplicate (prefix, length) pairs keep their first occurrence, matching how
+a forwarding table collapses multiple announcements.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Dict, Iterable, TextIO, Tuple, Union
+
+import numpy as np
+
+from repro.apps.iplookup.prefix import Prefix
+from repro.apps.iplookup.table_gen import PrefixTable
+from repro.errors import ConfigurationError, KeyFormatError
+
+Source = Union[str, Path, TextIO]
+
+
+def _open(source: Source):
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="ascii"), True
+    return source, False
+
+
+def iter_prefix_lines(source: Source) -> Iterable[Tuple[Prefix, str]]:
+    """Yield (prefix, next_hop_token) pairs from a prefix list.
+
+    Raises:
+        KeyFormatError: on a malformed line (with its line number).
+    """
+    handle, owned = _open(source)
+    try:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            try:
+                prefix = Prefix.from_string(parts[0])
+            except KeyFormatError as error:
+                raise KeyFormatError(
+                    f"line {line_number}: {error}"
+                ) from error
+            next_hop = parts[1] if len(parts) > 1 else "0"
+            yield prefix, next_hop
+    finally:
+        if owned:
+            handle.close()
+
+
+def load_prefix_table(source: Source) -> PrefixTable:
+    """Parse a prefix list into a :class:`PrefixTable`.
+
+    Next-hop tokens are interned: integer tokens keep their value (mod
+    2**16), anything else gets a stable small index.
+    """
+    values = []
+    lengths = []
+    hops = []
+    interned: Dict[str, int] = {}
+    seen = set()
+    for prefix, token in iter_prefix_lines(source):
+        tag = (prefix.value, prefix.length)
+        if tag in seen:
+            continue
+        seen.add(tag)
+        values.append(prefix.value)
+        lengths.append(prefix.length)
+        try:
+            hop = int(token) & 0xFFFF
+        except ValueError:
+            hop = interned.setdefault(token, len(interned)) & 0xFFFF
+        hops.append(hop)
+    if not values:
+        raise ConfigurationError("no prefixes found in the input")
+    return PrefixTable(
+        values=np.array(values, dtype=np.uint64),
+        lengths=np.array(lengths, dtype=np.uint8),
+        next_hops=np.array(hops, dtype=np.uint16),
+    )
+
+
+def dump_prefix_table(table: PrefixTable, destination: Source) -> None:
+    """Write a table back out in the accepted format (round-trippable)."""
+    handle, owned = (
+        (open(destination, "w", encoding="ascii"), True)
+        if isinstance(destination, (str, Path))
+        else (destination, False)
+    )
+    try:
+        for prefix, hop in zip(table.prefixes(), table.next_hops):
+            handle.write(f"{prefix} {int(hop)}\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+__all__ = ["iter_prefix_lines", "load_prefix_table", "dump_prefix_table"]

@@ -1,0 +1,131 @@
+"""Mapping prefixes into CA-RAM buckets (the Section 4.1 data mapping).
+
+The paper's hash is bit selection over IP addresses: "choosing the last R
+bits in the first 16 bits results in the best outcome".  So a prefix's home
+bucket is address bits ``[16-R, 16)``.
+
+Prefixes shorter than 16 bits have don't-care bits inside that window and
+"must be duplicated and placed in 2^n buckets"; this module performs that
+expansion and reports the overhead the paper quantifies ("a 6.4% increase
+... regardless of the design").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.apps.iplookup.table_gen import PrefixTable
+from repro.errors import ConfigurationError
+from repro.utils.bits import mask_of
+
+#: The hash window: bits are selected from the first 16 address bits
+#: because "over 98% of the prefixes in the studied routing table are at
+#: least 16 bits long".
+HASH_WINDOW_BITS = 16
+
+
+@dataclass
+class PrefixMapping:
+    """Expanded (record-copy level) bucket mapping of a prefix table.
+
+    Attributes:
+        home: home bucket per stored record copy.
+        source: original table row per record copy (duplicated prefixes
+            contribute several copies with the same source).
+        index_bits: the R used.
+        prefix_count: original prefixes in the table.
+    """
+
+    home: np.ndarray
+    source: np.ndarray
+    index_bits: int
+    prefix_count: int
+
+    @property
+    def record_count(self) -> int:
+        """Stored entries after duplication."""
+        return int(self.home.size)
+
+    @property
+    def duplicate_count(self) -> int:
+        """Additional entries caused by don't-care hash bits."""
+        return self.record_count - self.prefix_count
+
+    @property
+    def duplication_overhead(self) -> float:
+        """The paper's "6.4% increase" metric."""
+        return self.duplicate_count / self.prefix_count
+
+    def copies_per_source(self) -> np.ndarray:
+        """Stored copies of each original prefix."""
+        return np.bincount(self.source, minlength=self.prefix_count)
+
+
+def dont_care_hash_bits(length: int, index_bits: int) -> int:
+    """Don't-care bit count inside the hash window for a prefix length.
+
+    The window is address bits ``[16 - R, 16)``; a prefix defines bits
+    ``[0, length)``.
+    """
+    if not 1 <= index_bits <= HASH_WINDOW_BITS:
+        raise ConfigurationError(
+            f"index_bits must be in [1, {HASH_WINDOW_BITS}]: {index_bits}"
+        )
+    window_start = HASH_WINDOW_BITS - index_bits
+    return max(0, HASH_WINDOW_BITS - max(length, window_start))
+
+
+def map_prefixes_to_buckets(table: PrefixTable, index_bits: int) -> PrefixMapping:
+    """Compute every record copy's home bucket for a given ``R``.
+
+    Long prefixes (>= 16 bits) map directly; short ones expand into
+    ``2**n`` consecutive bucket indices (their free hash bits are the low
+    bits of the index, so the copies are contiguous).
+    """
+    if not 1 <= index_bits <= HASH_WINDOW_BITS:
+        raise ConfigurationError(
+            f"index_bits must be in [1, {HASH_WINDOW_BITS}]: {index_bits}"
+        )
+    lengths = table.lengths.astype(np.int64)
+    # Bucket of the zero-filled address: bits [16-R, 16).
+    base = (
+        (table.values >> np.uint64(32 - HASH_WINDOW_BITS))
+        & np.uint64(mask_of(index_bits))
+    ).astype(np.int64)
+
+    dc_counts = np.maximum(
+        0,
+        HASH_WINDOW_BITS
+        - np.maximum(lengths, HASH_WINDOW_BITS - index_bits),
+    )
+    direct = dc_counts == 0
+
+    homes: List[np.ndarray] = [base[direct]]
+    sources: List[np.ndarray] = [np.nonzero(direct)[0].astype(np.int64)]
+
+    expanded_rows = np.nonzero(~direct)[0]
+    for row in expanded_rows:
+        n = int(dc_counts[row])
+        copies = base[row] + np.arange(1 << n, dtype=np.int64)
+        homes.append(copies)
+        sources.append(np.full(1 << n, row, dtype=np.int64))
+
+    home = np.concatenate(homes)
+    source = np.concatenate(sources)
+    return PrefixMapping(
+        home=home,
+        source=source,
+        index_bits=index_bits,
+        prefix_count=len(table),
+    )
+
+
+__all__ = [
+    "HASH_WINDOW_BITS",
+    "PrefixMapping",
+    "dont_care_hash_bits",
+    "map_prefixes_to_buckets",
+]

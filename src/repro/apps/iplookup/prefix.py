@@ -1,0 +1,109 @@
+"""IPv4 prefixes: the records of the routing-table application.
+
+"An entry in the forwarding table is called a prefix, a binary string of a
+certain length (also called prefix length), followed by a number of don't
+care bits." (Section 4.1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KeyFormatError
+from repro.core.key import TernaryKey
+from repro.utils.bits import mask_of
+
+ADDRESS_BITS = 32
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """One IPv4 prefix: ``length`` significant leading bits.
+
+    Attributes:
+        value: the 32-bit network address (bits past ``length`` are zero).
+        length: prefix length in [0, 32].
+    """
+
+    value: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= ADDRESS_BITS:
+            raise KeyFormatError(f"prefix length {self.length} out of range")
+        if not 0 <= self.value <= mask_of(ADDRESS_BITS):
+            raise KeyFormatError(f"address {self.value:#x} is not 32-bit")
+        host_bits = ADDRESS_BITS - self.length
+        if self.value & mask_of(host_bits):
+            raise KeyFormatError(
+                f"prefix {self.value:#010x}/{self.length} has non-zero host bits"
+            )
+
+    @classmethod
+    def from_string(cls, text: str) -> "Prefix":
+        """Parse dotted-quad CIDR notation: ``"192.168.0.0/16"``.
+
+        >>> Prefix.from_string("10.0.0.0/8").length
+        8
+        """
+        address, _, length_text = text.partition("/")
+        octets = address.split(".")
+        if len(octets) != 4:
+            raise KeyFormatError(f"malformed address {address!r}")
+        value = 0
+        for octet in octets:
+            number = int(octet)
+            if not 0 <= number <= 255:
+                raise KeyFormatError(f"octet {octet} out of range")
+            value = (value << 8) | number
+        length = int(length_text) if length_text else ADDRESS_BITS
+        mask = mask_of(ADDRESS_BITS - length) if length < ADDRESS_BITS else 0
+        return cls(value=value & ~mask & mask_of(ADDRESS_BITS), length=length)
+
+    @classmethod
+    def from_bits(cls, prefix_bits: int, length: int) -> "Prefix":
+        """Build from the significant bits alone (left-aligned on return).
+
+        >>> Prefix.from_bits(0b1010, 4).value == 0xA0000000
+        True
+        """
+        if length and (prefix_bits < 0 or prefix_bits >= (1 << length)):
+            raise KeyFormatError(
+                f"{prefix_bits:#x} does not fit in {length} prefix bits"
+            )
+        return cls(value=prefix_bits << (ADDRESS_BITS - length) if length else 0,
+                   length=length)
+
+    @property
+    def prefix_bits(self) -> int:
+        """The significant bits, right-aligned."""
+        if self.length == 0:
+            return 0
+        return self.value >> (ADDRESS_BITS - self.length)
+
+    def matches(self, address: int) -> bool:
+        """True when ``address`` falls inside this prefix."""
+        if not 0 <= address <= mask_of(ADDRESS_BITS):
+            raise KeyFormatError(f"address {address:#x} is not 32-bit")
+        if self.length == 0:
+            return True
+        shift = ADDRESS_BITS - self.length
+        return (address >> shift) == (self.value >> shift)
+
+    def to_ternary_key(self) -> TernaryKey:
+        """The prefix as a 32-symbol ternary key (stored form in TCAM or
+        ternary CA-RAM: prefix bits then don't-cares)."""
+        return TernaryKey.from_prefix(self.prefix_bits, self.length, ADDRESS_BITS)
+
+    def first_bits(self, count: int) -> int:
+        """The leading ``count`` bits of the network address."""
+        if not 0 <= count <= ADDRESS_BITS:
+            raise KeyFormatError(f"count {count} out of range")
+        return self.value >> (ADDRESS_BITS - count) if count else 0
+
+    def __str__(self) -> str:
+        octets = [(self.value >> shift) & 0xFF for shift in (24, 16, 8, 0)]
+        return ".".join(str(o) for o in octets) + f"/{self.length}"
+
+
+__all__ = ["Prefix", "ADDRESS_BITS"]

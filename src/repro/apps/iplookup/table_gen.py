@@ -1,0 +1,339 @@
+"""Synthetic BGP routing-table generator.
+
+The paper evaluates on the RIPE RIS table of AS1103 (rrc00, 2006): 186,760
+prefixes.  That snapshot cannot be shipped, so this module generates a
+synthetic table reproducing the structural statistics the paper's analysis
+depends on:
+
+* **Prefix-length distribution** — calibrated to published 2006 BGP
+  statistics (Huston): minimum length 8, "over 98% of the prefixes ... are
+  at least 16 bits long", /24 carrying slightly over half the table.  The
+  short-prefix (<16) counts size the don't-care duplication overhead, which
+  the paper reports as "a 6.4% increase (12,035 additional entries)
+  regardless of the design"; this generator lands in the same few-percent
+  band.
+* **Address clustering** — real prefixes concentrate in allocated blocks,
+  which is what makes the bit-selection hash uneven (Table 2's overflow
+  percentages are far above what a uniform table would give).  The
+  generator assigns each /16 block a Zipf popularity (random rank order)
+  and fills blocks proportionally, capped at each block's capacity per
+  prefix length, spilling the excess to other blocks by weight — i.e. the
+  "popular /16s are densely subdivided" structure of actual BGP tables.
+
+Tables are returned as a :class:`PrefixTable` of numpy columns (the
+analytics path) that can also materialize :class:`Prefix` objects (the
+behavioral path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.apps.iplookup.prefix import ADDRESS_BITS, Prefix
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, make_rng
+
+#: Per-length prefix counts of the full-scale synthetic table (sums to the
+#: paper's 186,760).  Calibrated to 2006 BGP length statistics.
+FULL_TABLE_LENGTH_COUNTS: Dict[int, int] = {
+    8: 8,
+    9: 10,
+    10: 24,
+    11: 50,
+    12: 150,
+    13: 300,
+    14: 550,
+    15: 1000,
+    16: 11000,
+    17: 3400,
+    18: 5600,
+    19: 12000,
+    20: 10500,
+    21: 9500,
+    22: 14000,
+    23: 13500,
+    24: 98060,
+    25: 800,
+    26: 1000,
+    27: 800,
+    28: 900,
+    29: 1100,
+    30: 700,
+    31: 30,
+    32: 1778,
+}
+
+FULL_TABLE_PREFIX_COUNT = sum(FULL_TABLE_LENGTH_COUNTS.values())
+
+_BLOCK_BITS = 16
+_BLOCK_COUNT = 1 << _BLOCK_BITS
+
+
+@dataclass(frozen=True)
+class SyntheticBgpConfig:
+    """Knobs of the synthetic table.
+
+    Attributes:
+        total_prefixes: table size (default: the paper's 186,760).
+        block_model: /16-block popularity model.  The default
+            ``"lognormal"`` (capped) was calibrated against Table 2: block
+            densities are lognormal with no single dominant block (real
+            tables top out around a couple hundred prefixes per /16), so
+            bucket overflows come from coinciding moderately-hot blocks —
+            which is what gives the paper's strong sensitivity to the slot
+            count S at fixed capacity.  ``"gamma"``, ``"zipf"`` and
+            ``"uniform"`` are alternatives for the workload ablations.
+        block_sigma: lognormal sigma of block popularity.
+        block_max_prefixes: cap on the expected prefixes per /16 block
+            (lognormal model).
+        block_shape: Gamma shape parameter (gamma model).
+        zipf_exponent: exponent of the zipf model.
+        seed: RNG seed.
+        next_hop_count: number of distinct next-hop values to assign.
+    """
+
+    total_prefixes: int = FULL_TABLE_PREFIX_COUNT
+    block_model: str = "lognormal"
+    block_sigma: float = 2.8
+    block_max_prefixes: int = 150
+    block_shape: float = 0.0625
+    zipf_exponent: float = 1.1
+    seed: SeedLike = None
+    next_hop_count: int = 256
+
+    def __post_init__(self) -> None:
+        if self.total_prefixes <= 0:
+            raise ConfigurationError(
+                f"total_prefixes must be positive: {self.total_prefixes}"
+            )
+        if self.block_model not in ("lognormal", "gamma", "zipf", "uniform"):
+            raise ConfigurationError(
+                f"unknown block_model {self.block_model!r}"
+            )
+        if self.block_shape <= 0:
+            raise ConfigurationError(
+                f"block_shape must be positive: {self.block_shape}"
+            )
+        if self.block_sigma <= 0:
+            raise ConfigurationError(
+                f"block_sigma must be positive: {self.block_sigma}"
+            )
+        if self.block_max_prefixes <= 0:
+            raise ConfigurationError(
+                f"block_max_prefixes must be positive: {self.block_max_prefixes}"
+            )
+        if self.zipf_exponent < 0:
+            raise ConfigurationError(
+                f"zipf_exponent must be >= 0: {self.zipf_exponent}"
+            )
+        if self.next_hop_count <= 0:
+            raise ConfigurationError(
+                f"next_hop_count must be positive: {self.next_hop_count}"
+            )
+
+
+@dataclass
+class PrefixTable:
+    """A routing table as parallel numpy columns.
+
+    Attributes:
+        values: 32-bit network addresses (host bits zero), uint64.
+        lengths: prefix lengths, uint8.
+        next_hops: per-prefix data payloads, uint16.
+    """
+
+    values: np.ndarray
+    lengths: np.ndarray
+    next_hops: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def __post_init__(self) -> None:
+        if not (len(self.values) == len(self.lengths) == len(self.next_hops)):
+            raise ConfigurationError("table columns must have equal length")
+
+    def prefixes(self) -> Iterator[Prefix]:
+        """Materialize :class:`Prefix` objects (behavioral-model path)."""
+        for value, length in zip(self.values, self.lengths):
+            yield Prefix(value=int(value), length=int(length))
+
+    def length_histogram(self) -> Dict[int, int]:
+        """Prefix count per length."""
+        unique, counts = np.unique(self.lengths, return_counts=True)
+        return {int(l): int(c) for l, c in zip(unique, counts)}
+
+    def fraction_at_least(self, length: int) -> float:
+        """Fraction of prefixes with length >= ``length`` (the paper checks
+        98% at 16)."""
+        if not len(self):
+            return 0.0
+        return float((self.lengths >= length).mean())
+
+    def subset(self, indices: np.ndarray) -> "PrefixTable":
+        """Row subset (used by scaling and sampling helpers)."""
+        return PrefixTable(
+            values=self.values[indices],
+            lengths=self.lengths[indices],
+            next_hops=self.next_hops[indices],
+        )
+
+
+def _scaled_length_counts(total: int) -> Dict[int, int]:
+    """Scale the full-table length profile to ``total`` prefixes.
+
+    Lengths keep their proportions; rounding residue lands on /24 (the
+    dominant class).  Short lengths are guaranteed at least one prefix when
+    any fit, so the duplication machinery stays exercised at small scale.
+    """
+    scale = total / FULL_TABLE_PREFIX_COUNT
+    counts = {}
+    for length, count in FULL_TABLE_LENGTH_COUNTS.items():
+        scaled = int(round(count * scale))
+        if count and scale >= 1e-3:
+            scaled = max(scaled, 1)
+        counts[length] = scaled
+    residue = total - sum(counts.values())
+    counts[24] = max(0, counts[24] + residue)
+    drift = total - sum(counts.values())
+    if drift:
+        # /24 hit zero; push the remainder onto the largest class.
+        largest = max(counts, key=counts.get)
+        counts[largest] += drift
+    return {length: count for length, count in counts.items() if count > 0}
+
+
+def _block_weights(
+    rng: np.random.Generator, config: SyntheticBgpConfig
+) -> np.ndarray:
+    """Popularity weights over the 65,536 /16 blocks.
+
+    The default gamma model makes most blocks near-empty (unannounced
+    space) and a minority dense — which is what shapes the real table's
+    bucket-load tail.
+    """
+    if config.block_model == "uniform":
+        weights = np.ones(_BLOCK_COUNT)
+    elif config.block_model == "zipf":
+        ranks = np.arange(1, _BLOCK_COUNT + 1, dtype=np.float64)
+        weights = (
+            ranks ** -config.zipf_exponent
+            if config.zipf_exponent > 0
+            else np.ones(_BLOCK_COUNT)
+        )
+        rng.shuffle(weights)
+    elif config.block_model == "gamma":
+        weights = rng.gamma(shape=config.block_shape, scale=1.0, size=_BLOCK_COUNT)
+        weights = np.maximum(weights, 1e-300)
+    else:
+        weights = np.exp(rng.normal(0.0, config.block_sigma, size=_BLOCK_COUNT))
+        # Cap any block's expected prefix share so no single /16 dominates;
+        # re-normalize until the cap is stable.
+        limit = config.block_max_prefixes / config.total_prefixes
+        for _ in range(8):
+            weights = weights / weights.sum()
+            weights = np.minimum(weights, limit)
+    return weights / weights.sum()
+
+
+def _spread_counts(
+    rng: np.random.Generator,
+    total: int,
+    weights: np.ndarray,
+    capacity: int,
+) -> np.ndarray:
+    """Distribute ``total`` prefixes over blocks by weight, capped per block.
+
+    Overflow beyond a block's capacity respills to blocks with headroom,
+    again by weight — dense popular blocks fill completely and push
+    neighbors up, like real allocation patterns.
+    """
+    counts = rng.multinomial(total, weights)
+    counts = np.minimum(counts, capacity)
+    remaining = total - int(counts.sum())
+    while remaining > 0:
+        headroom = capacity - counts
+        open_blocks = headroom > 0
+        if not open_blocks.any():
+            raise ConfigurationError(
+                f"{total} prefixes exceed total capacity at this length"
+            )
+        spill_weights = weights * open_blocks
+        spill_weights = spill_weights / spill_weights.sum()
+        extra = rng.multinomial(remaining, spill_weights)
+        counts = np.minimum(counts + extra, capacity)
+        remaining = total - int(counts.sum())
+    return counts
+
+
+def generate_bgp_table(config: Optional[SyntheticBgpConfig] = None) -> PrefixTable:
+    """Generate a synthetic BGP table per the module's model.
+
+    All (value, length) pairs are distinct.  Deterministic per seed.
+    """
+    if config is None:
+        config = SyntheticBgpConfig()
+    rng = make_rng(config.seed)
+    weights = _block_weights(rng, config)
+    length_counts = _scaled_length_counts(config.total_prefixes)
+
+    all_values: List[np.ndarray] = []
+    all_lengths: List[np.ndarray] = []
+
+    for length in sorted(length_counts):
+        count = length_counts[length]
+        if length >= _BLOCK_BITS:
+            sub_bits = length - _BLOCK_BITS
+            capacity = 1 << sub_bits
+            per_block = _spread_counts(rng, count, weights, capacity)
+            active = np.nonzero(per_block)[0]
+            values = np.empty(count, dtype=np.uint64)
+            cursor = 0
+            for block in active:
+                take = int(per_block[block])
+                if capacity == 1:
+                    lows = np.zeros(1, dtype=np.uint64)
+                else:
+                    lows = rng.choice(capacity, size=take, replace=False).astype(
+                        np.uint64
+                    )
+                base = np.uint64(block) << np.uint64(ADDRESS_BITS - _BLOCK_BITS)
+                shift = np.uint64(ADDRESS_BITS - length)
+                values[cursor : cursor + take] = base | (lows << shift)
+                cursor += take
+        else:
+            # Short prefixes: distinct top-``length``-bit values, sampled by
+            # aggregated block weight.
+            group = weights.reshape(1 << length, -1).sum(axis=1)
+            group = group / group.sum()
+            space = 1 << length
+            if count > space:
+                raise ConfigurationError(
+                    f"{count} prefixes do not fit in the /{length} space"
+                )
+            tops = rng.choice(space, size=count, replace=False, p=group)
+            values = tops.astype(np.uint64) << np.uint64(ADDRESS_BITS - length)
+        all_values.append(values)
+        all_lengths.append(np.full(count, length, dtype=np.uint8))
+
+    values = np.concatenate(all_values)
+    lengths = np.concatenate(all_lengths)
+    order = rng.permutation(values.size)
+    values = values[order]
+    lengths = lengths[order]
+    next_hops = rng.integers(
+        0, config.next_hop_count, size=values.size, dtype=np.uint16
+    )
+    return PrefixTable(values=values, lengths=lengths, next_hops=next_hops)
+
+
+__all__ = [
+    "FULL_TABLE_LENGTH_COUNTS",
+    "FULL_TABLE_PREFIX_COUNT",
+    "SyntheticBgpConfig",
+    "PrefixTable",
+    "generate_bgp_table",
+]

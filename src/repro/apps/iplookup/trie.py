@@ -1,0 +1,132 @@
+"""Binary trie: the software LPM reference and pointer-chasing baseline.
+
+Serves two roles in the reproduction:
+
+* **Correctness oracle** — integration tests compare every CA-RAM and TCAM
+  longest-prefix-match answer against the trie's.
+* **Software baseline** — each lookup's node-traversal trace (one synthetic
+  address per node) is replayed through the cache model to quantify the
+  "4 to 6 memory accesses per lookup" software cost the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.apps.iplookup.prefix import ADDRESS_BITS, Prefix
+from repro.errors import KeyFormatError
+from repro.utils.bits import mask_of
+
+#: Synthetic node size for the cache-trace baseline (two pointers + data).
+NODE_BYTES = 24
+
+
+class _TrieNode:
+    __slots__ = ("children", "data", "prefix", "address")
+
+    def __init__(self, address: int) -> None:
+        self.children: List[Optional["_TrieNode"]] = [None, None]
+        self.data: Optional[int] = None
+        self.prefix: Optional[Prefix] = None
+        self.address = address
+
+
+@dataclass(frozen=True)
+class TrieLookup:
+    """Outcome of one LPM lookup through the trie.
+
+    Attributes:
+        prefix: the longest matching prefix, or None.
+        data: its associated data, or None.
+        nodes_visited: trie nodes touched (memory accesses of the software
+            scheme).
+        addresses: synthetic byte addresses of the visited nodes.
+    """
+
+    prefix: Optional[Prefix]
+    data: Optional[int]
+    nodes_visited: int
+    addresses: List[int]
+
+    @property
+    def hit(self) -> bool:
+        return self.prefix is not None
+
+
+class BinaryTrie:
+    """Uncompressed binary (unibit) trie over IPv4 prefixes."""
+
+    def __init__(self) -> None:
+        self._next_address = 0
+        self._root = self._allocate()
+        self._size = 0
+
+    def _allocate(self) -> _TrieNode:
+        node = _TrieNode(self._next_address)
+        self._next_address += NODE_BYTES
+        return node
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, prefix: Prefix, data: int = 0) -> None:
+        """Insert or update a prefix."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.value >> (ADDRESS_BITS - 1 - depth)) & 1
+            if node.children[bit] is None:
+                node.children[bit] = self._allocate()
+            node = node.children[bit]
+        if node.prefix is None:
+            self._size += 1
+        node.prefix = prefix
+        node.data = data
+
+    def insert_all(self, prefixes: Iterable[Tuple[Prefix, int]]) -> None:
+        """Bulk insert of (prefix, data) pairs."""
+        for prefix, data in prefixes:
+            self.insert(prefix, data)
+
+    def lookup(self, address: int) -> TrieLookup:
+        """Longest-prefix match with a full access trace."""
+        if not 0 <= address <= mask_of(ADDRESS_BITS):
+            raise KeyFormatError(f"address {address:#x} is not 32-bit")
+        node: Optional[_TrieNode] = self._root
+        best: Optional[_TrieNode] = None
+        addresses: List[int] = []
+        depth = 0
+        while node is not None:
+            addresses.append(node.address)
+            if node.prefix is not None:
+                best = node
+            if depth == ADDRESS_BITS:
+                break
+            bit = (address >> (ADDRESS_BITS - 1 - depth)) & 1
+            node = node.children[bit]
+            depth += 1
+        return TrieLookup(
+            prefix=best.prefix if best else None,
+            data=best.data if best else None,
+            nodes_visited=len(addresses),
+            addresses=addresses,
+        )
+
+    def delete(self, prefix: Prefix) -> bool:
+        """Unmark a prefix; returns False when absent (nodes are kept)."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.value >> (ADDRESS_BITS - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                return False
+            node = child
+        if node.prefix is None:
+            return False
+        node.prefix = None
+        node.data = None
+        self._size -= 1
+        return True
+
+
+__all__ = ["BinaryTrie", "TrieLookup", "NODE_BYTES"]

@@ -1,0 +1,31 @@
+"""Trigram lookup for speech recognition (Section 4.2): DJB-hashed string
+keys from a large language-model database, mapped onto binary CA-RAM."""
+
+from repro.apps.trigram.generator import (
+    TrigramConfig,
+    TrigramDatabase,
+    generate_trigram_database,
+)
+from repro.apps.trigram.designs import TRIGRAM_DESIGNS, TrigramDesign
+from repro.apps.trigram.evaluate import (
+    TrigramDesignResult,
+    evaluate_trigram_design,
+)
+from repro.apps.trigram.caram import (
+    StringKeyCodec,
+    PackedStringDJBHash,
+    build_trigram_caram,
+)
+
+__all__ = [
+    "TrigramConfig",
+    "TrigramDatabase",
+    "generate_trigram_database",
+    "TRIGRAM_DESIGNS",
+    "TrigramDesign",
+    "TrigramDesignResult",
+    "evaluate_trigram_design",
+    "StringKeyCodec",
+    "PackedStringDJBHash",
+    "build_trigram_caram",
+]

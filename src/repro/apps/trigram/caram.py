@@ -1,0 +1,133 @@
+"""Behavioral CA-RAM construction for trigram lookup.
+
+The core model stores integer keys; trigram strings are mapped through a
+fixed-width codec (16 bytes, zero-padded — the paper's 128-bit key) and
+hashed by DJB over the un-padded bytes, exactly as the hardware index
+generator would consume the key register.
+
+Used by examples and integration tests at small scale; the Table 3
+analytics run through the vectorized :mod:`repro.apps.trigram.evaluate`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple, Union
+
+from repro.apps.trigram.designs import (
+    KEYS_PER_ROW,
+    TRIGRAM_KEY_BITS,
+    TrigramDesign,
+)
+from repro.core.config import SliceConfig
+from repro.core.record import RecordFormat
+from repro.core.subsystem import SliceGroup
+from repro.errors import KeyFormatError
+from repro.hashing.base import HashFunction
+from repro.hashing.djb import djb2_bytes
+
+BytesLike = Union[bytes, bytearray, str]
+
+_KEY_BYTES = TRIGRAM_KEY_BITS // 8
+
+
+class StringKeyCodec:
+    """Fixed-width string <-> integer key conversion.
+
+    Strings are zero-padded to 16 bytes, big-endian.  NUL bytes are
+    rejected (they would be ambiguous with padding), matching the text
+    domain of the application.
+    """
+
+    key_bits = TRIGRAM_KEY_BITS
+
+    @staticmethod
+    def encode(key: BytesLike) -> int:
+        data = key.encode("ascii") if isinstance(key, str) else bytes(key)
+        if len(data) > _KEY_BYTES:
+            raise KeyFormatError(
+                f"string of {len(data)} bytes exceeds the {_KEY_BYTES}-byte key"
+            )
+        if b"\x00" in data:
+            raise KeyFormatError("string keys must not contain NUL bytes")
+        return int.from_bytes(data.ljust(_KEY_BYTES, b"\x00"), "big")
+
+    @staticmethod
+    def decode(value: int) -> bytes:
+        raw = int(value).to_bytes(_KEY_BYTES, "big")
+        return raw.rstrip(b"\x00")
+
+
+class PackedStringDJBHash(HashFunction):
+    """DJB hash over integer-packed string keys.
+
+    The integer key is decoded back to its byte string (padding stripped)
+    and DJB-hashed — the same function the analytics path applies directly
+    to the packed byte matrix, so behavioral and vectorized paths agree.
+    """
+
+    def __call__(self, key: int) -> int:
+        return djb2_bytes(StringKeyCodec.decode(int(key))) % self.bucket_count
+
+    def rebucketed(self, bucket_count: int) -> "PackedStringDJBHash":
+        return PackedStringDJBHash(bucket_count)
+
+
+def trigram_record_format(probability_bits: int = 16) -> RecordFormat:
+    """Stored record: 128-bit binary key + quantized probability."""
+    return RecordFormat(
+        key_bits=TRIGRAM_KEY_BITS, data_bits=probability_bits, ternary=False
+    )
+
+
+def trigram_slice_config(
+    design: TrigramDesign, probability_bits: int = 16
+) -> SliceConfig:
+    """Slice geometry for a (possibly scaled) Table 3 design."""
+    record_format = trigram_record_format(probability_bits)
+    aux_bits = 8
+    row_bits = aux_bits + KEYS_PER_ROW * record_format.slot_bits
+    return SliceConfig(
+        index_bits=design.index_bits,
+        row_bits=row_bits,
+        record_format=record_format,
+        aux_bits=aux_bits,
+    )
+
+
+def build_trigram_caram(
+    entries: Iterable[Tuple[BytesLike, int]],
+    design: TrigramDesign,
+    probability_bits: int = 16,
+) -> SliceGroup:
+    """Build and load a behavioral CA-RAM for a trigram database.
+
+    Args:
+        entries: (trigram string, probability payload) pairs.
+        design: the target design (scale it down for behavioral runs).
+    """
+    group = SliceGroup(
+        config=trigram_slice_config(design, probability_bits),
+        slice_count=design.slice_count,
+        arrangement=design.arrangement,
+        hash_function=PackedStringDJBHash(design.bucket_count),
+        name=f"trigram-{design.name}",
+    )
+    for text, probability in entries:
+        group.insert(StringKeyCodec.encode(text), probability)
+    return group
+
+
+def trigram_lookup(group: SliceGroup, text: BytesLike) -> Optional[int]:
+    """Exact-match lookup of one trigram string."""
+    result = group.search(StringKeyCodec.encode(text))
+    return result.data if result.hit else None
+
+
+__all__ = [
+    "StringKeyCodec",
+    "PackedStringDJBHash",
+    "trigram_record_format",
+    "trigram_slice_config",
+    "build_trigram_caram",
+    "trigram_lookup",
+]

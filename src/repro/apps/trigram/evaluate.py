@@ -1,0 +1,90 @@
+"""Evaluation of the Table 3 designs and the Figure 7 distribution.
+
+Table 3 reports, per design: load factor, % overflowing buckets, % spilled
+records, and a single AMAL column (uniform access).  Figure 7 is the
+records-per-bucket histogram of design A, "centered around 81" with the
+96-slot bucket capacity putting "a majority of buckets in the
+non-overflowing region".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.apps.trigram.designs import TrigramDesign
+from repro.apps.trigram.generator import TrigramDatabase
+from repro.hashing.analysis import OccupancyReport, occupancy_report
+
+
+@dataclass
+class TrigramDesignResult:
+    """One Table 3 row, as measured on the synthetic database."""
+
+    design: TrigramDesign
+    load_factor: float
+    overflowing_buckets_pct: float
+    spilled_records_pct: float
+    amal: float
+    report: OccupancyReport
+
+    def row(self) -> Dict[str, object]:
+        """The printable Table 3 row."""
+        d = self.design
+        return {
+            "design": d.name,
+            "R": d.index_bits,
+            "C": "128x96",
+            "slices": d.slice_count,
+            "arrangement": d.arrangement.value,
+            "load_factor": round(self.load_factor, 2),
+            "overflowing_buckets_pct": round(self.overflowing_buckets_pct, 2),
+            "spilled_records_pct": round(self.spilled_records_pct, 2),
+            "AMAL": round(self.amal, 3),
+        }
+
+
+def evaluate_trigram_design(
+    design: TrigramDesign,
+    database: TrigramDatabase,
+    home: Optional[np.ndarray] = None,
+) -> TrigramDesignResult:
+    """Measure one design point on a trigram database.
+
+    Args:
+        design: the (possibly scaled) design.
+        database: the trigram database (scale must match the design: the
+            load factor should land near the paper's for meaningful
+            comparison).
+        home: precomputed bucket indices for ``design.bucket_count``
+            (reused across designs with equal bucket counts).
+    """
+    if home is None:
+        home = database.bucket_indices(design.bucket_count)
+    report = occupancy_report(
+        home,
+        bucket_count=design.bucket_count,
+        slots_per_bucket=design.slots_per_bucket,
+    )
+    return TrigramDesignResult(
+        design=design,
+        load_factor=report.load_factor,
+        overflowing_buckets_pct=100.0 * report.overflowing_bucket_fraction,
+        spilled_records_pct=100.0 * report.spilled_fraction,
+        amal=report.amal_uniform,
+        report=report,
+    )
+
+
+def occupancy_histogram(result: TrigramDesignResult) -> np.ndarray:
+    """Figure 7: number of buckets per records-in-bucket count."""
+    return result.report.histogram
+
+
+__all__ = [
+    "TrigramDesignResult",
+    "evaluate_trigram_design",
+    "occupancy_histogram",
+]

@@ -1,0 +1,108 @@
+"""Loading real trigram databases.
+
+The paper uses "the trigram database used in the CMU-Sphinx III system"; a
+user with an ARPA-style trigram list can load it here and run Table 3 /
+Figure 7 on the real data.
+
+Accepted format: one trigram per line — three whitespace-separated word
+tokens, optionally preceded by a log-probability float (ARPA convention:
+``logprob w1 w2 w3``).  Entries outside the paper's 13-16 character window
+(words joined by single spaces) are skipped, mirroring the paper's
+partitioned-database filter; the skipped count is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.apps.trigram.generator import MAX_CHARS, MIN_CHARS, TrigramDatabase
+from repro.errors import ConfigurationError
+
+Source = Union[str, Path, TextIO]
+
+
+@dataclass
+class TrigramLoadResult:
+    """A loaded database plus filtering statistics."""
+
+    database: TrigramDatabase
+    total_lines: int
+    loaded: int
+    skipped_length: int
+    skipped_malformed: int
+
+
+def _quantize_logprob(logprob: float) -> int:
+    """Map an ARPA log10 probability (typically [-9, 0]) to uint16."""
+    clamped = min(0.0, max(-9.99, logprob))
+    return int(round(-clamped * 6553.5))
+
+
+def load_trigram_database(source: Source) -> TrigramLoadResult:
+    """Parse a trigram list into a packed :class:`TrigramDatabase`."""
+    handle, owned = (
+        (open(source, "r", encoding="ascii", errors="replace"), True)
+        if isinstance(source, (str, Path))
+        else (source, False)
+    )
+    rows = []
+    probabilities = []
+    total = skipped_length = skipped_malformed = 0
+    seen = set()
+    try:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            total += 1
+            parts = line.split()
+            logprob = 0.0
+            if parts and _is_float(parts[0]):
+                logprob = float(parts[0])
+                parts = parts[1:]
+            if len(parts) != 3:
+                skipped_malformed += 1
+                continue
+            text = " ".join(parts).lower().encode("ascii", "replace")
+            if not MIN_CHARS <= len(text) <= MAX_CHARS:
+                skipped_length += 1
+                continue
+            if text in seen:
+                continue
+            seen.add(text)
+            row = np.zeros(MAX_CHARS + 1, dtype=np.uint8)
+            row[: len(text)] = np.frombuffer(text, dtype=np.uint8)
+            row[MAX_CHARS] = len(text)
+            rows.append(row)
+            probabilities.append(_quantize_logprob(logprob))
+    finally:
+        if owned:
+            handle.close()
+    if not rows:
+        raise ConfigurationError("no usable trigrams found in the input")
+    database = TrigramDatabase(
+        packed=np.stack(rows),
+        probabilities=np.array(probabilities, dtype=np.uint16),
+    )
+    return TrigramLoadResult(
+        database=database,
+        total_lines=total,
+        loaded=len(rows),
+        skipped_length=skipped_length,
+        skipped_malformed=skipped_malformed,
+    )
+
+
+def _is_float(token: str) -> bool:
+    try:
+        float(token)
+    except ValueError:
+        return False
+    return True
+
+
+__all__ = ["TrigramLoadResult", "load_trigram_database"]

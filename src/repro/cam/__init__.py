@@ -1,0 +1,27 @@
+"""Baseline content-addressable memories: behavioral binary CAM and TCAM,
+plus the published silicon constants the paper's comparisons are built on."""
+
+from repro.cam.cam import BinaryCAM, CamSearchResult
+from repro.cam.cells import (
+    CellSpec,
+    DRAM_CELL_MORISHITA,
+    TCAM_16T_SRAM_NODA03,
+    TCAM_8T_DYNAMIC_NODA03,
+    TCAM_6T_DYNAMIC_NODA05,
+    CAM_STACKED_YAMAGATA92,
+    PUBLISHED_CELLS,
+)
+from repro.cam.tcam import TCAM
+
+__all__ = [
+    "BinaryCAM",
+    "CamSearchResult",
+    "TCAM",
+    "CellSpec",
+    "DRAM_CELL_MORISHITA",
+    "TCAM_16T_SRAM_NODA03",
+    "TCAM_8T_DYNAMIC_NODA03",
+    "TCAM_6T_DYNAMIC_NODA05",
+    "CAM_STACKED_YAMAGATA92",
+    "PUBLISHED_CELLS",
+]

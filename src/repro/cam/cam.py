@@ -1,0 +1,156 @@
+"""Behavioral binary CAM (Section 2.2, Figure 2).
+
+"CAM searches its entire memory to match the input data ('search key') with
+the set of stored data ('stored keys').  When there are multiple entries
+that match the search key, a priority encoder will choose the
+highest-priority entry."
+
+Priority is by entry index: lower index wins (the hardware convention the
+paper relies on for LPM in TCAMs).  Every search logically activates every
+row — the source of CAM's power cost — which the model exposes via
+``stats.rows_activated``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import CapacityError, ConfigurationError, KeyFormatError, LookupError_
+from repro.utils.bits import mask_of
+
+
+@dataclass(frozen=True)
+class CamSearchResult:
+    """Outcome of one CAM search.
+
+    Attributes:
+        hit: whether any entry matched.
+        index: the priority-encoded (lowest) matching entry index.
+        data: the associated data word, or None.
+        match_count: how many entries matched before priority encoding.
+    """
+
+    hit: bool
+    index: Optional[int]
+    data: Optional[int]
+    match_count: int
+
+
+@dataclass
+class CamStats:
+    """Power-relevant activity counters."""
+
+    searches: int = 0
+    rows_activated: int = 0
+
+    def reset(self) -> None:
+        self.searches = 0
+        self.rows_activated = 0
+
+
+@dataclass
+class _CamEntry:
+    key: int
+    data: int
+
+
+class BinaryCAM:
+    """A fixed-capacity binary CAM with per-entry associated data.
+
+    Args:
+        entries: number of rows (``w`` in the paper's power model).
+        key_bits: stored-key width (``n``).
+    """
+
+    def __init__(self, entries: int, key_bits: int) -> None:
+        if entries <= 0:
+            raise ConfigurationError(f"entries must be positive: {entries}")
+        if key_bits <= 0:
+            raise ConfigurationError(f"key_bits must be positive: {key_bits}")
+        self._capacity = entries
+        self._key_bits = key_bits
+        self._entries: List[Optional[_CamEntry]] = [None] * entries
+        self.stats = CamStats()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def key_bits(self) -> int:
+        return self._key_bits
+
+    @property
+    def entry_count(self) -> int:
+        return sum(1 for e in self._entries if e is not None)
+
+    def _check_key(self, key: int) -> int:
+        key = int(key)
+        if not 0 <= key <= mask_of(self._key_bits):
+            raise KeyFormatError(
+                f"key {key:#x} does not fit in {self._key_bits} bits"
+            )
+        return key
+
+    def insert(self, key: int, data: int = 0, index: Optional[int] = None) -> int:
+        """Store a key at ``index`` (or the first free row).  Returns the row.
+
+        Raises:
+            CapacityError: when the CAM is full (or the row is occupied).
+        """
+        key = self._check_key(key)
+        if index is not None:
+            if not 0 <= index < self._capacity:
+                raise ConfigurationError(f"index {index} out of range")
+            if self._entries[index] is not None:
+                raise CapacityError(f"entry {index} already occupied")
+            self._entries[index] = _CamEntry(key, data)
+            return index
+        for row, entry in enumerate(self._entries):
+            if entry is None:
+                self._entries[row] = _CamEntry(key, data)
+                return row
+        raise CapacityError("CAM is full")
+
+    def search(self, key: int) -> CamSearchResult:
+        """Fully parallel exact-match search with priority encoding."""
+        key = self._check_key(key)
+        self.stats.searches += 1
+        self.stats.rows_activated += self._capacity
+        first: Optional[int] = None
+        matches = 0
+        for row, entry in enumerate(self._entries):
+            if entry is not None and entry.key == key:
+                matches += 1
+                if first is None:
+                    first = row
+        if first is None:
+            return CamSearchResult(hit=False, index=None, data=None, match_count=0)
+        found = self._entries[first]
+        assert found is not None
+        return CamSearchResult(
+            hit=True, index=first, data=found.data, match_count=matches
+        )
+
+    def delete(self, key: int) -> int:
+        """Remove every entry holding ``key``; returns how many."""
+        key = self._check_key(key)
+        removed = 0
+        for row, entry in enumerate(self._entries):
+            if entry is not None and entry.key == key:
+                self._entries[row] = None
+                removed += 1
+        if not removed:
+            raise LookupError_(f"key {key:#x} not present")
+        return removed
+
+    def read(self, index: int) -> Optional[int]:
+        """RAM-style read of one entry's key (None when empty)."""
+        if not 0 <= index < self._capacity:
+            raise ConfigurationError(f"index {index} out of range")
+        entry = self._entries[index]
+        return entry.key if entry is not None else None
+
+
+__all__ = ["BinaryCAM", "CamSearchResult", "CamStats"]

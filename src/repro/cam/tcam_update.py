@@ -1,0 +1,150 @@
+"""Sorted-TCAM update management — the baseline update cost.
+
+The paper cites Shah & Gupta, "Fast Updating Algorithms for TCAMs": a TCAM
+performing LPM must keep prefixes sorted by length (the priority encoder
+picks the lowest row), so inserting a prefix may displace entries.  The
+classic scheme keeps one contiguous region per prefix length with the free
+pool in the middle of the array; an insert into length L shifts one
+*boundary entry* per length region between L and the free pool — worst
+case 32 moves for IPv4, but typically a handful.
+
+:class:`SortedTcamManager` implements that scheme behaviorally on top of
+:class:`~repro.cam.tcam.TCAM` and counts entry moves, giving the
+update-cost baseline the CA-RAM churn study compares against (CA-RAM point
+updates touch only the record itself plus don't-care duplicates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.iplookup.prefix import ADDRESS_BITS, Prefix
+from repro.cam.tcam import TCAM
+from repro.errors import CapacityError, ConfigurationError, LookupError_
+
+
+@dataclass
+class TcamUpdateStats:
+    """Update-cost counters."""
+
+    inserts: int = 0
+    deletes: int = 0
+    entry_moves: int = 0
+
+    @property
+    def moves_per_insert(self) -> float:
+        return self.entry_moves / self.inserts if self.inserts else 0.0
+
+
+class SortedTcamManager:
+    """Keeps a TCAM length-sorted with a middle free pool.
+
+    Region layout (row 0 = highest priority): length 32 region, 31, ...,
+    down to the free pool, then ..., 1, 0.  Longer prefixes occupy lower
+    rows, so the priority encoder yields LPM.
+
+    Args:
+        capacity: TCAM rows.
+        pivot_length: lengths >= pivot sit above the free pool, the rest
+            below (the paper's cited scheme splits around the most common
+            length to minimize moves; 24 is the natural IPv4 pivot).
+    """
+
+    def __init__(self, capacity: int, pivot_length: int = 24) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive: {capacity}")
+        if not 0 <= pivot_length <= ADDRESS_BITS:
+            raise ConfigurationError(
+                f"pivot_length out of range: {pivot_length}"
+            )
+        self.tcam = TCAM(capacity, ADDRESS_BITS)
+        self._pivot = pivot_length
+        # Ordered entry list per length; positions are implicit: regions
+        # are stacked by descending length with the free gap at the pivot.
+        self._regions: Dict[int, List[Tuple[Prefix, int]]] = {
+            length: [] for length in range(ADDRESS_BITS, -1, -1)
+        }
+        self.stats = TcamUpdateStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        return sum(len(region) for region in self._regions.values())
+
+    @property
+    def capacity(self) -> int:
+        return self.tcam.capacity
+
+    def _rewrite_tcam(self) -> None:
+        """Mirror the logical region layout into the behavioral TCAM."""
+        from repro.core.record import Record
+
+        records = []
+        for length in range(ADDRESS_BITS, -1, -1):
+            for prefix, hop in self._regions[length]:
+                records.append(
+                    Record(key=prefix.to_ternary_key(), data=hop)
+                )
+        self.tcam.load_sorted(records)
+
+    # ------------------------------------------------------------------
+    # Updates with move accounting
+    # ------------------------------------------------------------------
+
+    def _moves_for(self, length: int) -> int:
+        """Boundary entries displaced to open a slot in ``length``'s region.
+
+        One boundary entry moves per *non-empty* region between the target
+        region and the free pool (each region shifts by one by relocating
+        its edge entry — the standard trick).
+        """
+        if length >= self._pivot:
+            between = range(length - 1, self._pivot - 1, -1)
+        else:
+            between = range(length + 1, self._pivot)
+        return sum(1 for l in between if self._regions[l])
+
+    def insert(self, prefix: Prefix, next_hop: int = 0) -> int:
+        """Insert a prefix; returns entry moves performed.
+
+        Raises:
+            CapacityError: when the TCAM is full.
+        """
+        if self.entry_count >= self.capacity:
+            raise CapacityError("sorted TCAM is full")
+        region = self._regions[prefix.length]
+        for i, (existing, _) in enumerate(region):
+            if existing == prefix:
+                region[i] = (prefix, next_hop)
+                self._rewrite_tcam()
+                return 0
+        moves = self._moves_for(prefix.length)
+        region.append((prefix, next_hop))
+        self.stats.inserts += 1
+        self.stats.entry_moves += moves
+        self._rewrite_tcam()
+        return moves
+
+    def delete(self, prefix: Prefix) -> None:
+        """Remove a prefix (free slot joins the pool; no moves needed —
+        the vacated row is backfilled with the region's edge entry)."""
+        region = self._regions[prefix.length]
+        for i, (existing, _) in enumerate(region):
+            if existing == prefix:
+                region.pop(i)
+                self.stats.deletes += 1
+                self._rewrite_tcam()
+                return
+        raise LookupError_(f"prefix {prefix} not present")
+
+    def lookup(self, address: int) -> Optional[int]:
+        """LPM lookup through the underlying TCAM."""
+        result = self.tcam.search(address)
+        return result.data if result.hit else None
+
+
+__all__ = ["SortedTcamManager", "TcamUpdateStats"]

@@ -1,0 +1,114 @@
+"""Command-line interface: run paper experiments by name.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table2
+    python -m repro run fig8 table3
+    python -m repro run all
+    python -m repro report          # regenerate EXPERIMENTS.md content
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Sequence
+
+from repro.experiments import (
+    fig6,
+    fig7,
+    fig8,
+    ipv6_scaling,
+    misses,
+    report,
+    robustness,
+    s34_bandwidth,
+    s43_victim,
+    table1,
+    table2,
+    table3,
+)
+
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": (table1.main, "match-processor synthesis (Table 1)"),
+    "table2": (table2.main, "IP lookup designs A-F (Table 2)"),
+    "table3": (table3.main, "trigram designs A-D (Table 3)"),
+    "fig6": (fig6.main, "cell size + search power comparison (Figure 6)"),
+    "fig7": (fig7.main, "bucket occupancy distribution (Figure 7)"),
+    "fig8": (fig8.main, "application area/power comparison (Figure 8)"),
+    "s34": (s34_bandwidth.main, "bandwidth/latency equations (Section 3.4)"),
+    "s43": (s43_victim.main, "overflow-area sizing (Section 4.3)"),
+    "ipv6": (ipv6_scaling.main, "IPv6 scaling study (extension of Section 4.1)"),
+    "misses": (misses.main, "unsuccessful-search cost (extension of Section 4)"),
+    "robustness": (
+        robustness.main,
+        "Table 2 stability across generator seeds",
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CA-RAM (ISPASS 2007) reproduction harness",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list available experiments")
+
+    run = commands.add_parser("run", help="run one or more experiments")
+    run.add_argument(
+        "names",
+        nargs="+",
+        help="experiment names (see `repro list`) or 'all'",
+    )
+
+    commands.add_parser(
+        "report", help="print the full paper-vs-measured report (markdown)"
+    )
+    return parser
+
+
+def cmd_list() -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (_, description) in EXPERIMENTS.items():
+        print(f"{name.ljust(width)}  {description}")
+    return 0
+
+
+def cmd_run(names: Sequence[str]) -> int:
+    selected: List[str] = []
+    for name in names:
+        if name == "all":
+            selected.extend(EXPERIMENTS)
+        elif name in EXPERIMENTS:
+            selected.append(name)
+        else:
+            print(f"unknown experiment {name!r}; try `repro list`",
+                  file=sys.stderr)
+            return 2
+    for name in dict.fromkeys(selected):  # dedupe, keep order
+        print(f"\n########## {name} ##########")
+        EXPERIMENTS[name][0]()
+    return 0
+
+
+def cmd_report() -> int:
+    report.build_report(out=sys.stdout)
+    return 0
+
+
+def main(argv: Sequence[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args.names)
+    if args.command == "report":
+        return cmd_report()
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""The paper's contribution: the CA-RAM slice and multi-slice subsystem.
+
+Public surface:
+
+* :class:`~repro.core.key.TernaryKey` / :class:`~repro.core.record.Record` /
+  :class:`~repro.core.record.RecordFormat` — searchable data items.
+* :class:`~repro.core.config.SliceConfig` — geometry of one slice.
+* :class:`~repro.core.slice.CARAMSlice` — search/insert/delete plus RAM mode.
+* :class:`~repro.core.subsystem.CARAMSubsystem` — slice groups (horizontal /
+  vertical arrangements), overflow areas, victim TCAM, request ports.
+"""
+
+from repro.core.composer import ComposedDatabase, OverflowKind, compose_database
+from repro.core.config import Arrangement, SliceConfig
+from repro.core.index import IndexGenerator
+from repro.core.key import TernaryKey
+from repro.core.match import MatchProcessor, MatchResult
+from repro.core.probing import DoubleHashing, LinearProbing, ProbingPolicy
+from repro.core.record import Record, RecordFormat
+from repro.core.registers import MemoryMappedCaRam
+from repro.core.slice import CARAMSlice, SearchResult
+from repro.core.stats import SearchStats
+from repro.core.subsystem import CARAMSubsystem, SliceGroup
+
+__all__ = [
+    "Arrangement",
+    "ComposedDatabase",
+    "OverflowKind",
+    "compose_database",
+    "MemoryMappedCaRam",
+    "SliceConfig",
+    "IndexGenerator",
+    "TernaryKey",
+    "MatchProcessor",
+    "MatchResult",
+    "ProbingPolicy",
+    "LinearProbing",
+    "DoubleHashing",
+    "Record",
+    "RecordFormat",
+    "CARAMSlice",
+    "SearchResult",
+    "SearchStats",
+    "CARAMSubsystem",
+    "SliceGroup",
+]

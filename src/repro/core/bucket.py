@@ -1,0 +1,161 @@
+"""Bucket layout: packing records and the auxiliary field into a row.
+
+A CA-RAM row (Figure 3) holds up to ``floor(C / slot_bits)`` record slots,
+optionally preceded by an *auxiliary field* that "provide[s] information on
+the status of the associated bucket" — here, how far overflowed records were
+spilled (the probing reach) so extended searches know when to stop.
+
+Row layout, MSB first::
+
+    [ aux: reach (aux_bits) | slot 0 | slot 1 | ... | slot S-1 | padding ]
+
+Slot 0 is the highest-priority slot (the priority encoder picks the lowest
+matching slot index), which is how LPM ordering is realized inside a bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.core.record import Record, RecordFormat, decode_record, encode_record
+from repro.utils.bits import extract_bits, mask_of
+
+
+@dataclass(frozen=True)
+class BucketLayout:
+    """Bit-level layout of one bucket (one memory row).
+
+    Attributes:
+        row_bits: row width ``C``.
+        record_format: slot serialization.
+        aux_bits: width of the auxiliary reach field (0 disables it).
+        slots_override: force a slot count smaller than what fits (used by
+            designs that reserve row bits for other purposes).
+    """
+
+    row_bits: int
+    record_format: RecordFormat
+    aux_bits: int = 8
+    slots_override: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.row_bits <= 0:
+            raise ConfigurationError(f"row_bits must be positive: {self.row_bits}")
+        if self.aux_bits < 0:
+            raise ConfigurationError(f"aux_bits must be >= 0: {self.aux_bits}")
+        if self.slots_per_bucket <= 0:
+            raise ConfigurationError(
+                f"row of {self.row_bits} bits cannot hold any "
+                f"{self.record_format.slot_bits}-bit slot after "
+                f"{self.aux_bits} aux bits"
+            )
+
+    @property
+    def slots_per_bucket(self) -> int:
+        """Record slots per row (the paper's ``S`` = floor(C/N) family)."""
+        natural = (self.row_bits - self.aux_bits) // self.record_format.slot_bits
+        if self.slots_override is None:
+            return natural
+        if self.slots_override > natural:
+            raise ConfigurationError(
+                f"slots_override {self.slots_override} exceeds the "
+                f"{natural} slots that fit"
+            )
+        return self.slots_override
+
+    @property
+    def max_reach(self) -> int:
+        """Largest spill distance the aux field can record."""
+        return mask_of(self.aux_bits) if self.aux_bits else 0
+
+    def _slot_offset(self, slot: int) -> int:
+        if not 0 <= slot < self.slots_per_bucket:
+            raise ConfigurationError(
+                f"slot {slot} out of range [0, {self.slots_per_bucket})"
+            )
+        return self.aux_bits + slot * self.record_format.slot_bits
+
+    # ------------------------------------------------------------------
+    # Row <-> structured content
+    # ------------------------------------------------------------------
+
+    def read_aux(self, row_value: int) -> int:
+        """The bucket's reach field (0 when aux is disabled)."""
+        if not self.aux_bits:
+            return 0
+        return extract_bits(row_value, self.row_bits, 0, self.aux_bits)
+
+    def write_aux(self, row_value: int, reach: int) -> int:
+        """Return the row with its reach field replaced."""
+        if not self.aux_bits:
+            if reach:
+                raise ConfigurationError("aux field disabled; cannot store reach")
+            return row_value
+        if not 0 <= reach <= self.max_reach:
+            raise ConfigurationError(
+                f"reach {reach} does not fit in {self.aux_bits} aux bits"
+            )
+        shift = self.row_bits - self.aux_bits
+        cleared = row_value & ~(mask_of(self.aux_bits) << shift)
+        return cleared | (reach << shift)
+
+    def read_slot(self, row_value: int, slot: int) -> Tuple[bool, Record]:
+        """Decode one slot.  Returns (valid, record)."""
+        offset = self._slot_offset(slot)
+        bits = extract_bits(
+            row_value, self.row_bits, offset, self.record_format.slot_bits
+        )
+        return decode_record(bits, self.record_format)
+
+    def write_slot(self, row_value: int, slot: int, record: Optional[Record]) -> int:
+        """Return the row with ``slot`` replaced (None clears the slot)."""
+        offset = self._slot_offset(slot)
+        width = self.record_format.slot_bits
+        shift = self.row_bits - offset - width
+        cleared = row_value & ~(mask_of(width) << shift)
+        if record is None:
+            return cleared
+        bits = encode_record(record, self.record_format)
+        return cleared | (bits << shift)
+
+    def read_all(self, row_value: int) -> List[Tuple[bool, Record]]:
+        """Decode every slot — what the match processors receive in parallel."""
+        return [
+            self.read_slot(row_value, slot)
+            for slot in range(self.slots_per_bucket)
+        ]
+
+    def find_free_slot(self, row_value: int) -> Optional[int]:
+        """Lowest-index invalid slot, or None when the bucket is full."""
+        for slot in range(self.slots_per_bucket):
+            valid, _ = self.read_slot(row_value, slot)
+            if not valid:
+                return slot
+        return None
+
+    def occupancy(self, row_value: int) -> int:
+        """Number of valid slots in the row."""
+        return sum(
+            1
+            for slot in range(self.slots_per_bucket)
+            if self.read_slot(row_value, slot)[0]
+        )
+
+    def pack(self, records: List[Record], reach: int = 0) -> int:
+        """Build a full row from a record list (slot 0 first).
+
+        Used for DMA-style bulk database construction in RAM mode.
+        """
+        if len(records) > self.slots_per_bucket:
+            raise ConfigurationError(
+                f"{len(records)} records exceed {self.slots_per_bucket} slots"
+            )
+        row_value = self.write_aux(0, reach) if self.aux_bits else 0
+        for slot, record in enumerate(records):
+            row_value = self.write_slot(row_value, slot, record)
+        return row_value
+
+
+__all__ = ["BucketLayout"]

@@ -1,0 +1,192 @@
+"""Ternary keys: fixed-width bit vectors with don't-care positions.
+
+Section 3.1 extends each single-bit comparator with two don't-care inputs
+(Figure 4(b)): a search-key mask ``M_i`` (ignore this bit of the search key)
+and a stored-key mask ``TM_i`` (this bit of the stored record is an ``X``).
+A :class:`TernaryKey` carries a value and such a mask; a mask of zero is an
+ordinary binary key.
+
+Convention: bit 0 is the **most significant** bit (matching how the paper
+numbers IP address bits), and a mask bit of 1 means *don't care*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.errors import KeyFormatError
+from repro.utils.bits import extract_bits, mask_of
+
+
+@dataclass(frozen=True)
+class TernaryKey:
+    """A ``width``-bit key whose masked bits match anything.
+
+    Attributes:
+        value: the key bits (don't-care positions should be zero; they are
+            normalized to zero on construction).
+        mask: 1-bits mark don't-care positions.
+        width: key width in bits (the paper's ``N``).
+    """
+
+    value: int
+    mask: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise KeyFormatError(f"key width must be positive: {self.width}")
+        limit = mask_of(self.width)
+        if not 0 <= self.value <= limit:
+            raise KeyFormatError(
+                f"value {self.value:#x} does not fit in {self.width} bits"
+            )
+        if not 0 <= self.mask <= limit:
+            raise KeyFormatError(
+                f"mask {self.mask:#x} does not fit in {self.width} bits"
+            )
+        # Normalize: don't-care positions hold zero so equal ternary keys
+        # compare equal regardless of the junk under their masks.
+        object.__setattr__(self, "value", self.value & ~self.mask & limit)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def exact(cls, value: int, width: int) -> "TernaryKey":
+        """A binary key (no don't-care bits)."""
+        return cls(value=value, mask=0, width=width)
+
+    @classmethod
+    def from_prefix(cls, prefix_value: int, prefix_length: int, width: int) -> "TernaryKey":
+        """A key matching ``prefix_length`` leading bits, rest don't-care.
+
+        This is exactly how an IP prefix is stored in a TCAM or ternary
+        CA-RAM: the prefix bits followed by Xs.
+
+        >>> key = TernaryKey.from_prefix(0b101, 3, 8)
+        >>> key.to_pattern()
+        '101XXXXX'
+        """
+        if not 0 <= prefix_length <= width:
+            raise KeyFormatError(
+                f"prefix length {prefix_length} out of range for width {width}"
+            )
+        mask = mask_of(width - prefix_length)
+        value = (prefix_value << (width - prefix_length)) & mask_of(width)
+        return cls(value=value, mask=mask, width=width)
+
+    @classmethod
+    def from_pattern(cls, pattern: str) -> "TernaryKey":
+        """Parse a string of ``0``, ``1``, and ``X`` symbols, MSB first.
+
+        >>> TernaryKey.from_pattern("1X0").matches(0b110, 3)
+        True
+        """
+        value = 0
+        mask = 0
+        for symbol in pattern:
+            value <<= 1
+            mask <<= 1
+            if symbol == "1":
+                value |= 1
+            elif symbol in ("X", "x"):
+                mask |= 1
+            elif symbol != "0":
+                raise KeyFormatError(f"invalid ternary symbol {symbol!r}")
+        return cls(value=value, mask=mask, width=len(pattern))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def is_binary(self) -> bool:
+        """True when the key has no don't-care bits."""
+        return self.mask == 0
+
+    @property
+    def dont_care_count(self) -> int:
+        """Number of don't-care bit positions."""
+        return bin(self.mask).count("1")
+
+    def bit(self, position: int) -> str:
+        """The symbol at an MSB-first position: '0', '1', or 'X'."""
+        if extract_bits(self.mask, self.width, position, 1):
+            return "X"
+        return str(extract_bits(self.value, self.width, position, 1))
+
+    def matches(self, search_value: int, width: int, search_mask: int = 0) -> bool:
+        """Ternary match against a search key (Figure 4(b) semantics).
+
+        A bit matches when either side declares don't-care or the bits are
+        equal.
+
+        Args:
+            search_value: the search key bits.
+            width: must equal this key's width.
+            search_mask: don't-care bits *in the search key* (the paper's
+                "search key bit masking").
+        """
+        if width != self.width:
+            raise KeyFormatError(
+                f"search width {width} != stored width {self.width}"
+            )
+        care = ~(self.mask | search_mask) & mask_of(self.width)
+        return (self.value & care) == (search_value & care)
+
+    def overlaps(self, other: "TernaryKey") -> bool:
+        """True when some concrete key matches both ternary keys."""
+        if other.width != self.width:
+            raise KeyFormatError("cannot compare keys of different widths")
+        care = ~(self.mask | other.mask) & mask_of(self.width)
+        return (self.value & care) == (other.value & care)
+
+    def to_pattern(self) -> str:
+        """Render as a 0/1/X string, MSB first."""
+        return "".join(self.bit(i) for i in range(self.width))
+
+    # ------------------------------------------------------------------
+    # Hash-bit interaction (Section 4 limitations)
+    # ------------------------------------------------------------------
+
+    def dont_care_positions(self) -> List[int]:
+        """MSB-first positions of the don't-care bits."""
+        return [
+            i
+            for i in range(self.width)
+            if extract_bits(self.mask, self.width, i, 1)
+        ]
+
+    def expand_positions(self, positions: Sequence[int]) -> Iterator["TernaryKey"]:
+        """Enumerate keys with the don't-care bits at ``positions`` made
+        concrete (all combinations), other bits untouched.
+
+        This implements the paper's duplication rule: "if a prefix has n
+        don't care bits in the hash bit positions, it must be duplicated and
+        placed in 2^n buckets".  Positions that are not don't-care in this
+        key are skipped.
+        """
+        wild = [
+            p
+            for p in positions
+            if extract_bits(self.mask, self.width, p, 1)
+        ]
+        count = len(wild)
+        for combo in range(1 << count):
+            value = self.value
+            mask = self.mask
+            for i, pos in enumerate(wild):
+                bit_shift = self.width - 1 - pos
+                mask &= ~(1 << bit_shift)
+                if (combo >> i) & 1:
+                    value |= 1 << bit_shift
+            yield TernaryKey(value=value, mask=mask, width=self.width)
+
+    def __str__(self) -> str:
+        return self.to_pattern()
+
+
+__all__ = ["TernaryKey"]

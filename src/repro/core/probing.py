@@ -1,0 +1,80 @@
+"""Overflow (collision) policies: where spilled records go.
+
+Section 2.1: "locations with consecutive hash addresses (i.e., buckets
+following the overflowing bucket) may be tried until a bucket with an empty
+record slot is found.  Instead of this linear probing method, one can apply
+a second, alternative hash function to find a bucket with empty space."
+
+Both options are provided.  A policy maps (home row, attempt number, key)
+to the next row to try; attempt 0 is always the home row itself.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import ConfigurationError
+from repro.hashing.base import HashFunction
+
+
+class ProbingPolicy(abc.ABC):
+    """Enumerates the probe sequence for a key that overflowed."""
+
+    @abc.abstractmethod
+    def probe(self, home_row: int, attempt: int, rows: int, key: object) -> int:
+        """Row to inspect on the given attempt (attempt 0 = home row)."""
+
+    def max_attempts(self, rows: int) -> int:
+        """Upper bound on distinct rows the sequence can visit."""
+        return rows
+
+
+class LinearProbing(ProbingPolicy):
+    """Consecutive rows: ``(home + attempt) mod rows`` — the paper's choice."""
+
+    def probe(self, home_row: int, attempt: int, rows: int, key: object) -> int:
+        if attempt < 0:
+            raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
+        return (home_row + attempt) % rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "LinearProbing()"
+
+
+class DoubleHashing(ProbingPolicy):
+    """A second hash chooses the step: ``(home + attempt * step(key)) % rows``.
+
+    The step is forced odd so that with a power-of-two row count the probe
+    sequence visits every row.  Requires a secondary
+    :class:`~repro.hashing.base.HashFunction` over the same key type.
+    """
+
+    def __init__(self, step_hash: HashFunction) -> None:
+        self._step_hash = step_hash
+
+    def probe(self, home_row: int, attempt: int, rows: int, key: object) -> int:
+        if attempt < 0:
+            raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
+        if attempt == 0:
+            return home_row % rows
+        step = (self._step_hash(key) | 1) % rows or 1
+        return (home_row + attempt * step) % rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DoubleHashing(step_hash={self._step_hash!r})"
+
+
+class QuadraticProbing(ProbingPolicy):
+    """Triangular-number probing: ``home + attempt(attempt+1)/2``.
+
+    Visits every row when the row count is a power of two; included for the
+    probing-policy ablation.
+    """
+
+    def probe(self, home_row: int, attempt: int, rows: int, key: object) -> int:
+        if attempt < 0:
+            raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
+        return (home_row + attempt * (attempt + 1) // 2) % rows
+
+
+__all__ = ["ProbingPolicy", "LinearProbing", "DoubleHashing", "QuadraticProbing"]

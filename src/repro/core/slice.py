@@ -1,0 +1,478 @@
+"""The CA-RAM slice: index generator + memory array + match processors.
+
+"A CA-RAM slice takes as an input a search key and outputs the result of a
+lookup.  Its main components include an index generator, a memory array
+(either SRAM or DRAM), and P match processors." (Section 3.1, Figure 3)
+
+Behavioral semantics implemented here:
+
+* **Search** — hash the key, fetch the home row, match all candidates in
+  parallel; on a miss, consult the auxiliary reach field and extend the
+  search along the probing sequence.  Every row fetch is counted, so
+  ``stats.amal`` reproduces the paper's AMAL metric directly.
+* **Insert** — place the record in the first bucket on its probe sequence
+  with a free slot, updating the home bucket's reach.  Ternary keys with
+  don't-care bits in hash positions are duplicated into every matching row.
+* **Delete** — remove every stored copy of the exact key.  The reach field
+  is deliberately *not* shrunk (a real device cannot cheaply know whether
+  other records still need it); ``rebuild()`` recomputes it.
+* **RAM mode** — the slice doubles as plain addressable memory
+  (Section 3.2), including DMA-style bulk loading of a pre-hashed database.
+
+Within a bucket, slot 0 has the highest match priority.  An optional
+``slot_priority`` function keeps bucket slots sorted (descending priority)
+on insert — how longest-prefix-match ordering is realized for IP lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.errors import CapacityError, LookupError_
+from repro.core.config import SliceConfig
+from repro.core.index import IndexGenerator, KeyInput
+from repro.core.key import TernaryKey
+from repro.core.match import MatchProcessor, MatchResult
+from repro.core.probing import LinearProbing, ProbingPolicy
+from repro.core.record import Record
+from repro.core.stats import SearchStats
+from repro.memory.array import MemoryArray
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one slice lookup.
+
+    Attributes:
+        hit: whether any record matched.
+        record: the winning record (priority-encoded), or None.
+        row: row of the winning record, or None.
+        slot: slot of the winning record, or None.
+        bucket_accesses: number of row fetches this lookup performed — the
+            per-lookup contribution to AMAL.
+        multiple_matches: True if several slots matched in the winning row.
+    """
+
+    hit: bool
+    record: Optional[Record]
+    row: Optional[int]
+    slot: Optional[int]
+    bucket_accesses: int
+    multiple_matches: bool = False
+
+    @property
+    def data(self) -> Optional[int]:
+        return self.record.data if self.record else None
+
+
+class CARAMSlice:
+    """One CA-RAM slice (Figure 3).
+
+    Args:
+        config: slice geometry.
+        index_generator: the hash front-end; must address ``config.rows``.
+        probing: overflow policy (the paper uses linear probing).
+        slot_priority: optional record-priority function; when given, bucket
+            slots are kept sorted descending so the priority encoder returns
+            the highest-priority match (LPM ordering).
+    """
+
+    def __init__(
+        self,
+        config: SliceConfig,
+        index_generator: IndexGenerator,
+        probing: Optional[ProbingPolicy] = None,
+        slot_priority: Optional[Callable[[Record], float]] = None,
+    ) -> None:
+        if index_generator.rows != config.rows:
+            raise CapacityError(
+                f"index generator addresses {index_generator.rows} rows but "
+                f"the slice has {config.rows}"
+            )
+        self._config = config
+        self._layout = config.layout
+        self._index = index_generator
+        self._probing = probing if probing is not None else LinearProbing()
+        self._slot_priority = slot_priority
+        self._memory = MemoryArray(config.rows, config.row_bits, config.timing)
+        self._matcher = MatchProcessor(config.record_format.key_bits)
+        self._record_count = 0
+        self.stats = SearchStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> SliceConfig:
+        return self._config
+
+    @property
+    def index_generator(self) -> IndexGenerator:
+        return self._index
+
+    @property
+    def memory(self) -> MemoryArray:
+        return self._memory
+
+    @property
+    def record_count(self) -> int:
+        """Stored record copies (duplicated ternary keys count per copy)."""
+        return self._record_count
+
+    @property
+    def load_factor(self) -> float:
+        """Current ``alpha`` of this slice."""
+        return self._record_count / self._config.capacity_records
+
+    def records(self) -> Iterator[Tuple[int, int, Record]]:
+        """Yield every stored record as ``(row, slot, record)``."""
+        for row in range(self._config.rows):
+            row_value = self._memory.peek_row(row)
+            for slot in range(self._layout.slots_per_bucket):
+                valid, record = self._layout.read_slot(row_value, slot)
+                if valid:
+                    yield row, slot, record
+
+    # ------------------------------------------------------------------
+    # CAM mode: search
+    # ------------------------------------------------------------------
+
+    def _fetch_and_match(
+        self, row: int, search_key: int, search_mask: int
+    ) -> Tuple[MatchResult, int]:
+        """One bucket access + parallel match.  Returns (result, row_value).
+
+        With fewer match processors than slots (``P < S``), matching is
+        pipelined over several passes, which are accounted in the stats.
+        """
+        row_value = self._memory.read_row(row)
+        candidates = self._layout.read_all(row_value)
+        result, passes = self._matcher.match_pipelined(
+            candidates, search_key, search_mask,
+            processors=self._config.match_processors,
+        )
+        self.stats.record_match_passes(passes)
+        return result, row_value
+
+    def search(self, key: KeyInput, search_mask: int = 0) -> SearchResult:
+        """Look up a key; extend along the probe sequence if the home
+        bucket's reach says overflows were spilled.
+
+        A search key with don't-care bits over hash positions visits every
+        candidate home row (Section 4's multi-bucket access case).
+        """
+        search_value = key.value if isinstance(key, TernaryKey) else int(key)
+        if isinstance(key, TernaryKey):
+            search_mask |= key.mask
+        homes = self._index.indices_for_search(key, search_mask)
+
+        accesses = 0
+        for home in homes:
+            result, row_value = self._fetch_and_match(
+                home, search_value, search_mask
+            )
+            accesses += 1
+            if result.hit:
+                self.stats.record_lookup(accesses, hit=True)
+                return SearchResult(
+                    hit=True,
+                    record=result.record,
+                    row=home,
+                    slot=result.matched_slot,
+                    bucket_accesses=accesses,
+                    multiple_matches=result.multiple_matches,
+                )
+            reach = self._layout.read_aux(row_value)
+            for attempt in range(1, reach + 1):
+                row = self._probing.probe(
+                    home, attempt, self._config.rows, search_value
+                )
+                result, _ = self._fetch_and_match(row, search_value, search_mask)
+                accesses += 1
+                if result.hit:
+                    self.stats.record_lookup(accesses, hit=True)
+                    return SearchResult(
+                        hit=True,
+                        record=result.record,
+                        row=row,
+                        slot=result.matched_slot,
+                        bucket_accesses=accesses,
+                        multiple_matches=result.multiple_matches,
+                    )
+        self.stats.record_lookup(max(accesses, 1), hit=False)
+        return SearchResult(
+            hit=False,
+            record=None,
+            row=None,
+            slot=None,
+            bucket_accesses=max(accesses, 1),
+        )
+
+    def lookup(self, key: KeyInput, search_mask: int = 0) -> Optional[int]:
+        """Convenience: return the matched record's data, or None."""
+        return self.search(key, search_mask).data
+
+    def search_latency_cycles(self, result: SearchResult) -> int:
+        """Cycles one lookup took: memory accesses plus matching passes.
+
+        The first matching pass of each access overlaps the *next* memory
+        access in a pipelined design; this conservative model charges
+        ``T_mem + passes`` per bucket visited (Section 3.4's
+        ``T_mem + T_match`` with multi-pass matching).
+        """
+        per_access = (
+            self._config.timing.access_cycles + self._config.match_passes
+        )
+        return result.bucket_accesses * per_access
+
+    def __contains__(self, key: KeyInput) -> bool:
+        return self.search(key).hit
+
+    # ------------------------------------------------------------------
+    # CAM mode: insert / delete
+    # ------------------------------------------------------------------
+
+    def _insert_into_bucket(self, row: int, record: Record) -> Optional[int]:
+        """Try to place a record in one bucket; returns the slot or None.
+
+        With a slot-priority function, the bucket is kept sorted descending
+        so the priority encoder's lowest-index-wins rule returns the right
+        record.
+        """
+        row_value = self._memory.peek_row(row)
+        free = self._layout.find_free_slot(row_value)
+        if free is None:
+            return None
+        if self._slot_priority is None:
+            self._memory.write_row(row, self._layout.write_slot(row_value, free, record))
+            return free
+        # Sorted insert: decode occupants, splice, re-encode.
+        occupants = [
+            rec
+            for valid, rec in self._layout.read_all(row_value)
+            if valid
+        ]
+        priority = self._slot_priority(record)
+        position = len(occupants)
+        for i, existing in enumerate(occupants):
+            if self._slot_priority(existing) < priority:
+                position = i
+                break
+        occupants.insert(position, record)
+        reach = self._layout.read_aux(row_value)
+        self._memory.write_row(row, self._layout.pack(occupants, reach))
+        return position
+
+    def insert(self, key: KeyInput, data: int = 0) -> int:
+        """Insert a record; returns the number of stored copies.
+
+        Ternary keys with don't-care bits in hash positions are duplicated
+        into every matching home row.  Each copy walks its probe sequence to
+        the first bucket with a free slot; the home bucket's reach field is
+        raised to cover the spill.
+
+        Raises:
+            CapacityError: when no bucket within the reach limit has space.
+        """
+        record = Record.make(key, data, self._config.record_format)
+        homes = self._index.indices_for_stored(record.key)
+        for home in homes:
+            self._place_copy(home, record)
+        self.stats.record_insert(len(homes))
+        return len(homes)
+
+    def _place_copy(self, home: int, record: Record) -> None:
+        max_reach = self._layout.max_reach if self._layout.aux_bits else 0
+        limit = min(max_reach, self._config.rows - 1)
+        for attempt in range(limit + 1):
+            row = self._probing.probe(
+                home, attempt, self._config.rows, record.key.value
+            )
+            slot = self._insert_into_bucket(row, record)
+            if slot is not None:
+                if attempt > 0:
+                    self._raise_reach(home, attempt)
+                self._record_count += 1
+                return
+        raise CapacityError(
+            f"no free slot within reach {limit} of row {home} "
+            f"(load factor {self.load_factor:.2f})"
+        )
+
+    def _raise_reach(self, home: int, attempt: int) -> None:
+        row_value = self._memory.peek_row(home)
+        current = self._layout.read_aux(row_value)
+        if attempt > current:
+            self._memory.write_row(
+                home, self._layout.write_aux(row_value, attempt)
+            )
+
+    def delete(self, key: KeyInput) -> int:
+        """Remove every stored copy of the exact key (value *and* mask).
+
+        Returns the number of copies removed.  Raises
+        :class:`~repro.errors.LookupError_` when the key is absent.
+        """
+        target = self._config.record_format.normalize_key(
+            key if isinstance(key, TernaryKey) else int(key)
+        )
+        homes = self._index.indices_for_stored(target)
+        removed = 0
+        for home in homes:
+            row_value = self._memory.peek_row(home)
+            reach = self._layout.read_aux(row_value)
+            for attempt in range(reach + 1):
+                row = self._probing.probe(
+                    home, attempt, self._config.rows, target.value
+                )
+                row_value = self._memory.peek_row(row)
+                for slot in range(self._layout.slots_per_bucket):
+                    valid, record = self._layout.read_slot(row_value, slot)
+                    if valid and record.key == target:
+                        row_value = self._layout.write_slot(row_value, slot, None)
+                        self._memory.write_row(row, row_value)
+                        self._record_count -= 1
+                        removed += 1
+                        break
+                else:
+                    continue
+                break
+        if not removed:
+            raise LookupError_(f"key {target} not present")
+        self.stats.record_delete()
+        return removed
+
+    # ------------------------------------------------------------------
+    # Massive data evaluation and modification (Sections 1 / 3.2)
+    # ------------------------------------------------------------------
+    #
+    # "its decoupled match logic can be easily extended to implement more
+    # advanced functionality such as massive data evaluation and
+    # modification" — the match processors sweep every row once, applying
+    # the ternary comparison to all slots in parallel; one row access per
+    # row regardless of how many records match.
+
+    def scan(
+        self, search_key: int = 0, search_mask: Optional[int] = None
+    ) -> List[Tuple[int, int, Record]]:
+        """Evaluate a ternary predicate over the whole database.
+
+        Args:
+            search_key: the predicate's value bits.
+            search_mask: don't-care bits of the predicate; defaults to
+                all-don't-care (match everything).
+
+        Returns:
+            All matching ``(row, slot, record)`` triples.  Costs one
+            bucket access per row (counted in the memory statistics).
+        """
+        if search_mask is None:
+            search_mask = (1 << self._config.record_format.key_bits) - 1
+        matches: List[Tuple[int, int, Record]] = []
+        for row in range(self._config.rows):
+            row_value = self._memory.read_row(row)
+            for slot in range(self._layout.slots_per_bucket):
+                valid, record = self._layout.read_slot(row_value, slot)
+                if valid and self._matcher.match_slot(
+                    valid, record, search_key, search_mask
+                ):
+                    matches.append((row, slot, record))
+        return matches
+
+    def scan_count(
+        self, search_key: int = 0, search_mask: Optional[int] = None
+    ) -> int:
+        """Count records matching a ternary predicate (one row pass)."""
+        return len(self.scan(search_key, search_mask))
+
+    def update_where(
+        self,
+        search_key: int,
+        search_mask: int,
+        transform: Callable[[Record], int],
+    ) -> int:
+        """Massive modification: rewrite the data of every matching record.
+
+        Args:
+            search_key / search_mask: the ternary selection predicate.
+            transform: maps each matching record to its new data payload.
+
+        Returns:
+            Number of records modified.  Costs one read-modify-write per
+            row that contains a match.
+        """
+        modified = 0
+        for row in range(self._config.rows):
+            row_value = self._memory.read_row(row)
+            dirty = False
+            for slot in range(self._layout.slots_per_bucket):
+                valid, record = self._layout.read_slot(row_value, slot)
+                if valid and self._matcher.match_slot(
+                    valid, record, search_key, search_mask
+                ):
+                    new_record = Record.make(
+                        record.key,
+                        transform(record),
+                        self._config.record_format,
+                    )
+                    row_value = self._layout.write_slot(
+                        row_value, slot, new_record
+                    )
+                    dirty = True
+                    modified += 1
+            if dirty:
+                self._memory.write_row(row, row_value)
+        return modified
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def rebuild(self) -> None:
+        """Re-insert everything to compact spills and recompute reach.
+
+        The software analogue of the paper's database (re)construction in
+        RAM mode: after heavy deletes, reach fields over-approximate.
+        """
+        stored = [record for _, _, record in self.records()]
+        self._memory.fill(0)
+        self._record_count = 0
+        # Stable priority order so sorted buckets rebuild identically.
+        if self._slot_priority is not None:
+            stored.sort(key=self._slot_priority, reverse=True)
+        for record in stored:
+            # Re-place a single copy per stored entry: duplicates were
+            # stored explicitly, so bypass duplication here.
+            self._place_copy(self._index.index(record.key), record)
+
+    def clear(self) -> None:
+        """Drop every record and reset statistics."""
+        self._memory.fill(0)
+        self._record_count = 0
+        self.stats.reset()
+
+    # ------------------------------------------------------------------
+    # RAM mode (Section 3.2)
+    # ------------------------------------------------------------------
+
+    def ram_read(self, row: int) -> int:
+        """Address-based row read — the slice as plain on-chip memory."""
+        return self._memory.read_row(row)
+
+    def ram_write(self, row: int, value: int) -> None:
+        """Address-based row write."""
+        self._memory.write_row(row, value)
+
+    def dma_load(self, rows: List[int], offset: int = 0) -> None:
+        """Bulk-load pre-packed rows ("a series of memory copy operations or
+        ... an existing DMA mechanism", Section 3.2).
+
+        The record count is recomputed from the loaded image.
+        """
+        self._memory.load(rows, offset)
+        self._record_count = sum(1 for _ in self.records())
+
+
+__all__ = ["CARAMSlice", "SearchResult"]

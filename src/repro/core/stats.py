@@ -1,0 +1,99 @@
+"""Search statistics: AMAL and friends.
+
+The paper's main metric is AMAL — "the average number of memory accesses per
+lookup" (Section 4.1).  :class:`SearchStats` accumulates per-lookup bucket
+access counts and exposes AMAL, hit rate, and the access-count histogram
+(the data behind the latency discussion of Section 3.4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SearchStats:
+    """Accumulated lookup statistics for a slice or subsystem."""
+
+    lookups: int = 0
+    hits: int = 0
+    total_bucket_accesses: int = 0
+    total_match_passes: int = 0
+    access_histogram: Counter = field(default_factory=Counter)
+    inserts: int = 0
+    deletes: int = 0
+    insert_probe_total: int = 0
+
+    def record_lookup(self, accesses: int, hit: bool) -> None:
+        """Account one search that touched ``accesses`` buckets."""
+        self.lookups += 1
+        self.total_bucket_accesses += accesses
+        self.access_histogram[accesses] += 1
+        if hit:
+            self.hits += 1
+
+    def record_match_passes(self, passes: int) -> None:
+        """Account pipelined matching steps (P < S configurations)."""
+        self.total_match_passes += passes
+
+    @property
+    def average_match_passes(self) -> float:
+        """Mean matching passes per bucket access."""
+        if not self.total_bucket_accesses:
+            return 0.0
+        return self.total_match_passes / self.total_bucket_accesses
+
+    def record_insert(self, probes: int) -> None:
+        """Account one insert that probed ``probes`` buckets."""
+        self.inserts += 1
+        self.insert_probe_total += probes
+
+    def record_delete(self) -> None:
+        self.deletes += 1
+
+    @property
+    def misses(self) -> int:
+        return self.lookups - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def amal(self) -> float:
+        """Average memory accesses per lookup over the recorded searches."""
+        return (
+            self.total_bucket_accesses / self.lookups if self.lookups else 0.0
+        )
+
+    @property
+    def average_insert_probes(self) -> float:
+        return (
+            self.insert_probe_total / self.inserts if self.inserts else 0.0
+        )
+
+    def merge(self, other: "SearchStats") -> None:
+        """Fold another counter set into this one (subsystem aggregation)."""
+        self.lookups += other.lookups
+        self.hits += other.hits
+        self.total_bucket_accesses += other.total_bucket_accesses
+        self.total_match_passes += other.total_match_passes
+        self.access_histogram.update(other.access_histogram)
+        self.inserts += other.inserts
+        self.deletes += other.deletes
+        self.insert_probe_total += other.insert_probe_total
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.lookups = 0
+        self.hits = 0
+        self.total_bucket_accesses = 0
+        self.total_match_passes = 0
+        self.access_histogram.clear()
+        self.inserts = 0
+        self.deletes = 0
+        self.insert_probe_total = 0
+
+
+__all__ = ["SearchStats"]

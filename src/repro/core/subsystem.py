@@ -1,0 +1,576 @@
+"""Multi-slice CA-RAM: slice groups, arrangements, and overflow areas.
+
+Section 3.2 composes slices into a memory subsystem: "a database can be
+implemented with multiple CA-RAM slices, arranged vertically (i.e., more
+rows), horizontally (i.e., wider buckets), or in a mixed way", with optional
+dedicated slices (or a small CAM) serving as an overflow area "accessed
+together with other slices ... similar to the popular victim cache
+technique".
+
+* :class:`SliceGroup` — one database over ``k`` identical slices.
+
+  - VERTICAL: the row spaces concatenate; a bucket is one row of one slice.
+    Bucket count = ``k * 2**R`` (not necessarily a power of two — design B
+    of Table 3 uses five slices).
+  - HORIZONTAL: a logical bucket is the same row index across *all* slices,
+    fetched in parallel.  One logical bucket access therefore costs ``k``
+    physical row fetches but only **one** AMAL access — this is exactly why
+    the paper's horizontal designs beat vertical ones at equal load factor.
+
+* :class:`CARAMSubsystem` — named groups behind request ports, with an
+  optional overflow store (e.g. a small TCAM) searched in parallel with the
+  home bucket, which pins AMAL at 1 for spilled records (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Protocol, Tuple
+
+from repro.errors import CapacityError, ConfigurationError, LookupError_
+from repro.core.config import Arrangement, SliceConfig
+from repro.core.index import IndexGenerator, KeyInput
+from repro.core.key import TernaryKey
+from repro.core.match import MatchProcessor
+from repro.core.probing import LinearProbing, ProbingPolicy
+from repro.core.record import Record
+from repro.core.slice import SearchResult
+from repro.core.stats import SearchStats
+from repro.hashing.base import HashFunction
+from repro.memory.array import MemoryArray
+
+from typing import Callable
+
+
+class OverflowStore(Protocol):
+    """What a victim/overflow area must support (a TCAM qualifies)."""
+
+    def insert(self, key: KeyInput, data: int = 0) -> object: ...
+
+    def search(self, key: object) -> object: ...
+
+
+class SliceGroup:
+    """One database built from ``slice_count`` identical slices.
+
+    Args:
+        config: per-slice geometry.
+        slice_count: number of physical slices in the group.
+        arrangement: HORIZONTAL (wider buckets) or VERTICAL (more rows).
+        hash_function: maps keys to this group's bucket space; its
+            ``bucket_count`` must equal :attr:`bucket_count`.
+        probing: overflow policy over the *bucket* space.
+        slot_priority: optional priority function for sorted buckets (LPM).
+        name: label used in subsystem routing and reports.
+    """
+
+    def __init__(
+        self,
+        config: SliceConfig,
+        slice_count: int,
+        arrangement: Arrangement,
+        hash_function: HashFunction,
+        probing: Optional[ProbingPolicy] = None,
+        slot_priority: Optional[Callable[[Record], float]] = None,
+        name: str = "db",
+    ) -> None:
+        if slice_count <= 0:
+            raise ConfigurationError(f"slice_count must be positive: {slice_count}")
+        self._config = config
+        self._count = slice_count
+        self._arrangement = arrangement
+        self._layout = config.layout
+        self._probing = probing if probing is not None else LinearProbing()
+        self._slot_priority = slot_priority
+        self.name = name
+        self._arrays = [
+            MemoryArray(config.rows, config.row_bits, config.timing)
+            for _ in range(slice_count)
+        ]
+        if hash_function.bucket_count != self.bucket_count:
+            raise ConfigurationError(
+                f"hash function addresses {hash_function.bucket_count} buckets "
+                f"but the group has {self.bucket_count}"
+            )
+        self._index = IndexGenerator(hash_function, self.bucket_count)
+        self._matcher = MatchProcessor(config.record_format.key_bits)
+        self._record_count = 0
+        self.stats = SearchStats()
+        self.physical_row_fetches = 0
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> SliceConfig:
+        return self._config
+
+    @property
+    def slice_count(self) -> int:
+        return self._count
+
+    @property
+    def arrangement(self) -> Arrangement:
+        return self._arrangement
+
+    @property
+    def index_generator(self) -> IndexGenerator:
+        return self._index
+
+    @property
+    def bucket_count(self) -> int:
+        """Logical buckets ``M``: rows stack vertically, merge horizontally."""
+        if self._arrangement is Arrangement.VERTICAL:
+            return self._config.rows * self._count
+        return self._config.rows
+
+    @property
+    def slots_per_bucket(self) -> int:
+        """Logical slots ``S`` per bucket."""
+        if self._arrangement is Arrangement.VERTICAL:
+            return self._config.slots_per_bucket
+        return self._config.slots_per_bucket * self._count
+
+    @property
+    def capacity_records(self) -> int:
+        return self.bucket_count * self.slots_per_bucket
+
+    @property
+    def record_count(self) -> int:
+        return self._record_count
+
+    @property
+    def load_factor(self) -> float:
+        return self._record_count / self.capacity_records
+
+    @property
+    def rows_fetched_per_access(self) -> int:
+        """Physical row fetches behind one logical bucket access."""
+        return self._count if self._arrangement is Arrangement.HORIZONTAL else 1
+
+    # ------------------------------------------------------------------
+    # Bucket store
+    # ------------------------------------------------------------------
+
+    def _bucket_rows(self, bucket: int) -> List[Tuple[int, int]]:
+        """Physical (slice, row) pairs composing one logical bucket."""
+        if not 0 <= bucket < self.bucket_count:
+            raise ConfigurationError(
+                f"bucket {bucket} out of range [0, {self.bucket_count})"
+            )
+        if self._arrangement is Arrangement.VERTICAL:
+            return [(bucket // self._config.rows, bucket % self._config.rows)]
+        return [(s, bucket) for s in range(self._count)]
+
+    def _read_bucket(self, bucket: int) -> Tuple[List[Tuple[bool, Record]], int]:
+        """Fetch a logical bucket: (candidates slot-ordered, reach).
+
+        Counts one logical access worth of physical fetches.
+        """
+        candidates: List[Tuple[bool, Record]] = []
+        reach = 0
+        for i, (slice_id, row) in enumerate(self._bucket_rows(bucket)):
+            row_value = self._arrays[slice_id].read_row(row)
+            self.physical_row_fetches += 1
+            if i == 0:
+                reach = self._layout.read_aux(row_value)
+            candidates.extend(self._layout.read_all(row_value))
+        return candidates, reach
+
+    def _occupants(self, bucket: int) -> Tuple[List[Record], int]:
+        """Decode a bucket's valid records (no access accounting)."""
+        records: List[Record] = []
+        reach = 0
+        for i, (slice_id, row) in enumerate(self._bucket_rows(bucket)):
+            row_value = self._arrays[slice_id].peek_row(row)
+            if i == 0:
+                reach = self._layout.read_aux(row_value)
+            for valid, record in self._layout.read_all(row_value):
+                if valid:
+                    records.append(record)
+        return records, reach
+
+    def _write_occupants(self, bucket: int, records: List[Record], reach: int) -> None:
+        """Re-pack a logical bucket from a record list (slot 0 first)."""
+        if len(records) > self.slots_per_bucket:
+            raise CapacityError(
+                f"{len(records)} records exceed bucket capacity "
+                f"{self.slots_per_bucket}"
+            )
+        per_slice = self._config.slots_per_bucket
+        for i, (slice_id, row) in enumerate(self._bucket_rows(bucket)):
+            chunk = records[i * per_slice : (i + 1) * per_slice]
+            row_value = self._layout.pack(chunk, reach if i == 0 else 0)
+            self._arrays[slice_id].write_row(row, row_value)
+
+    # ------------------------------------------------------------------
+    # CAM mode
+    # ------------------------------------------------------------------
+
+    def search(self, key: KeyInput, search_mask: int = 0) -> SearchResult:
+        """Look up a key across the group (one AMAL access per logical
+        bucket visited, however many slices are fetched in parallel)."""
+        search_value = key.value if isinstance(key, TernaryKey) else int(key)
+        if isinstance(key, TernaryKey):
+            search_mask |= key.mask
+        homes = self._index.indices_for_search(key, search_mask)
+
+        accesses = 0
+        for home in homes:
+            candidates, reach = self._read_bucket(home)
+            accesses += 1
+            result, passes = self._matcher.match_pipelined(
+                candidates, search_value, search_mask,
+                processors=self._config.match_processors,
+            )
+            self.stats.record_match_passes(passes)
+            if result.hit:
+                self.stats.record_lookup(accesses, hit=True)
+                return SearchResult(
+                    hit=True,
+                    record=result.record,
+                    row=home,
+                    slot=result.matched_slot,
+                    bucket_accesses=accesses,
+                    multiple_matches=result.multiple_matches,
+                )
+            for attempt in range(1, reach + 1):
+                bucket = self._probing.probe(
+                    home, attempt, self.bucket_count, search_value
+                )
+                candidates, _ = self._read_bucket(bucket)
+                accesses += 1
+                result, passes = self._matcher.match_pipelined(
+                    candidates, search_value, search_mask,
+                    processors=self._config.match_processors,
+                )
+                self.stats.record_match_passes(passes)
+                if result.hit:
+                    self.stats.record_lookup(accesses, hit=True)
+                    return SearchResult(
+                        hit=True,
+                        record=result.record,
+                        row=bucket,
+                        slot=result.matched_slot,
+                        bucket_accesses=accesses,
+                        multiple_matches=result.multiple_matches,
+                    )
+        self.stats.record_lookup(max(accesses, 1), hit=False)
+        return SearchResult(
+            hit=False, record=None, row=None, slot=None,
+            bucket_accesses=max(accesses, 1),
+        )
+
+    def lookup(self, key: KeyInput, search_mask: int = 0) -> Optional[int]:
+        """Convenience: matched record's data, or None."""
+        return self.search(key, search_mask).data
+
+    def __contains__(self, key: KeyInput) -> bool:
+        return self.search(key).hit
+
+    def insert(self, key: KeyInput, data: int = 0, allow_spill: bool = True) -> int:
+        """Insert a record; returns the number of stored copies.
+
+        With ``allow_spill=False`` the insert fails (CapacityError) instead
+        of probing past a full home bucket — the hook the subsystem uses to
+        divert overflows into a victim store.
+        """
+        record = Record.make(key, data, self._config.record_format)
+        homes = self._index.indices_for_stored(record.key)
+        for home in homes:
+            self._place_copy(home, record, allow_spill)
+        self.stats.record_insert(len(homes))
+        return len(homes)
+
+    def _place_copy(self, home: int, record: Record, allow_spill: bool) -> None:
+        max_reach = self._layout.max_reach if self._layout.aux_bits else 0
+        limit = min(max_reach, self.bucket_count - 1) if allow_spill else 0
+        for attempt in range(limit + 1):
+            bucket = self._probing.probe(
+                home, attempt, self.bucket_count, record.key.value
+            )
+            if self._try_place(bucket, record):
+                if attempt > 0:
+                    self._raise_reach(home, attempt)
+                self._record_count += 1
+                return
+        raise CapacityError(
+            f"no free slot within reach {limit} of bucket {home} "
+            f"(load factor {self.load_factor:.2f})"
+        )
+
+    def _try_place(self, bucket: int, record: Record) -> bool:
+        records, reach = self._occupants(bucket)
+        if len(records) >= self.slots_per_bucket:
+            return False
+        if self._slot_priority is None:
+            records.append(record)
+        else:
+            priority = self._slot_priority(record)
+            position = len(records)
+            for i, existing in enumerate(records):
+                if self._slot_priority(existing) < priority:
+                    position = i
+                    break
+            records.insert(position, record)
+        self._write_occupants(bucket, records, reach)
+        return True
+
+    def _raise_reach(self, home: int, attempt: int) -> None:
+        records, reach = self._occupants(home)
+        if attempt > reach:
+            self._write_occupants(home, records, attempt)
+
+    def delete(self, key: KeyInput) -> int:
+        """Remove every stored copy of the exact key."""
+        target = self._config.record_format.normalize_key(
+            key if isinstance(key, TernaryKey) else int(key)
+        )
+        homes = self._index.indices_for_stored(target)
+        removed = 0
+        for home in homes:
+            _, reach = self._occupants(home)
+            for attempt in range(reach + 1):
+                bucket = self._probing.probe(
+                    home, attempt, self.bucket_count, target.value
+                )
+                records, bucket_reach = self._occupants(bucket)
+                kept = [r for r in records if r.key != target]
+                if len(kept) != len(records):
+                    self._write_occupants(bucket, kept, bucket_reach)
+                    self._record_count -= len(records) - len(kept)
+                    removed += len(records) - len(kept)
+                    break
+        if not removed:
+            raise LookupError_(f"key {target} not present")
+        self.stats.record_delete()
+        return removed
+
+    def scan(
+        self, search_key: int = 0, search_mask: Optional[int] = None
+    ) -> List[Tuple[int, Record]]:
+        """Massive data evaluation: all records matching a ternary
+        predicate, one pass over every bucket (Sections 1 / 3.2)."""
+        if search_mask is None:
+            search_mask = (1 << self._config.record_format.key_bits) - 1
+        matches: List[Tuple[int, Record]] = []
+        for bucket in range(self.bucket_count):
+            records, _ = self._occupants(bucket)
+            for record in records:
+                if self._matcher.match_slot(
+                    True, record, search_key, search_mask
+                ):
+                    matches.append((bucket, record))
+        return matches
+
+    def update_where(
+        self,
+        search_key: int,
+        search_mask: int,
+        transform: Callable[[Record], int],
+    ) -> int:
+        """Massive modification: rewrite the data payload of every record
+        matching the ternary predicate.  Returns the modified count."""
+        modified = 0
+        for bucket in range(self.bucket_count):
+            records, reach = self._occupants(bucket)
+            dirty = False
+            for i, record in enumerate(records):
+                if self._matcher.match_slot(
+                    True, record, search_key, search_mask
+                ):
+                    records[i] = Record.make(
+                        record.key,
+                        transform(record),
+                        self._config.record_format,
+                    )
+                    dirty = True
+                    modified += 1
+            if dirty:
+                self._write_occupants(bucket, records, reach)
+        return modified
+
+    def records(self) -> Iterator[Tuple[int, Record]]:
+        """Yield every stored record as ``(bucket, record)``."""
+        for bucket in range(self.bucket_count):
+            records, _ = self._occupants(bucket)
+            for record in records:
+                yield bucket, record
+
+    def rebuild(self) -> None:
+        """Re-insert everything to compact spills and recompute reach.
+
+        After heavy delete/insert churn, reach fields over-approximate
+        (they are never decremented in place); a rebuild restores
+        tight extended-search bounds — the database (re)construction the
+        paper performs through RAM mode.
+        """
+        stored = [record for _, record in self.records()]
+        for array in self._arrays:
+            array.fill(0)
+        self._record_count = 0
+        if self._slot_priority is not None:
+            stored.sort(key=self._slot_priority, reverse=True)
+        for record in stored:
+            # Re-place one copy per stored entry; duplicates were stored
+            # explicitly, so bypass re-duplication.
+            self._place_copy(
+                self._index.index(record.key), record, allow_spill=True
+            )
+
+    def clear(self) -> None:
+        """Drop all records and reset counters."""
+        for array in self._arrays:
+            array.fill(0)
+        self._record_count = 0
+        self.stats.reset()
+        self.physical_row_fetches = 0
+
+
+@dataclass
+class PortConfig:
+    """One virtual request port: a name bound to a database group.
+
+    "each port address can be tied to a 'virtual port' mapped to a specific
+    database" (Section 3.2).
+    """
+
+    name: str
+    group: str
+
+
+class CARAMSubsystem:
+    """A CA-RAM memory subsystem: named slice groups behind request ports.
+
+    Supports the Section 3.2/4.3 composition features: several independent
+    databases, virtual ports, and an overflow store searched in parallel
+    with the home bucket (victim-TCAM style), which makes every spilled
+    record cost a single access.
+    """
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, SliceGroup] = {}
+        self._ports: Dict[str, str] = {}
+        self._overflow: Dict[str, OverflowStore] = {}
+        self.configuration: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+
+    def add_group(self, group: SliceGroup) -> SliceGroup:
+        """Register a database group under its name."""
+        if group.name in self._groups:
+            raise ConfigurationError(f"group {group.name!r} already exists")
+        self._groups[group.name] = group
+        return group
+
+    def group(self, name: str) -> SliceGroup:
+        if name not in self._groups:
+            raise ConfigurationError(f"no group named {name!r}")
+        return self._groups[name]
+
+    @property
+    def group_names(self) -> List[str]:
+        return sorted(self._groups)
+
+    def map_port(self, port: str, group: str) -> None:
+        """Bind a virtual port name to a database group."""
+        if group not in self._groups:
+            raise ConfigurationError(f"no group named {group!r}")
+        self._ports[port] = group
+
+    def group_for_port(self, port: str) -> SliceGroup:
+        if port not in self._ports:
+            raise ConfigurationError(f"no port named {port!r}")
+        return self._groups[self._ports[port]]
+
+    def remove_group(self, name: str) -> SliceGroup:
+        """Unregister a database group (frees its name, ports, overflow).
+
+        The deallocation path of the Section 3.2 class library.
+        """
+        if name not in self._groups:
+            raise ConfigurationError(f"no group named {name!r}")
+        group = self._groups.pop(name)
+        self._overflow.pop(name, None)
+        for port in [p for p, g in self._ports.items() if g == name]:
+            del self._ports[port]
+        return group
+
+    def attach_overflow(self, group: str, store: OverflowStore) -> None:
+        """Give a group a victim/overflow store searched in parallel."""
+        if group not in self._groups:
+            raise ConfigurationError(f"no group named {group!r}")
+        self._overflow[group] = store
+
+    def overflow_store(self, group: str) -> Optional[OverflowStore]:
+        return self._overflow.get(group)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def insert(self, group_name: str, key: KeyInput, data: int = 0) -> int:
+        """Insert into a group; overflows divert to the attached store.
+
+        With an overflow store, the home bucket is the *only* CA-RAM bucket
+        tried (no probing), so lookups never need extended searches.
+        """
+        group = self.group(group_name)
+        store = self._overflow.get(group_name)
+        if store is None:
+            return group.insert(key, data)
+        try:
+            return group.insert(key, data, allow_spill=False)
+        except CapacityError:
+            store.insert(key, data)
+            return 1
+
+    def search(self, group_name: str, key: KeyInput, search_mask: int = 0) -> SearchResult:
+        """Search a group and its overflow store in parallel.
+
+        The overflow store is consulted simultaneously with the home bucket
+        (Section 4.3: "If this TCAM is accessed simultaneously with the main
+        CA-RAM, AMAL becomes 1"), so a hit in either costs the same single
+        logical access.
+        """
+        group = self.group(group_name)
+        store = self._overflow.get(group_name)
+        if store is None:
+            return group.search(key, search_mask)
+        result = group.search(key, search_mask)
+        if result.hit:
+            return result
+        overflow_hit = store.search(
+            key.value if isinstance(key, TernaryKey) else key
+        )
+        hit = getattr(overflow_hit, "hit", overflow_hit is not None)
+        if hit:
+            record = getattr(overflow_hit, "record", None)
+            return SearchResult(
+                hit=True,
+                record=record,
+                row=None,
+                slot=None,
+                # Parallel access: the TCAM probe overlaps the home fetch.
+                bucket_accesses=1,
+            )
+        return result
+
+    def search_port(self, port: str, key: KeyInput, search_mask: int = 0) -> SearchResult:
+        """Search through a virtual port binding."""
+        if port not in self._ports:
+            raise ConfigurationError(f"no port named {port!r}")
+        return self.search(self._ports[port], key, search_mask)
+
+    def total_stats(self) -> SearchStats:
+        """Aggregate search statistics across all groups."""
+        total = SearchStats()
+        for group in self._groups.values():
+            total.merge(group.stats)
+        return total
+
+
+__all__ = ["SliceGroup", "CARAMSubsystem", "PortConfig", "OverflowStore"]

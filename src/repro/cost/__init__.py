@@ -1,0 +1,44 @@
+"""Analytical cost models: area, power, bandwidth/latency, and the match
+processor synthesis model (Table 1)."""
+
+from repro.cost.area import (
+    AreaEstimate,
+    ca_ram_database_area_um2,
+    cam_database_area_um2,
+    cell_size_comparison,
+)
+from repro.cost.bandwidth import (
+    LatencyComparison,
+    ca_ram_search_bandwidth,
+    cam_search_bandwidth,
+    search_latency_comparison,
+)
+from repro.cost.matchproc import (
+    MatchProcessorModel,
+    StageEstimate,
+    SynthesisResult,
+)
+from repro.cost.power import (
+    PowerEstimate,
+    ca_ram_search_power_w,
+    cam_search_power_w,
+    power_comparison,
+)
+
+__all__ = [
+    "AreaEstimate",
+    "ca_ram_database_area_um2",
+    "cam_database_area_um2",
+    "cell_size_comparison",
+    "LatencyComparison",
+    "ca_ram_search_bandwidth",
+    "cam_search_bandwidth",
+    "search_latency_comparison",
+    "MatchProcessorModel",
+    "StageEstimate",
+    "SynthesisResult",
+    "PowerEstimate",
+    "ca_ram_search_power_w",
+    "cam_search_power_w",
+    "power_comparison",
+]

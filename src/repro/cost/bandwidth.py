@@ -1,0 +1,109 @@
+"""Search bandwidth and latency models — the Section 3.4 equations.
+
+Bandwidth::
+
+    B_CA-RAM = N_slice / n_mem * f_clk      (conservative, non-pipelined)
+    B_CAM    = f_CAM_clk
+
+Latency: CA-RAM pays the memory access ``T_mem`` plus the match time
+``T_match`` (pipelinable), but the data comes back *with* the lookup.  A
+CAM returns only the matching address, so the subsequent data access out of
+a separate RAM "is fully exposed in CAM while it is effectively hidden in
+CA-RAM"; many production CAMs additionally take multiple cycles per search
+to save power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memory.timing import MemoryTiming
+
+
+def ca_ram_search_bandwidth(
+    slice_count: int, timing: MemoryTiming
+) -> float:
+    """Lookups/second of a CA-RAM subsystem: ``N_slice / n_mem * f_clk``.
+
+    Assumes match is pipelined with memory access (the paper drops
+    ``T_match`` from the bandwidth calculation) and each lookup touches one
+    slice (vertical banking).
+    """
+    if slice_count <= 0:
+        raise ConfigurationError(f"slice_count must be positive: {slice_count}")
+    return slice_count / timing.cycle_between_accesses * timing.clock_hz
+
+
+def cam_search_bandwidth(cam_clock_hz: float, cycles_per_search: int = 1) -> float:
+    """Lookups/second of a CAM: one search per ``cycles_per_search`` clocks."""
+    if cam_clock_hz <= 0 or cycles_per_search <= 0:
+        raise ConfigurationError("clock and cycles_per_search must be positive")
+    return cam_clock_hz / cycles_per_search
+
+
+@dataclass(frozen=True)
+class LatencyComparison:
+    """End-to-end lookup latency of CA-RAM vs CAM, data access included.
+
+    Attributes:
+        ca_ram_lookup_s: CA-RAM memory access + match (data included in the
+            fetched row when stored alongside keys).
+        cam_lookup_s: CAM match-line search alone.
+        cam_with_data_s: CAM search plus the exposed RAM data access.
+        amal: average bucket accesses folded into the CA-RAM figure.
+    """
+
+    ca_ram_lookup_s: float
+    cam_lookup_s: float
+    cam_with_data_s: float
+    amal: float
+
+    @property
+    def ca_ram_wins_with_data(self) -> bool:
+        """The paper's claim: T_CA-RAM is comparable to or shorter than
+        T_CAM once the data access is charged to the CAM."""
+        return self.ca_ram_lookup_s <= self.cam_with_data_s
+
+
+def search_latency_comparison(
+    ca_ram_timing: MemoryTiming,
+    match_time_s: float,
+    cam_clock_hz: float,
+    cam_cycles_per_search: int = 1,
+    data_access_timing: MemoryTiming = None,
+    amal: float = 1.0,
+) -> LatencyComparison:
+    """Build the Section 3.4 latency comparison.
+
+    Args:
+        ca_ram_timing: the CA-RAM array's device timing (T_mem source).
+        match_time_s: T_match of the match processors (one pipeline pass).
+        cam_clock_hz: the CAM device clock.
+        cam_cycles_per_search: cycles per CAM lookup (power-saving CAMs use
+            several).
+        data_access_timing: timing of the data RAM a CAM must consult after
+            a match; defaults to the CA-RAM's own timing.
+        amal: average bucket accesses per CA-RAM lookup.
+    """
+    if amal < 1.0:
+        raise ConfigurationError(f"amal must be >= 1: {amal}")
+    if data_access_timing is None:
+        data_access_timing = ca_ram_timing
+    ca_ram = (ca_ram_timing.access_time_s + match_time_s) * amal
+    cam = cam_cycles_per_search / cam_clock_hz
+    cam_with_data = cam + data_access_timing.access_time_s
+    return LatencyComparison(
+        ca_ram_lookup_s=ca_ram,
+        cam_lookup_s=cam,
+        cam_with_data_s=cam_with_data,
+        amal=amal,
+    )
+
+
+__all__ = [
+    "ca_ram_search_bandwidth",
+    "cam_search_bandwidth",
+    "LatencyComparison",
+    "search_latency_comparison",
+]

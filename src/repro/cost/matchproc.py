@@ -1,0 +1,215 @@
+"""Match-processor synthesis model — Table 1 of the paper.
+
+The paper synthesized one prototype match processor (0.16 µm standard
+cells, row width C = 1,600 bits, variable key size down to 1 byte) and
+reports per-stage cell count, area, and delay:
+
+=========================  =======  ===========  =========
+Step                       # cells  Area (µm²)   Delay (ns)
+=========================  =======  ===========  =========
+Expand search key            3,804      66,228      (0.89)
+Calculate match vector       5,252      10,591       0.95
+Decode match vector            899       1,970       1.91
+Extract result               6,037      21,775       1.99
+Total                       15,992     100,564       4.85
+=========================  =======  ===========  =========
+
+plus a worst-case dynamic power of 60.8 mW (VDD = 1.8 V, switching = 0.5,
+Tclk = 6 ns).
+
+:class:`MatchProcessorModel` reproduces those numbers exactly at the
+reference point and scales them to other row widths C and key widths N with
+first-order rules grounded in the paper's own observations:
+
+* expand / match-vector / extract logic is per-bit → cells & area scale
+  linearly with C;
+* match-vector delay is a comparator reduction tree → scales with log2(N);
+* decode (priority encode) and extract delays are serial in the slot count
+  P = C/N → scale with log2(P) ("the decoding of the match vector and the
+  multiplexing of the output results form the critical path as all of it's
+  operations are serial in nature");
+* the expand stage is overlapped with memory access, so its delay is shown
+  parenthesized and excluded from the critical path, as in the paper.
+
+The reference key width is 8 bits — the smallest key the prototype accepts,
+which is what sizes its worst-case slot count (200 slots at C = 1,600).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import log2
+from typing import List
+
+from repro.errors import ConfigurationError
+
+#: Reference synthesis point (Section 3.3).
+REFERENCE_ROW_BITS = 1600
+REFERENCE_KEY_BITS = 8
+REFERENCE_VDD = 1.8
+REFERENCE_SWITCHING = 0.5
+REFERENCE_TCLK_NS = 6.0
+REFERENCE_POWER_MW = 60.8
+
+#: Published per-stage reference values: (cells, area µm², delay ns,
+#: overlapped-with-memory-access flag).
+_REFERENCE_STAGES = {
+    "expand_search_key": (3804, 66228.0, 0.89, True),
+    "calculate_match_vector": (5252, 10591.0, 0.95, False),
+    "decode_match_vector": (899, 1970.0, 1.91, False),
+    "extract_result": (6037, 21775.0, 1.99, False),
+}
+
+
+@dataclass(frozen=True)
+class StageEstimate:
+    """One pipeline stage's synthesis estimate."""
+
+    name: str
+    cells: int
+    area_um2: float
+    delay_ns: float
+    overlapped: bool
+
+    @property
+    def display_delay(self) -> str:
+        """Delay as the paper prints it (parenthesized when hidden)."""
+        return f"({self.delay_ns:.2f})" if self.overlapped else f"{self.delay_ns:.2f}"
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """A full match-processor synthesis estimate.
+
+    Attributes:
+        stages: per-stage estimates in pipeline order.
+        row_bits: the row width C the estimate is for.
+        key_bits: the key width N the estimate is for.
+    """
+
+    stages: List[StageEstimate]
+    row_bits: int
+    key_bits: int
+
+    @property
+    def total_cells(self) -> int:
+        return sum(stage.cells for stage in self.stages)
+
+    @property
+    def total_area_um2(self) -> float:
+        return sum(stage.area_um2 for stage in self.stages)
+
+    @property
+    def total_delay_ns(self) -> float:
+        """Sum of all stage delays (the paper's 4.85 ns total row)."""
+        return sum(stage.delay_ns for stage in self.stages)
+
+    @property
+    def critical_path_ns(self) -> float:
+        """Delay excluding the expand stage, which overlaps memory access."""
+        return sum(s.delay_ns for s in self.stages if not s.overlapped)
+
+    @property
+    def max_clock_hz(self) -> float:
+        """Highest single-cycle clock the (unpipelined) processor meets."""
+        return 1e9 / self.critical_path_ns
+
+    def stage(self, name: str) -> StageEstimate:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise ConfigurationError(f"no stage named {name!r}")
+
+
+class MatchProcessorModel:
+    """Parametric synthesis model calibrated to the Table 1 prototype."""
+
+    def __init__(self) -> None:
+        # Effective switched capacitance back-computed from the published
+        # worst-case power: P = a * C_eff * VDD^2 * f.
+        f_ref = 1e9 / REFERENCE_TCLK_NS
+        self._c_eff_ref_farad = (REFERENCE_POWER_MW * 1e-3) / (
+            REFERENCE_SWITCHING * REFERENCE_VDD**2 * f_ref
+        )
+
+    @staticmethod
+    def _slots(row_bits: int, key_bits: int) -> int:
+        slots = row_bits // key_bits
+        if slots < 1:
+            raise ConfigurationError(
+                f"row of {row_bits} bits cannot hold a {key_bits}-bit key"
+            )
+        return slots
+
+    def synthesize(
+        self,
+        row_bits: int = REFERENCE_ROW_BITS,
+        key_bits: int = REFERENCE_KEY_BITS,
+    ) -> SynthesisResult:
+        """Estimate cells/area/delay for a (C, N) match processor."""
+        if row_bits <= 0 or key_bits <= 0:
+            raise ConfigurationError("row_bits and key_bits must be positive")
+        slots = self._slots(row_bits, key_bits)
+        ref_slots = self._slots(REFERENCE_ROW_BITS, REFERENCE_KEY_BITS)
+
+        width_ratio = row_bits / REFERENCE_ROW_BITS
+        slot_log_ratio = log2(slots + 1) / log2(ref_slots + 1)
+        key_log_ratio = log2(key_bits + 1) / log2(REFERENCE_KEY_BITS + 1)
+
+        scale = {
+            # (cells/area multiplier, delay multiplier)
+            "expand_search_key": (width_ratio, 1.0),
+            "calculate_match_vector": (width_ratio, key_log_ratio),
+            "decode_match_vector": (slots / ref_slots, slot_log_ratio),
+            "extract_result": (width_ratio, slot_log_ratio),
+        }
+
+        stages = []
+        for name, (cells, area, delay, overlapped) in _REFERENCE_STAGES.items():
+            size_mult, delay_mult = scale[name]
+            stages.append(
+                StageEstimate(
+                    name=name,
+                    cells=max(1, round(cells * size_mult)),
+                    area_um2=area * size_mult,
+                    delay_ns=delay * delay_mult,
+                    overlapped=overlapped,
+                )
+            )
+        return SynthesisResult(stages=stages, row_bits=row_bits, key_bits=key_bits)
+
+    def dynamic_power_mw(
+        self,
+        row_bits: int = REFERENCE_ROW_BITS,
+        key_bits: int = REFERENCE_KEY_BITS,
+        vdd: float = REFERENCE_VDD,
+        switching: float = REFERENCE_SWITCHING,
+        clock_hz: float = 1e9 / REFERENCE_TCLK_NS,
+    ) -> float:
+        """Worst-case dynamic power, scaled from the 60.8 mW reference.
+
+        Switched capacitance scales with synthesized area.
+        """
+        result = self.synthesize(row_bits, key_bits)
+        reference = self.synthesize()
+        c_eff = self._c_eff_ref_farad * (
+            result.total_area_um2 / reference.total_area_um2
+        )
+        return c_eff * switching * vdd**2 * clock_hz * 1e3
+
+    def match_energy_j(self, row_bits: int, key_bits: int = REFERENCE_KEY_BITS) -> float:
+        """Energy of one match operation (used by the search power model)."""
+        power_w = (
+            self.dynamic_power_mw(row_bits, key_bits) / 1e3
+        )
+        return power_w * REFERENCE_TCLK_NS * 1e-9
+
+
+__all__ = [
+    "MatchProcessorModel",
+    "StageEstimate",
+    "SynthesisResult",
+    "REFERENCE_ROW_BITS",
+    "REFERENCE_KEY_BITS",
+    "REFERENCE_POWER_MW",
+]

@@ -1,0 +1,182 @@
+"""Power-management policies for a CA-RAM subsystem.
+
+Section 3.2 lists "setting power management policies" among the class-
+library operations, and Section 5.2 reviews the banked-CAM techniques
+CA-RAM subsumes: "In CA-RAM, even better, a memory access is made on a
+single row most of the time.  The hash function used in CA-RAM replaces
+the more expensive first-phase lookup table in the banked CAM scheme."
+
+The model splits subsystem power into:
+
+* **dynamic search power** — per-lookup row-access + match energy (from
+  :mod:`repro.cost.power`), paid only by the slices a lookup touches;
+* **background power** — per-bit retention/refresh and periphery leakage,
+  modulated by the policy:
+
+  - ``ALWAYS_ON`` — every slice fully powered;
+  - ``BANK_SELECT`` — idle slices clock-gated (periphery saved, cell
+    retention still paid);
+  - ``DROWSY`` — idle slices additionally drop to a low-voltage retention
+    state, at the cost of a wakeup penalty added to the access latency.
+
+Constants are representative embedded-DRAM figures (per-bit retention
+dominated by refresh), documented rather than derived — the paper gives no
+leakage numbers, so only *relative* policy comparisons are meaningful.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.subsystem import SliceGroup
+from repro.cost.power import ca_ram_search_energy_j
+from repro.errors import ConfigurationError
+
+#: Cell retention + refresh power, watts per bit (eDRAM-class).
+RETENTION_W_PER_BIT = 30e-12
+
+#: Periphery (decoders, sense amps, clock tree) power per slice as a
+#: fraction of its retention power when clocked.
+PERIPHERY_FACTOR = 1.5
+
+#: Drowsy retention saves this fraction of retention power...
+DROWSY_RETENTION_SAVING = 0.6
+
+#: ...at this wakeup penalty (cycles) on the first access to a drowsy slice.
+DROWSY_WAKEUP_CYCLES = 2
+
+
+class PowerPolicy(enum.Enum):
+    """Idle-slice power handling."""
+
+    ALWAYS_ON = "always-on"
+    BANK_SELECT = "bank-select"
+    DROWSY = "drowsy"
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Average subsystem power under one policy and lookup rate.
+
+    Attributes:
+        dynamic_w: search-activity power.
+        background_w: retention + periphery power.
+        wakeup_latency_cycles: added first-access latency (drowsy only).
+    """
+
+    policy: PowerPolicy
+    dynamic_w: float
+    background_w: float
+    wakeup_latency_cycles: int
+
+    @property
+    def total_w(self) -> float:
+        return self.dynamic_w + self.background_w
+
+
+class SubsystemPowerModel:
+    """Average-power model over one or more slice groups.
+
+    Args:
+        groups: the subsystem's slice groups.
+        active_fraction: fraction of slices busy at any instant (drives how
+            much periphery can be gated); estimated from the lookup rate if
+            omitted.
+    """
+
+    def __init__(self, groups: Sequence[SliceGroup]) -> None:
+        if not groups:
+            raise ConfigurationError("at least one group is required")
+        self._groups = list(groups)
+
+    def _total_bits(self) -> int:
+        return sum(
+            g.config.capacity_bits * g.slice_count for g in self._groups
+        )
+
+    def _slice_count(self) -> int:
+        return sum(g.slice_count for g in self._groups)
+
+    def dynamic_power_w(self, lookups_per_second: float, amal: float = 1.0) -> float:
+        """Search power at a sustained rate, spread over the groups by
+        capacity share."""
+        if lookups_per_second < 0:
+            raise ConfigurationError("lookups_per_second must be >= 0")
+        if amal < 1.0:
+            raise ConfigurationError(f"amal must be >= 1: {amal}")
+        total_capacity = sum(g.capacity_records for g in self._groups)
+        power = 0.0
+        for group in self._groups:
+            share = group.capacity_records / total_capacity
+            energy = ca_ram_search_energy_j(
+                group.config.row_bits, group.rows_fetched_per_access
+            )
+            power += share * lookups_per_second * amal * energy
+        return power
+
+    def _active_slice_fraction(self, lookups_per_second: float) -> float:
+        """Fraction of slices busy, per the bandwidth model."""
+        busy = 0.0
+        for group in self._groups:
+            per_slice_rate = group.config.timing.accesses_per_second()
+            demand = lookups_per_second / max(1, self._slice_count())
+            busy += min(1.0, demand / per_slice_rate) * group.slice_count
+        return min(1.0, busy / self._slice_count())
+
+    def background_power_w(
+        self, policy: PowerPolicy, lookups_per_second: float
+    ) -> float:
+        """Retention + periphery power under a policy."""
+        bits = self._total_bits()
+        retention = bits * RETENTION_W_PER_BIT
+        periphery = retention * PERIPHERY_FACTOR
+        active = self._active_slice_fraction(lookups_per_second)
+        if policy is PowerPolicy.ALWAYS_ON:
+            return retention + periphery
+        if policy is PowerPolicy.BANK_SELECT:
+            return retention + periphery * active
+        # DROWSY: idle slices also save retention power.
+        idle = 1.0 - active
+        return (
+            retention * (1.0 - DROWSY_RETENTION_SAVING * idle)
+            + periphery * active
+        )
+
+    def breakdown(
+        self,
+        policy: PowerPolicy,
+        lookups_per_second: float,
+        amal: float = 1.0,
+    ) -> PowerBreakdown:
+        """Full power breakdown under a policy."""
+        wakeup = (
+            DROWSY_WAKEUP_CYCLES if policy is PowerPolicy.DROWSY else 0
+        )
+        return PowerBreakdown(
+            policy=policy,
+            dynamic_w=self.dynamic_power_w(lookups_per_second, amal),
+            background_w=self.background_power_w(policy, lookups_per_second),
+            wakeup_latency_cycles=wakeup,
+        )
+
+    def compare(
+        self, lookups_per_second: float, amal: float = 1.0
+    ) -> Sequence[PowerBreakdown]:
+        """Breakdowns for every policy at one operating point."""
+        return [
+            self.breakdown(policy, lookups_per_second, amal)
+            for policy in PowerPolicy
+        ]
+
+
+__all__ = [
+    "PowerPolicy",
+    "PowerBreakdown",
+    "SubsystemPowerModel",
+    "RETENTION_W_PER_BIT",
+    "PERIPHERY_FACTOR",
+    "DROWSY_RETENTION_SAVING",
+    "DROWSY_WAKEUP_CYCLES",
+]

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the CA-RAM reproduction library.
+
+All library-specific errors derive from :class:`CaRamError` so callers can
+catch a single base class.  Subclasses mirror the failure modes the paper
+discusses: configuration mistakes, capacity exhaustion (a database that does
+not fit even with probing), and protocol misuse of the slice/subsystem
+interfaces.
+"""
+
+from __future__ import annotations
+
+
+class CaRamError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(CaRamError):
+    """A structurally invalid configuration (bad widths, counts, or modes)."""
+
+
+class CapacityError(CaRamError):
+    """The database cannot be stored: every candidate bucket is full."""
+
+
+class KeyFormatError(CaRamError):
+    """A key does not match the configured key width or ternary encoding."""
+
+
+class LookupError_(CaRamError):
+    """A CAM-mode operation failed (e.g. deleting a key that is absent)."""
+
+
+class RamModeError(CaRamError):
+    """An invalid RAM-mode (address-based) access, e.g. out-of-range row."""

@@ -1,0 +1,13 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Each module exposes ``run(...)`` returning structured rows plus paper
+reference values, and can be executed directly::
+
+    python -m repro.experiments.table2
+
+The benchmarks under ``benchmarks/`` drive the same ``run`` functions.
+"""
+
+from repro.experiments.reporting import format_table, print_table
+
+__all__ = ["format_table", "print_table"]

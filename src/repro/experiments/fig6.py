@@ -1,0 +1,84 @@
+"""Figure 6 — cell size (a) and search power (b) of CAM/TCAM vs CA-RAM."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cost.area import cell_size_comparison
+from repro.cost.power import power_comparison
+from repro.experiments import paper_values
+from repro.experiments.reporting import print_table
+
+
+def run_area() -> List[Dict[str, object]]:
+    """Figure 6(a) rows: per-ternary-symbol cell area."""
+    estimates = cell_size_comparison()
+    ca_ram = estimates[-1].area_um2
+    rows = []
+    for estimate in estimates:
+        row: Dict[str, object] = {
+            "scheme": estimate.scheme,
+            "cell_um2": round(estimate.area_um2, 3),
+            "vs_ca_ram": round(estimate.area_um2 / ca_ram, 2),
+        }
+        if estimate.scheme in paper_values.FIG6_CELL_AREAS:
+            row["paper_cell_um2"] = paper_values.FIG6_CELL_AREAS[estimate.scheme]
+        rows.append(row)
+    return rows
+
+
+def run_power(search_rate_hz: float = 143e6) -> List[Dict[str, object]]:
+    """Figure 6(b) rows: search power at equal capacity and rate."""
+    estimates = power_comparison(search_rate_hz)
+    ca_ram = estimates[-1].power_w
+    paper_ratios = {
+        "16T SRAM TCAM": paper_values.FIG6_POWER_VS_16T,
+        "6T dynamic TCAM": paper_values.FIG6_POWER_VS_6T,
+    }
+    rows = []
+    for estimate in estimates:
+        row: Dict[str, object] = {
+            "scheme": estimate.scheme,
+            "power_w": round(estimate.power_w, 4),
+            "vs_ca_ram": round(estimate.power_w / ca_ram, 2),
+        }
+        if estimate.scheme in paper_ratios:
+            row["paper_vs_ca_ram"] = paper_ratios[estimate.scheme]
+        rows.append(row)
+    return rows
+
+
+def headline_ratios() -> Dict[str, float]:
+    """The paper's quoted multiples, as measured."""
+    area = run_area()
+    power = run_power()
+    by_scheme_a = {row["scheme"]: row["vs_ca_ram"] for row in area}
+    by_scheme_p = {row["scheme"]: row["vs_ca_ram"] for row in power}
+    return {
+        "area_vs_16t": float(by_scheme_a["16T SRAM TCAM"]),
+        "area_vs_6t": float(by_scheme_a["6T dynamic TCAM"]),
+        "power_vs_16t": float(by_scheme_p["16T SRAM TCAM"]),
+        "power_vs_6t": float(by_scheme_p["6T dynamic TCAM"]),
+    }
+
+
+def main() -> None:
+    print_table("Figure 6(a): cell size", run_area())
+    print_table("Figure 6(b): search power (1M symbols, 143 MHz)", run_power())
+    ratios = headline_ratios()
+    print(
+        f"\nCA-RAM cell is {ratios['area_vs_16t']}x smaller than 16T TCAM "
+        f"(paper: >{paper_values.FIG6_CA_RAM_VS_16T}x), "
+        f"{ratios['area_vs_6t']}x smaller than 6T TCAM "
+        f"(paper: {paper_values.FIG6_CA_RAM_VS_6T}x)"
+    )
+    print(
+        f"CA-RAM is {ratios['power_vs_16t']}x more power-efficient than 16T "
+        f"TCAM (paper: >{paper_values.FIG6_POWER_VS_16T}x), "
+        f"{ratios['power_vs_6t']}x vs 6T TCAM "
+        f"(paper: >{paper_values.FIG6_POWER_VS_6T}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

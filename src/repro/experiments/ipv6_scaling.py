@@ -1,0 +1,86 @@
+"""IPv6 scaling — the §4.1 capacity concern, quantified.
+
+"The size of a routing table will even quadruple as we adopt IPv6.
+Despite the current large TCAM development efforts, the sheer amount of
+required associative storage capacity remains a serious challenge."
+
+Runs the Figure 8-style CA-RAM-vs-TCAM comparison at IPv4 scale and at
+IPv6 scale (4x entries, 128-bit keys), showing the area saving holding and
+the power saving widening — TCAM search power is O(w·n) in capacity while
+CA-RAM's is one bucket regardless.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.apps.iplookup.ipv6 import (
+    FULL_V6_PREFIX_COUNT,
+    IPV6_DESIGN_D6,
+    Ipv6Config,
+    Ipv6Design,
+    Ipv6Table,
+    compare_ipv6,
+    generate_ipv6_table,
+)
+from repro.core.config import Arrangement
+from repro.experiments import fig8
+from repro.experiments.reporting import print_table
+from repro.utils.rng import SeedLike
+
+#: Default scale: a quarter of the projected IPv6 table (fast, same
+#: per-design load factor with the scaled design below).
+DEFAULT_SCALE_DIVISOR = 4
+SCALED_DESIGN = Ipv6Design("D6/4", 12, 64, 2, Arrangement.HORIZONTAL)
+
+
+def run(
+    table: Optional[Ipv6Table] = None,
+    scale_divisor: int = DEFAULT_SCALE_DIVISOR,
+    seed: SeedLike = 7,
+) -> List[Dict[str, object]]:
+    """IPv4 vs IPv6 comparison rows."""
+    v4 = fig8.run_ip(seed=seed)
+    if table is None:
+        table = generate_ipv6_table(
+            Ipv6Config(
+                total_prefixes=FULL_V6_PREFIX_COUNT // scale_divisor,
+                seed=seed,
+            )
+        )
+    design = SCALED_DESIGN if scale_divisor > 1 else IPV6_DESIGN_D6
+    v6 = compare_ipv6(table, design=design, seed=seed)
+    return [
+        {
+            "table": "IPv4 (186,760 prefixes, 32-bit keys)",
+            "amal": round(v4["amal"], 3),
+            "area_saving_pct": round(100 * v4["area_reduction"], 1),
+            "power_saving_pct": round(100 * v4["power_reduction"], 1),
+        },
+        {
+            "table": f"IPv6 ({len(table):,} prefixes, 128-bit keys)",
+            "amal": round(v6.report.amal_uniform, 3),
+            "area_saving_pct": round(100 * v6.area_saving, 1),
+            "power_saving_pct": round(100 * v6.power_saving, 1),
+            "tcam_offloaded": v6.tcam_offloaded,
+        },
+    ]
+
+
+def main() -> None:
+    rows = run()
+    print_table(
+        "IPv6 scaling: CA-RAM vs 6T TCAM at equal search rate", rows
+    )
+    print(
+        "\nThe TCAM burns O(entries x key-symbols) per search, so moving "
+        "from 32-symbol\nIPv4 keys to 128-symbol IPv6 keys at 4x the "
+        "entries widens CA-RAM's power\nadvantage — the paper's scaling "
+        "argument made concrete.  Short (<32-bit)\nIPv6 prefixes are held "
+        "in the small parallel TCAM instead of duplicating\nacross "
+        "thousands of buckets."
+    )
+
+
+if __name__ == "__main__":
+    main()

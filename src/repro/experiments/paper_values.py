@@ -1,0 +1,84 @@
+"""Every number the paper reports for its tables and figures, verbatim.
+
+These are the references the experiment harnesses print alongside the
+measured values and that EXPERIMENTS.md is generated from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Table 1 — match processor synthesis (0.16 um cells, C = 1600).
+#: stage -> (cells, area um^2, delay ns, overlapped-with-memory-access).
+TABLE1: Dict[str, Tuple[int, float, float, bool]] = {
+    "expand_search_key": (3804, 66228.0, 0.89, True),
+    "calculate_match_vector": (5252, 10591.0, 0.95, False),
+    "decode_match_vector": (899, 1970.0, 1.91, False),
+    "extract_result": (6037, 21775.0, 1.99, False),
+}
+TABLE1_TOTAL = (15992, 100564.0, 4.85)
+TABLE1_POWER_MW = 60.8
+
+#: Table 2 — IP lookup designs.
+#: design -> (load factor, overflowing buckets %, spilled records %,
+#: AMALu, AMALs).
+TABLE2: Dict[str, Tuple[float, float, float, float, float]] = {
+    "A": (0.47, 12.21, 15.82, 1.476, 1.425),
+    "B": (0.40, 5.42, 5.50, 1.147, 1.125),
+    "C": (0.36, 2.64, 1.35, 1.093, 1.082),
+    "D": (0.36, 6.67, 8.03, 1.159, 1.126),
+    "E": (0.24, 1.03, 0.72, 1.072, 1.068),
+    "F": (0.36, 15.56, 29.63, 1.990, 1.875),
+}
+TABLE2_PREFIX_COUNT = 186_760
+TABLE2_DUPLICATION_PCT = 6.4
+TABLE2_DUPLICATE_ENTRIES = 12_035
+
+#: Table 3 — trigram lookup designs.
+#: design -> (load factor, overflowing buckets %, spilled records %, AMAL).
+TABLE3: Dict[str, Tuple[float, float, float, float]] = {
+    "A": (0.86, 5.99, 0.34, 1.003),
+    "B": (0.68, 0.02, 0.00, 1.000),
+    "C": (0.86, 0.15, 0.00, 1.000),
+    "D": (0.68, 0.00, 0.00, 1.000),
+}
+TABLE3_ENTRY_COUNT = 5_385_231
+TABLE3_TOTAL_DB_BYTES = 86 * 1024 * 1024
+
+#: Figure 6(a) — cell sizes, um^2 per ternary symbol.
+FIG6_CELL_AREAS: Dict[str, float] = {
+    "16T SRAM TCAM": 9.0,
+    "8T dynamic TCAM": 4.79,
+    "6T dynamic TCAM": 3.59,
+}
+FIG6_CA_RAM_VS_16T = 12.0   # "over 12x smaller"
+FIG6_CA_RAM_VS_6T = 4.8     # "4.8x smaller"
+
+#: Figure 6(b) — power ratios relative to CA-RAM.
+FIG6_POWER_VS_16T = 26.0    # "over 26 times more power-efficient"
+FIG6_POWER_VS_6T = 7.0      # "over 7 times improved"
+
+#: Figure 7 — design A bucket occupancy: "centered around 81", bucket size
+#: 96 puts "a majority of buckets in the non-overflowing region".
+FIG7_CENTER = 81
+
+#: Figure 8 — application-level comparisons.
+FIG8_IP_AREA_REDUCTION = 0.45     # "a 45% area reduction compared with TCAM"
+FIG8_IP_POWER_REDUCTION = 0.70    # "70% over TCAM"
+FIG8_TRIGRAM_AREA_RATIO = 5.9     # "a 5.9x area reduction" vs CAM
+FIG8_TCAM_CLOCK_HZ = 143e6
+FIG8_CA_RAM_CLOCK_HZ = 200e6
+FIG8_CA_RAM_MIN_ACCESS_CYCLES = 6
+
+#: Section 4.3 — victim-TCAM overflow-entry counts.
+S43_OVERFLOW_ENTRIES: Dict[str, int] = {
+    "C": 1_829,
+    "E": 1_163,
+    "A": 6_000,    # "over 6,000"
+    "F": 21_000,   # "over 21,000"
+}
+
+#: Conclusions — "area and power savings of 50-80%".
+CONCLUSION_SAVINGS_RANGE = (0.50, 0.80)
+
+__all__ = [name for name in dir() if name.isupper()]

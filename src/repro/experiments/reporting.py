@@ -1,0 +1,51 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Render dict rows as an aligned text table (insertion-ordered keys).
+
+    >>> print(format_table([{"a": 1, "b": "x"}]))
+    a  b
+    -  -
+    1  x
+    """
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [
+        [_cell(row.get(column, "")) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(w) for cell, w in zip(line, widths))
+        for line in rendered
+    ]
+    return "\n".join([header, rule, *body]).rstrip() + ""
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value else "0"
+    return str(value)
+
+
+def print_table(title: str, rows: Sequence[Dict[str, object]]) -> None:
+    """Print a titled table to stdout."""
+    print(f"\n== {title} ==")
+    print(format_table(rows))
+
+
+__all__ = ["format_table", "print_table"]

@@ -1,0 +1,106 @@
+"""Section 3.4 — search bandwidth and latency models.
+
+Validates the closed forms ``B_CA-RAM = N_slice / n_mem * f_clk`` and
+``B_CAM = f_CAM_clk`` against the cycle-accounting throughput simulator,
+and reproduces the latency argument: once the post-lookup data access is
+charged to the CAM, CA-RAM's lookup latency is comparable or better.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.config import Arrangement, SliceConfig
+from repro.core.controller import ThroughputSimulator
+from repro.core.record import RecordFormat
+from repro.core.subsystem import SliceGroup
+from repro.cost.bandwidth import (
+    ca_ram_search_bandwidth,
+    cam_search_bandwidth,
+    search_latency_comparison,
+)
+from repro.cost.matchproc import MatchProcessorModel
+from repro.experiments.reporting import print_table
+from repro.hashing.base import ModuloHash
+from repro.memory.timing import DRAM_TIMING, SRAM_TIMING
+from repro.utils.rng import make_rng
+
+
+def run_bandwidth(
+    slice_counts: tuple = (1, 2, 4, 8, 16),
+    lookups: int = 20_000,
+    seed: int = 3,
+) -> List[Dict[str, object]]:
+    """Sweep slice count: simulated vs closed-form bandwidth (DRAM array)."""
+    rng = make_rng(seed)
+    rows = []
+    record_format = RecordFormat(key_bits=32, data_bits=16)
+    for count in slice_counts:
+        config = SliceConfig(
+            index_bits=8, row_bits=2048, record_format=record_format,
+            timing=DRAM_TIMING,
+        )
+        group = SliceGroup(
+            config=config,
+            slice_count=count,
+            arrangement=Arrangement.VERTICAL,
+            hash_function=ModuloHash(config.rows * count),
+            name=f"bw-{count}",
+        )
+        buckets = rng.integers(0, group.bucket_count, size=lookups)
+        report = ThroughputSimulator(group).simulate(
+            [(int(b), 1) for b in buckets]
+        )
+        closed_form = ca_ram_search_bandwidth(count, DRAM_TIMING)
+        rows.append(
+            {
+                "slices": count,
+                "simulated_Mlookups_s": round(report.lookups_per_second / 1e6, 1),
+                "closed_form_Mlookups_s": round(
+                    min(closed_form, DRAM_TIMING.clock_hz) / 1e6, 1
+                ),
+                "utilization_pct": round(100 * report.utilization, 1),
+            }
+        )
+    return rows
+
+
+def run_latency() -> List[Dict[str, object]]:
+    """Latency comparison: CA-RAM vs single- and multi-cycle CAMs."""
+    match_time = MatchProcessorModel().synthesize().critical_path_ns * 1e-9
+    rows = []
+    for label, timing in (("SRAM", SRAM_TIMING), ("DRAM", DRAM_TIMING)):
+        for cam_cycles in (1, 2, 4):
+            comparison = search_latency_comparison(
+                ca_ram_timing=timing,
+                match_time_s=match_time,
+                cam_clock_hz=143e6,
+                cam_cycles_per_search=cam_cycles,
+                amal=1.0,
+            )
+            rows.append(
+                {
+                    "ca_ram_array": label,
+                    "cam_cycles_per_search": cam_cycles,
+                    "ca_ram_lookup_ns": round(comparison.ca_ram_lookup_s * 1e9, 1),
+                    "cam_search_ns": round(comparison.cam_lookup_s * 1e9, 1),
+                    "cam_plus_data_ns": round(
+                        comparison.cam_with_data_s * 1e9, 1
+                    ),
+                    "ca_ram_wins_with_data": comparison.ca_ram_wins_with_data,
+                }
+            )
+    return rows
+
+
+def main() -> None:
+    print_table(
+        "Section 3.4: bandwidth, simulated vs N_slice/n_mem x f_clk "
+        "(200 MHz DRAM, n_mem=6)",
+        run_bandwidth(),
+    )
+    print_table("Section 3.4: lookup latency incl. data access", run_latency())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Table 1 — match processor synthesis: cells, area, delay per stage."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cost.matchproc import (
+    MatchProcessorModel,
+    REFERENCE_KEY_BITS,
+    REFERENCE_ROW_BITS,
+)
+from repro.experiments import paper_values
+from repro.experiments.reporting import print_table
+
+_STAGE_LABELS = {
+    "expand_search_key": "Expand search key",
+    "calculate_match_vector": "Calculate match vector",
+    "decode_match_vector": "Decode match vector",
+    "extract_result": "Extract result",
+}
+
+
+def run(
+    row_bits: int = REFERENCE_ROW_BITS,
+    key_bits: int = REFERENCE_KEY_BITS,
+) -> List[Dict[str, object]]:
+    """Synthesize the match processor and tabulate against Table 1."""
+    model = MatchProcessorModel()
+    result = model.synthesize(row_bits=row_bits, key_bits=key_bits)
+    at_reference = (
+        row_bits == REFERENCE_ROW_BITS and key_bits == REFERENCE_KEY_BITS
+    )
+    rows: List[Dict[str, object]] = []
+    for stage in result.stages:
+        row: Dict[str, object] = {
+            "step": _STAGE_LABELS[stage.name],
+            "cells": stage.cells,
+            "area_um2": round(stage.area_um2, 0),
+            "delay_ns": stage.display_delay,
+        }
+        if at_reference:
+            cells, area, delay, _ = paper_values.TABLE1[stage.name]
+            row["paper_cells"] = cells
+            row["paper_area_um2"] = area
+            row["paper_delay_ns"] = delay
+        rows.append(row)
+    # The paper's Total delay row is the critical path: the expand stage is
+    # overlapped with memory access and excluded (0.95+1.91+1.99 = 4.85).
+    total: Dict[str, object] = {
+        "step": "Total",
+        "cells": result.total_cells,
+        "area_um2": round(result.total_area_um2, 0),
+        "delay_ns": f"{result.critical_path_ns:.2f}",
+    }
+    if at_reference:
+        total["paper_cells"] = paper_values.TABLE1_TOTAL[0]
+        total["paper_area_um2"] = paper_values.TABLE1_TOTAL[1]
+        total["paper_delay_ns"] = paper_values.TABLE1_TOTAL[2]
+    rows.append(total)
+    return rows
+
+
+def run_power() -> Dict[str, float]:
+    """The synthesis power figure (60.8 mW at the reference conditions)."""
+    model = MatchProcessorModel()
+    return {
+        "power_mw": round(model.dynamic_power_mw(), 2),
+        "paper_power_mw": paper_values.TABLE1_POWER_MW,
+    }
+
+
+def main() -> None:
+    print_table("Table 1: match processor synthesis (C=1600)", run())
+    power = run_power()
+    print(
+        f"\nWorst-case dynamic power: {power['power_mw']} mW "
+        f"(paper: {power['paper_power_mw']} mW)"
+    )
+    print_table(
+        "Scaling: Table 2 geometry (C=4096, 64-bit keys)",
+        run(row_bits=4096, key_bits=64),
+    )
+
+
+if __name__ == "__main__":
+    main()

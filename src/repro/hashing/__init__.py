@@ -1,0 +1,37 @@
+"""Hashing substrate: hash functions, software hash tables, and the
+vectorized bucket-occupancy / AMAL analytics used by the application studies.
+"""
+
+from repro.hashing.base import HashFunction, ModuloHash
+from repro.hashing.bit_select import BitSelectHash, greedy_bit_selection
+from repro.hashing.djb import DJBHash, djb2_bytes
+from repro.hashing.universal import FNV1aHash, MultiplicativeHash, TabulationHash
+from repro.hashing.table import ChainedHashTable, OpenAddressingTable
+from repro.hashing.analysis import (
+    OccupancyReport,
+    ProbeResult,
+    amal,
+    bucket_occupancy,
+    occupancy_report,
+    simulate_linear_probing,
+)
+
+__all__ = [
+    "HashFunction",
+    "ModuloHash",
+    "BitSelectHash",
+    "greedy_bit_selection",
+    "DJBHash",
+    "djb2_bytes",
+    "FNV1aHash",
+    "MultiplicativeHash",
+    "TabulationHash",
+    "ChainedHashTable",
+    "OpenAddressingTable",
+    "OccupancyReport",
+    "ProbeResult",
+    "amal",
+    "bucket_occupancy",
+    "occupancy_report",
+    "simulate_linear_probing",
+]

@@ -1,0 +1,348 @@
+"""Vectorized bucket-occupancy analytics and the linear-probing spill model.
+
+This module computes everything Tables 2 and 3 of the paper report for a
+hash configuration: load factor, the percentage of overflowing buckets, the
+percentage of spilled records, and AMAL (average number of memory accesses
+per lookup), under both uniform and weighted (skewed) access patterns.
+
+The spill model reproduces the paper's policy: "We use a simple linear
+probing technique as described in Section 2.1 to deal with bucket
+overflows."  Records are inserted in a given arrival order; a record whose
+home bucket is full walks forward (with wraparound) to the next bucket with
+a free slot.  The implementation uses the classic bucket-sweep equivalence:
+processing buckets left to right, each bucket's final occupants are the
+``slots_per_bucket`` earliest-arriving records among its own home records
+plus the carry-over from earlier buckets.  Wraparound is handled exactly by
+the cycle lemma: starting the sweep just past the bucket with the minimum
+cumulative surplus (home load minus capacity), no spill crosses the sweep's
+start boundary in the true circular process, so one rotated pass suffices.
+The property-based test suite checks this model record-for-record against
+a brute-force sequential-insertion reference.
+
+AMALs (skewed-access AMAL) follows Section 4.1: records are *inserted* in
+priority order (most frequently accessed first), so hot records land in
+their home bucket, and the AMAL average is weighted by access frequency.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CapacityError, ConfigurationError
+
+
+def bucket_occupancy(indices: Sequence[int], bucket_count: int) -> np.ndarray:
+    """Count records per bucket.
+
+    Args:
+        indices: home bucket index per record.
+        bucket_count: number of buckets ``M``.
+
+    Returns:
+        int64 array of length ``bucket_count``.
+    """
+    arr = np.asarray(indices, dtype=np.int64)
+    if arr.size and (arr.min() < 0 or arr.max() >= bucket_count):
+        raise ConfigurationError("bucket index out of range")
+    return np.bincount(arr, minlength=bucket_count)
+
+
+@dataclass
+class ProbeResult:
+    """Placement outcome of the linear-probing spill model.
+
+    Attributes:
+        displacements: per-record probe distance from its home bucket
+            (0 = stored in the home bucket), in input record order.
+        placed_bucket: per-record final bucket.
+        occupancy: final records per bucket (after spilling).
+        home_occupancy: records hashed to each bucket (before spilling).
+        reach: per-bucket maximum displacement of records homed there — the
+            value the paper's auxiliary field would store to bound extended
+            searches.
+        slots_per_bucket: bucket capacity ``S`` used for the simulation.
+    """
+
+    displacements: np.ndarray
+    placed_bucket: np.ndarray
+    occupancy: np.ndarray
+    home_occupancy: np.ndarray
+    reach: np.ndarray
+    slots_per_bucket: int
+
+    @property
+    def record_count(self) -> int:
+        return int(self.displacements.size)
+
+    @property
+    def bucket_count(self) -> int:
+        return int(self.occupancy.size)
+
+    @property
+    def spilled_count(self) -> int:
+        """Records stored outside their home bucket."""
+        return int((self.displacements > 0).sum())
+
+    @property
+    def spilled_fraction(self) -> float:
+        return self.spilled_count / self.record_count if self.record_count else 0.0
+
+    @property
+    def overflowing_bucket_count(self) -> int:
+        """Buckets whose home population exceeds the bucket capacity."""
+        return int((self.home_occupancy > self.slots_per_bucket).sum())
+
+    @property
+    def overflowing_bucket_fraction(self) -> float:
+        return self.overflowing_bucket_count / self.bucket_count
+
+    @property
+    def load_factor(self) -> float:
+        """The paper's ``alpha = N / (M * S)``."""
+        return self.record_count / (self.bucket_count * self.slots_per_bucket)
+
+
+def simulate_linear_probing(
+    home: Sequence[int],
+    bucket_count: int,
+    slots_per_bucket: int,
+    arrival_order: Optional[Sequence[int]] = None,
+) -> ProbeResult:
+    """Place records into buckets with FCFS linear probing.
+
+    Args:
+        home: home bucket per record (``h(key)``).
+        bucket_count: number of buckets ``M``.
+        slots_per_bucket: bucket capacity ``S``.
+        arrival_order: insertion priority per record; lower values are
+            inserted earlier.  Defaults to input order.  AMALs passes the
+            access-frequency rank here so hot records are placed first.
+
+    Returns:
+        A :class:`ProbeResult` with per-record displacements.
+
+    Raises:
+        CapacityError: if the records exceed total capacity ``M * S``.
+    """
+    home_arr = np.asarray(home, dtype=np.int64)
+    record_count = int(home_arr.size)
+    if record_count and (home_arr.min() < 0 or home_arr.max() >= bucket_count):
+        raise ConfigurationError("home bucket index out of range")
+    if slots_per_bucket <= 0:
+        raise ConfigurationError(
+            f"slots_per_bucket must be positive: {slots_per_bucket}"
+        )
+    if record_count > bucket_count * slots_per_bucket:
+        raise CapacityError(
+            f"{record_count} records exceed capacity "
+            f"{bucket_count} x {slots_per_bucket}"
+        )
+
+    if arrival_order is None:
+        arrival = np.arange(record_count, dtype=np.int64)
+    else:
+        arrival = np.asarray(arrival_order, dtype=np.int64)
+        if arrival.shape != home_arr.shape:
+            raise ConfigurationError("arrival_order must match home length")
+
+    # Sort record ids by (home bucket, arrival) so each bucket's home group
+    # is contiguous and already arrival-ordered.
+    order = np.lexsort((arrival, home_arr))
+    sorted_home = home_arr[order]
+    group_starts = np.searchsorted(sorted_home, np.arange(bucket_count), side="left")
+    group_ends = np.searchsorted(sorted_home, np.arange(bucket_count), side="right")
+
+    displacements = np.full(record_count, -1, dtype=np.int64)
+    placed_bucket = np.full(record_count, -1, dtype=np.int64)
+    occupancy = np.zeros(bucket_count, dtype=np.int64)
+
+    home_occ = bucket_occupancy(home_arr, bucket_count)
+    # Cycle lemma: no spill crosses the boundary just past the bucket with
+    # the minimum cumulative surplus, so a single sweep starting there is
+    # exact even with wraparound.
+    surplus = np.cumsum(home_occ - slots_per_bucket)
+    start_bucket = (int(surplus.argmin()) + 1) % bucket_count
+
+    # Min-heap of pending spilled records: (arrival, record_id).
+    pending: list = []
+
+    def place(record_id: int, bucket: int) -> None:
+        home_bucket = int(home_arr[record_id])
+        displacements[record_id] = (bucket - home_bucket) % bucket_count
+        placed_bucket[record_id] = bucket
+
+    for offset in range(bucket_count):
+        bucket = (start_bucket + offset) % bucket_count
+        lo, hi = int(group_starts[bucket]), int(group_ends[bucket])
+        group = order[lo:hi]
+        free = slots_per_bucket
+        if not pending:
+            take = min(free, group.size)
+            for record_id in group[:take]:
+                place(int(record_id), bucket)
+            occupancy[bucket] = take
+            for record_id in group[take:]:
+                heapq.heappush(
+                    pending, (int(arrival[record_id]), int(record_id))
+                )
+            continue
+        # Merge home arrivals with pending spills by arrival time.
+        for record_id in group:
+            heapq.heappush(pending, (int(arrival[record_id]), int(record_id)))
+        placed_here = 0
+        while placed_here < free and pending:
+            _, record_id = heapq.heappop(pending)
+            place(record_id, bucket)
+            placed_here += 1
+        occupancy[bucket] = placed_here
+
+    if pending:  # pragma: no cover - guarded by the capacity check above
+        raise CapacityError("records left unplaced after a full sweep")
+    reach = np.zeros(bucket_count, dtype=np.int64)
+    if record_count:
+        np.maximum.at(reach, home_arr, displacements)
+
+    return ProbeResult(
+        displacements=displacements,
+        placed_bucket=placed_bucket,
+        occupancy=occupancy,
+        home_occupancy=home_occ,
+        reach=reach,
+        slots_per_bucket=slots_per_bucket,
+    )
+
+
+def amal(
+    displacements: Sequence[int],
+    weights: Optional[Sequence[float]] = None,
+) -> float:
+    """Average memory accesses per (successful) lookup.
+
+    A record at displacement ``d`` costs ``1 + d`` bucket accesses under
+    linear probing.  ``weights`` turns the plain mean (the paper's AMALu)
+    into a frequency-weighted mean (AMALs).
+    """
+    disp = np.asarray(displacements, dtype=np.float64)
+    if disp.size == 0:
+        return 0.0
+    accesses = 1.0 + disp
+    if weights is None:
+        return float(accesses.mean())
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != disp.shape:
+        raise ConfigurationError("weights must match displacements length")
+    total = w.sum()
+    if total <= 0:
+        raise ConfigurationError("weights must sum to a positive value")
+    return float((accesses * w).sum() / total)
+
+
+def unsuccessful_amal(result: ProbeResult) -> float:
+    """Average accesses for a miss: 1 + the home bucket's reach.
+
+    A lookup that finds no match must scan the home bucket plus however far
+    the auxiliary field says overflows were spilled.
+    """
+    return float(1.0 + result.reach.mean())
+
+
+@dataclass
+class OccupancyReport:
+    """Everything Tables 2/3 report for one hash configuration.
+
+    Attributes mirror the table columns; ``histogram`` is the Figure 7 data
+    (number of buckets holding each record count, before spilling).
+    """
+
+    bucket_count: int
+    slots_per_bucket: int
+    record_count: int
+    load_factor: float
+    overflowing_bucket_fraction: float
+    spilled_fraction: float
+    amal_uniform: float
+    amal_weighted: Optional[float]
+    unsuccessful_amal: float
+    histogram: np.ndarray
+    probe: ProbeResult
+
+    def histogram_pairs(self) -> list:
+        """(records_in_bucket, bucket_count) pairs with non-zero counts."""
+        return [
+            (occupancy, int(count))
+            for occupancy, count in enumerate(self.histogram)
+            if count
+        ]
+
+
+def occupancy_report(
+    home: Sequence[int],
+    bucket_count: int,
+    slots_per_bucket: int,
+    weights: Optional[Sequence[float]] = None,
+    weighted_arrival: Optional[Sequence[int]] = None,
+) -> OccupancyReport:
+    """Run the full Table-2/3 analysis for one configuration.
+
+    When ``weights`` is given, records are inserted hottest-first (the
+    paper's frequency-sorted placement) and ``amal_weighted`` is computed;
+    ``amal_uniform`` always uses input-order insertion and a plain mean.
+    ``weighted_arrival`` overrides the weighted run's insertion order — the
+    IP study sorts by (prefix length, frequency), not frequency alone.
+    """
+    home_arr = np.asarray(home, dtype=np.int64)
+    uniform = simulate_linear_probing(home_arr, bucket_count, slots_per_bucket)
+    amal_u = amal(uniform.displacements)
+
+    amal_w: Optional[float] = None
+    report_probe = uniform
+    if weights is not None:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != home_arr.shape:
+            raise ConfigurationError("weights must match record count")
+        if weighted_arrival is not None:
+            arrival = np.asarray(weighted_arrival, dtype=np.int64)
+            if arrival.shape != home_arr.shape:
+                raise ConfigurationError(
+                    "weighted_arrival must match record count"
+                )
+        else:
+            # Hot records first: arrival rank is the descending-weight order.
+            arrival = np.empty(home_arr.size, dtype=np.int64)
+            arrival[np.argsort(-w, kind="stable")] = np.arange(home_arr.size)
+        skewed = simulate_linear_probing(
+            home_arr, bucket_count, slots_per_bucket, arrival_order=arrival
+        )
+        amal_w = amal(skewed.displacements, weights=w)
+
+    home_occ = uniform.home_occupancy
+    histogram = np.bincount(home_occ)
+
+    return OccupancyReport(
+        bucket_count=bucket_count,
+        slots_per_bucket=slots_per_bucket,
+        record_count=int(home_arr.size),
+        load_factor=uniform.load_factor,
+        overflowing_bucket_fraction=uniform.overflowing_bucket_fraction,
+        spilled_fraction=uniform.spilled_fraction,
+        amal_uniform=amal_u,
+        amal_weighted=amal_w,
+        unsuccessful_amal=unsuccessful_amal(uniform),
+        histogram=histogram,
+        probe=report_probe,
+    )
+
+
+__all__ = [
+    "bucket_occupancy",
+    "ProbeResult",
+    "simulate_linear_probing",
+    "amal",
+    "unsuccessful_amal",
+    "OccupancyReport",
+    "occupancy_report",
+]

@@ -1,0 +1,136 @@
+"""The DJB string hash used by the trigram application.
+
+Section 4.2: "we use the DJB hash function, which is an efficient string
+hash function.  The function looks like:
+``hash(i) = [hash(i-1) << 5] + hash(i-1) + str[i]``.  This method has been
+also used in the software hashing technique in Sphinx."
+
+This module provides the scalar reference (:func:`djb2_bytes`), the
+:class:`DJBHash` bucket-mapping wrapper, and a vectorized kernel that hashes
+millions of variable-length strings via a padded byte matrix — the full-scale
+trigram database has 5.39M entries, far too many for a per-string Python
+loop in the analytics path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing.base import HashFunction
+
+DJB_SEED = 5381
+_MASK32 = np.uint64(0xFFFF_FFFF)
+
+BytesLike = Union[bytes, bytearray, str]
+
+
+def _as_bytes(key: BytesLike) -> bytes:
+    if isinstance(key, str):
+        return key.encode("ascii")
+    return bytes(key)
+
+
+def djb2_bytes(key: BytesLike, seed: int = DJB_SEED) -> int:
+    """Scalar DJB (a.k.a. djb2) hash of a byte string, truncated to 32 bits.
+
+    >>> djb2_bytes(b"") == DJB_SEED
+    True
+    """
+    h = seed
+    for byte in _as_bytes(key):
+        h = ((h << 5) + h + byte) & 0xFFFF_FFFF
+    return h
+
+
+def pack_strings(keys: Sequence[BytesLike], max_length: int) -> np.ndarray:
+    """Pack variable-length strings into a zero-padded (N, max_length) byte
+    matrix, with an extra last column holding each string's length.
+
+    The padded layout lets :func:`djb2_matrix` process one character column
+    per iteration across all strings at once.
+    """
+    count = len(keys)
+    packed = np.zeros((count, max_length + 1), dtype=np.uint8)
+    for i, key in enumerate(keys):
+        data = _as_bytes(key)
+        if len(data) > max_length:
+            raise ConfigurationError(
+                f"key of length {len(data)} exceeds max_length {max_length}"
+            )
+        packed[i, : len(data)] = np.frombuffer(data, dtype=np.uint8)
+        packed[i, max_length] = len(data)
+    return packed
+
+
+def djb2_matrix(packed: np.ndarray, seed: int = DJB_SEED) -> np.ndarray:
+    """Vectorized DJB over a packed byte matrix from :func:`pack_strings`.
+
+    Strings shorter than the matrix width stop updating once their length is
+    exhausted, so the result equals :func:`djb2_bytes` per row.
+    """
+    if packed.ndim != 2 or packed.shape[1] < 2:
+        raise ConfigurationError("packed must be a (N, max_length+1) matrix")
+    max_length = packed.shape[1] - 1
+    lengths = packed[:, max_length].astype(np.uint64)
+    hashes = np.full(packed.shape[0], seed, dtype=np.uint64)
+    for col in range(max_length):
+        active = lengths > col
+        byte = packed[:, col].astype(np.uint64)
+        updated = ((hashes << np.uint64(5)) + hashes + byte) & _MASK32
+        hashes = np.where(active, updated, hashes)
+    return hashes
+
+
+class DJBHash(HashFunction):
+    """DJB string hash reduced to a bucket index.
+
+    The reduction is modulo when ``bucket_count`` is not a power of two, and
+    a low-bit mask otherwise (what a hardware index generator would do).
+    """
+
+    def __init__(self, bucket_count: int, seed: int = DJB_SEED) -> None:
+        super().__init__(bucket_count)
+        self._seed = seed
+        self._mask = (
+            bucket_count - 1 if bucket_count & (bucket_count - 1) == 0 else None
+        )
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def _reduce(self, h: int) -> int:
+        if self._mask is not None:
+            return h & self._mask
+        return h % self.bucket_count
+
+    def __call__(self, key: BytesLike) -> int:
+        return self._reduce(djb2_bytes(key, self._seed))
+
+    def index_many(self, keys: Sequence[BytesLike]) -> np.ndarray:
+        max_length = max((len(_as_bytes(k)) for k in keys), default=1)
+        packed = pack_strings(keys, max_length)
+        return self.index_packed(packed)
+
+    def index_packed(self, packed: np.ndarray) -> np.ndarray:
+        """Bucket indices for a pre-packed byte matrix (the fast path the
+        trigram generator uses, skipping re-packing)."""
+        hashes = djb2_matrix(packed, self._seed)
+        if self._mask is not None:
+            return (hashes & np.uint64(self._mask)).astype(np.int64)
+        return (hashes % np.uint64(self.bucket_count)).astype(np.int64)
+
+    def rebucketed(self, bucket_count: int) -> "DJBHash":
+        return DJBHash(bucket_count, self._seed)
+
+
+__all__ = [
+    "DJB_SEED",
+    "djb2_bytes",
+    "pack_strings",
+    "djb2_matrix",
+    "DJBHash",
+]

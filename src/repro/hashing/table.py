@@ -1,0 +1,259 @@
+"""Software hash tables — the Section 2.1 baseline that CA-RAM hardens.
+
+Two classic organizations are provided:
+
+* :class:`ChainedHashTable` — an array of bucket heads with linked-list
+  chains, the layout behind "records ... chained in a linked list".  Lookups
+  pointer-chase, which is exactly the access pattern the paper blames for
+  poor memory behavior.
+* :class:`OpenAddressingTable` — a flat array probed linearly, the software
+  twin of CA-RAM's own collision policy.
+
+Both tables assign each structure a synthetic byte address so that every
+operation can emit the sequence of memory locations it touches.  The
+software-baseline bench replays those traces through
+:class:`repro.memory.cache.CacheSimulator` to estimate lookup cost in
+memory accesses and misses, quantifying the paper's "at least 4 to 6 memory
+accesses" claim for software search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generic, Hashable, List, Optional, TypeVar
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.hashing.base import HashFunction
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+#: Synthetic address-space layout: the bucket array starts at zero and node
+#: storage is allocated upward from a disjoint heap base.
+HEAP_BASE = 1 << 30
+
+
+@dataclass
+class LookupOutcome(Generic[V]):
+    """Result of a software-table lookup.
+
+    Attributes:
+        value: the record's value, or None when absent.
+        found: whether the key was present.
+        memory_accesses: distinct structure touches (array slot or node).
+        addresses: synthetic byte addresses touched, in order.
+    """
+
+    value: Optional[V]
+    found: bool
+    memory_accesses: int
+    addresses: List[int]
+
+
+class _ChainNode(Generic[K, V]):
+    """One linked-list node: key, value, next pointer, synthetic address."""
+
+    __slots__ = ("key", "value", "next", "address")
+
+    def __init__(self, key: K, value: V, address: int) -> None:
+        self.key = key
+        self.value = value
+        self.next: Optional["_ChainNode[K, V]"] = None
+        self.address = address
+
+
+class ChainedHashTable(Generic[K, V]):
+    """Separate-chaining hash table with synthetic address traces.
+
+    Args:
+        hash_function: bucket mapping for keys.
+        slot_bytes: size of one bucket-head pointer in the synthetic layout.
+        node_bytes: size of one chain node (key + value + next pointer).
+    """
+
+    def __init__(
+        self,
+        hash_function: HashFunction,
+        slot_bytes: int = 8,
+        node_bytes: int = 32,
+    ) -> None:
+        if slot_bytes <= 0 or node_bytes <= 0:
+            raise ConfigurationError("slot_bytes and node_bytes must be positive")
+        self._hash = hash_function
+        self._slot_bytes = slot_bytes
+        self._node_bytes = node_bytes
+        self._heads: List[Optional[_ChainNode[K, V]]] = [
+            None
+        ] * hash_function.bucket_count
+        self._size = 0
+        self._next_address = HEAP_BASE
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def bucket_count(self) -> int:
+        return self._hash.bucket_count
+
+    def _slot_address(self, bucket: int) -> int:
+        return bucket * self._slot_bytes
+
+    def _allocate_node(self, key: K, value: V) -> _ChainNode[K, V]:
+        node = _ChainNode(key, value, self._next_address)
+        self._next_address += self._node_bytes
+        return node
+
+    def insert(self, key: K, value: V) -> None:
+        """Insert or update; new nodes are prepended (LIFO chains)."""
+        bucket = self._hash(key)
+        node = self._heads[bucket]
+        while node is not None:
+            if node.key == key:
+                node.value = value
+                return
+            node = node.next
+        new_node = self._allocate_node(key, value)
+        new_node.next = self._heads[bucket]
+        self._heads[bucket] = new_node
+        self._size += 1
+
+    def lookup(self, key: K) -> LookupOutcome[V]:
+        """Find ``key``, recording every structure touch."""
+        bucket = self._hash(key)
+        addresses = [self._slot_address(bucket)]
+        node = self._heads[bucket]
+        while node is not None:
+            addresses.append(node.address)
+            if node.key == key:
+                return LookupOutcome(node.value, True, len(addresses), addresses)
+            node = node.next
+        return LookupOutcome(None, False, len(addresses), addresses)
+
+    def delete(self, key: K) -> bool:
+        """Remove ``key``; returns False when absent."""
+        bucket = self._hash(key)
+        node = self._heads[bucket]
+        previous: Optional[_ChainNode[K, V]] = None
+        while node is not None:
+            if node.key == key:
+                if previous is None:
+                    self._heads[bucket] = node.next
+                else:
+                    previous.next = node.next
+                self._size -= 1
+                return True
+            previous = node
+            node = node.next
+        return False
+
+    def chain_lengths(self) -> List[int]:
+        """Per-bucket chain lengths (the software occupancy histogram)."""
+        lengths = []
+        for head in self._heads:
+            count = 0
+            node = head
+            while node is not None:
+                count += 1
+                node = node.next
+            lengths.append(count)
+        return lengths
+
+
+class OpenAddressingTable(Generic[K, V]):
+    """Linear-probing open-addressing table with synthetic address traces.
+
+    Deletions use tombstones so probe sequences stay valid, mirroring how a
+    CA-RAM bucket's auxiliary reach field must persist after deletes until a
+    rebuild (Section 3.1's insert/delete discussion).
+    """
+
+    _EMPTY = object()
+    _TOMBSTONE = object()
+
+    def __init__(self, hash_function: HashFunction, slot_bytes: int = 32) -> None:
+        if slot_bytes <= 0:
+            raise ConfigurationError("slot_bytes must be positive")
+        self._hash = hash_function
+        self._slot_bytes = slot_bytes
+        capacity = hash_function.bucket_count
+        self._keys: List[Any] = [self._EMPTY] * capacity
+        self._values: List[Any] = [None] * capacity
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        return len(self._keys)
+
+    def _slot_address(self, slot: int) -> int:
+        return slot * self._slot_bytes
+
+    def insert(self, key: K, value: V) -> int:
+        """Insert or update; returns the number of probes used.
+
+        Raises:
+            CapacityError: when the table is completely full.
+        """
+        capacity = self.capacity
+        start = self._hash(key)
+        first_free = -1
+        for probe in range(capacity):
+            slot = (start + probe) % capacity
+            current = self._keys[slot]
+            if current is self._EMPTY:
+                target = first_free if first_free >= 0 else slot
+                self._keys[target] = key
+                self._values[target] = value
+                self._size += 1
+                return probe + 1
+            if current is self._TOMBSTONE:
+                if first_free < 0:
+                    first_free = slot
+                continue
+            if current == key:
+                self._values[slot] = value
+                return probe + 1
+        if first_free >= 0:
+            self._keys[first_free] = key
+            self._values[first_free] = value
+            self._size += 1
+            return capacity
+        raise CapacityError("open-addressing table is full")
+
+    def lookup(self, key: K) -> LookupOutcome[V]:
+        """Find ``key``, recording every probed slot."""
+        capacity = self.capacity
+        start = self._hash(key)
+        addresses: List[int] = []
+        for probe in range(capacity):
+            slot = (start + probe) % capacity
+            addresses.append(self._slot_address(slot))
+            current = self._keys[slot]
+            if current is self._EMPTY:
+                return LookupOutcome(None, False, len(addresses), addresses)
+            if current is not self._TOMBSTONE and current == key:
+                return LookupOutcome(
+                    self._values[slot], True, len(addresses), addresses
+                )
+        return LookupOutcome(None, False, len(addresses), addresses)
+
+    def delete(self, key: K) -> bool:
+        """Tombstone ``key``; returns False when absent."""
+        capacity = self.capacity
+        start = self._hash(key)
+        for probe in range(capacity):
+            slot = (start + probe) % capacity
+            current = self._keys[slot]
+            if current is self._EMPTY:
+                return False
+            if current is not self._TOMBSTONE and current == key:
+                self._keys[slot] = self._TOMBSTONE
+                self._values[slot] = None
+                self._size -= 1
+                return True
+        return False
+
+
+__all__ = ["LookupOutcome", "ChainedHashTable", "OpenAddressingTable", "HEAP_BASE"]

@@ -1,0 +1,173 @@
+"""Row-organized bit-addressable memory array.
+
+This is the dense storage a CA-RAM slice is built on (Figure 3 of the paper):
+``2**R`` rows of ``C`` bits each.  The array itself is content-agnostic — it
+only knows rows of bits.  Bucket/record structure is layered on top by
+:mod:`repro.core.bucket`.  The array also serves the "RAM mode" of Section
+3.2 directly: it is an ordinary address-in/data-out memory.
+
+Rows are stored as Python integers (arbitrary-precision bit vectors, MSB
+first) which keeps sub-field extraction exact for any row width, including
+the paper's 12,288-bit trigram rows.  Access counters are kept so behavioral
+experiments can report memory-access statistics without any instrumentation
+in calling code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigurationError, RamModeError
+from repro.memory.timing import MemoryTiming, SRAM_TIMING
+from repro.utils.bits import extract_bits, mask_of
+
+
+@dataclass
+class ArrayStats:
+    """Access counters for one memory array."""
+
+    reads: int = 0
+    writes: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def total_accesses(self) -> int:
+        return self.reads + self.writes
+
+
+class MemoryArray:
+    """A ``rows x row_bits`` memory array with read/write row access.
+
+    Args:
+        rows: number of rows (the paper's ``2**R``; any positive count is
+            accepted so partial arrays can model overflow areas).
+        row_bits: row width ``C`` in bits.
+        timing: device timing; defaults to single-cycle SRAM.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        row_bits: int,
+        timing: MemoryTiming = SRAM_TIMING,
+    ) -> None:
+        if rows <= 0:
+            raise ConfigurationError(f"rows must be positive, got {rows}")
+        if row_bits <= 0:
+            raise ConfigurationError(f"row_bits must be positive, got {row_bits}")
+        self._rows = rows
+        self._row_bits = row_bits
+        self._timing = timing
+        self._data: List[int] = [0] * rows
+        self.stats = ArrayStats()
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        """Number of rows."""
+        return self._rows
+
+    @property
+    def row_bits(self) -> int:
+        """Row width in bits (the paper's ``C``)."""
+        return self._row_bits
+
+    @property
+    def capacity_bits(self) -> int:
+        """Total storage in bits."""
+        return self._rows * self._row_bits
+
+    @property
+    def timing(self) -> MemoryTiming:
+        """Device timing of this array."""
+        return self._timing
+
+    # ------------------------------------------------------------------
+    # Row access (RAM mode)
+    # ------------------------------------------------------------------
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self._rows:
+            raise RamModeError(f"row {row} out of range [0, {self._rows})")
+
+    def read_row(self, row: int) -> int:
+        """Read a full row as an MSB-first bit vector (integer)."""
+        self._check_row(row)
+        self.stats.reads += 1
+        return self._data[row]
+
+    def write_row(self, row: int, value: int) -> None:
+        """Overwrite a full row."""
+        self._check_row(row)
+        if value < 0 or value > mask_of(self._row_bits):
+            raise RamModeError(
+                f"value does not fit in a {self._row_bits}-bit row"
+            )
+        self.stats.writes += 1
+        self._data[row] = value
+
+    def read_field(self, row: int, msb_offset: int, length: int) -> int:
+        """Read ``length`` bits of a row starting ``msb_offset`` from the MSB.
+
+        Counts as one row read (a real array always fetches the whole row).
+        """
+        value = self.read_row(row)
+        return extract_bits(value, self._row_bits, msb_offset, length)
+
+    def write_field(self, row: int, msb_offset: int, length: int, value: int) -> None:
+        """Read-modify-write ``length`` bits of a row.
+
+        Counts as one read plus one write.
+        """
+        if value < 0 or value > mask_of(length):
+            raise RamModeError(f"field value does not fit in {length} bits")
+        old = self.read_row(row)
+        shift = self._row_bits - msb_offset - length
+        cleared = old & ~(mask_of(length) << shift)
+        self.write_row(row, cleared | (value << shift))
+
+    def peek_row(self, row: int) -> int:
+        """Read a row without touching the access counters (for tests/debug)."""
+        self._check_row(row)
+        return self._data[row]
+
+    def fill(self, value: int = 0) -> None:
+        """Initialize every row to ``value`` without counting accesses."""
+        if value < 0 or value > mask_of(self._row_bits):
+            raise RamModeError(f"value does not fit in a {self._row_bits}-bit row")
+        self._data = [value] * self._rows
+
+    def snapshot(self) -> List[int]:
+        """Return a copy of all rows (for save/restore and DMA-style copies)."""
+        return list(self._data)
+
+    def load(self, rows: List[int], offset: int = 0) -> None:
+        """Bulk-load rows starting at ``offset`` (models the paper's DMA
+        construction of a pre-hashed database in RAM mode)."""
+        if offset < 0 or offset + len(rows) > self._rows:
+            raise RamModeError(
+                f"cannot load {len(rows)} rows at offset {offset} "
+                f"into a {self._rows}-row array"
+            )
+        limit = mask_of(self._row_bits)
+        for i, value in enumerate(rows):
+            if value < 0 or value > limit:
+                raise RamModeError(f"row {offset + i} value does not fit")
+            self._data[offset + i] = value
+        self.stats.writes += len(rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryArray(rows={self._rows}, row_bits={self._row_bits}, "
+            f"tech={self._timing.technology.value})"
+        )
+
+
+__all__ = ["MemoryArray", "ArrayStats"]

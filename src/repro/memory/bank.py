@@ -1,0 +1,102 @@
+"""Banked memory: several independently accessible arrays behind one address
+space.
+
+Section 4.3 of the paper slices the IP-lookup design D "to create eight
+vertical banks, in order to obtain higher overall bandwidth".  A
+:class:`BankedMemory` models exactly that: a linear row address space split
+across ``bank_count`` arrays, where accesses to different banks can proceed
+concurrently (each bank keeps its own access counters; the bandwidth model in
+:mod:`repro.cost.bandwidth` multiplies throughput by the bank count).
+
+Rows are interleaved in contiguous blocks (bank 0 holds rows
+``[0, rows_per_bank)``, bank 1 the next block, ...), which matches the
+"vertical arrangement" of slices: more rows, same row width.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError, RamModeError
+from repro.memory.array import MemoryArray
+from repro.memory.timing import MemoryTiming, SRAM_TIMING
+
+
+class BankedMemory:
+    """A block-partitioned group of :class:`MemoryArray` banks.
+
+    Args:
+        rows: total rows across all banks (must divide evenly).
+        row_bits: row width in bits, identical across banks.
+        bank_count: number of independent banks.
+        timing: per-bank device timing.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        row_bits: int,
+        bank_count: int = 1,
+        timing: MemoryTiming = SRAM_TIMING,
+    ) -> None:
+        if bank_count <= 0:
+            raise ConfigurationError(f"bank_count must be positive: {bank_count}")
+        if rows % bank_count != 0:
+            raise ConfigurationError(
+                f"rows ({rows}) must divide evenly across {bank_count} banks"
+            )
+        self._rows = rows
+        self._row_bits = row_bits
+        self._rows_per_bank = rows // bank_count
+        self._banks: List[MemoryArray] = [
+            MemoryArray(self._rows_per_bank, row_bits, timing)
+            for _ in range(bank_count)
+        ]
+
+    @property
+    def rows(self) -> int:
+        """Total rows across all banks."""
+        return self._rows
+
+    @property
+    def row_bits(self) -> int:
+        """Row width in bits."""
+        return self._row_bits
+
+    @property
+    def bank_count(self) -> int:
+        """Number of independent banks."""
+        return len(self._banks)
+
+    @property
+    def banks(self) -> Tuple[MemoryArray, ...]:
+        """The underlying arrays (read-only view)."""
+        return tuple(self._banks)
+
+    def locate(self, row: int) -> Tuple[int, int]:
+        """Map a global row address to ``(bank_index, local_row)``."""
+        if not 0 <= row < self._rows:
+            raise RamModeError(f"row {row} out of range [0, {self._rows})")
+        return row // self._rows_per_bank, row % self._rows_per_bank
+
+    def read_row(self, row: int) -> int:
+        """Read a row through its owning bank."""
+        bank, local = self.locate(row)
+        return self._banks[bank].read_row(local)
+
+    def write_row(self, row: int, value: int) -> None:
+        """Write a row through its owning bank."""
+        bank, local = self.locate(row)
+        self._banks[bank].write_row(local, value)
+
+    def total_accesses(self) -> int:
+        """Sum of read+write counts across banks."""
+        return sum(bank.stats.total_accesses for bank in self._banks)
+
+    def reset_stats(self) -> None:
+        """Clear access counters on every bank."""
+        for bank in self._banks:
+            bank.stats.reset()
+
+
+__all__ = ["BankedMemory"]

@@ -1,0 +1,144 @@
+"""A compact set-associative cache simulator.
+
+The paper motivates CA-RAM by the poor cache behavior of software search:
+"A conventional search operation typically involves multiple memory accesses
+following a pointer-chasing pattern" (Section 1) and software IP lookup
+"usually require[s] at least 4 to 6 memory accesses" (Section 4.1).  To put
+numbers behind those claims, the software baselines (chained hash table,
+binary trie) replay their memory-touch traces through this cache model and
+report hit/miss counts and an average access latency.
+
+The model is a single-level, write-allocate, LRU, set-associative cache over
+byte addresses — deliberately small, because the comparison only needs the
+qualitative gap (pointer chasing misses; CA-RAM's single row access does
+not), not a faithful processor model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters and derived latency for one simulation run."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def average_latency_cycles(self, hit_cycles: float, miss_cycles: float) -> float:
+        """Average access latency under the given hit/miss costs."""
+        if not self.accesses:
+            return 0.0
+        total = self.hits * hit_cycles + self.misses * miss_cycles
+        return total / self.accesses
+
+
+class CacheSimulator:
+    """Set-associative LRU cache over byte addresses.
+
+    Args:
+        size_bytes: total capacity.
+        line_bytes: cache line size (power of two).
+        associativity: ways per set.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int = 32 * 1024,
+        line_bytes: int = 64,
+        associativity: int = 4,
+    ) -> None:
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ConfigurationError(
+                f"line_bytes must be a power of two, got {line_bytes}"
+            )
+        if associativity <= 0:
+            raise ConfigurationError(
+                f"associativity must be positive, got {associativity}"
+            )
+        if size_bytes % (line_bytes * associativity) != 0:
+            raise ConfigurationError(
+                "size_bytes must be a multiple of line_bytes * associativity"
+            )
+        self._line_bytes = line_bytes
+        self._associativity = associativity
+        self._set_count = size_bytes // (line_bytes * associativity)
+        # Each set is an OrderedDict tag -> None in LRU order (oldest first).
+        self._sets: List["OrderedDict[int, None]"] = [
+            OrderedDict() for _ in range(self._set_count)
+        ]
+        self.stats = CacheStats()
+
+    @property
+    def set_count(self) -> int:
+        return self._set_count
+
+    @property
+    def line_bytes(self) -> int:
+        return self._line_bytes
+
+    @property
+    def associativity(self) -> int:
+        return self._associativity
+
+    def access(self, address: int) -> bool:
+        """Touch one byte address.  Returns True on a hit.
+
+        Misses allocate the line, evicting the LRU way when the set is full.
+        """
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        line = address // self._line_bytes
+        index = line % self._set_count
+        tag = line // self._set_count
+        ways = self._sets[index]
+        if tag in ways:
+            ways.move_to_end(tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(ways) >= self._associativity:
+            ways.popitem(last=False)
+        ways[tag] = None
+        return False
+
+    def access_block(self, address: int, length: int) -> int:
+        """Touch every line covered by ``[address, address + length)``.
+
+        Returns the number of misses incurred.
+        """
+        if length <= 0:
+            return 0
+        first = address // self._line_bytes
+        last = (address + length - 1) // self._line_bytes
+        misses = 0
+        for line in range(first, last + 1):
+            if not self.access(line * self._line_bytes):
+                misses += 1
+        return misses
+
+    def flush(self) -> None:
+        """Empty the cache (keeps statistics)."""
+        for ways in self._sets:
+            ways.clear()
+
+    def reset(self) -> None:
+        """Empty the cache and clear statistics."""
+        self.flush()
+        self.stats = CacheStats()
+
+
+__all__ = ["CacheSimulator", "CacheStats"]

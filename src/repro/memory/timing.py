@@ -1,0 +1,97 @@
+"""Device timing models for the CA-RAM backing store.
+
+Section 3.4 of the paper characterizes CA-RAM search latency as the memory
+access time plus the (pipelinable) match time, and search bandwidth as
+``B = N_slice / n_mem * f_clk`` where ``n_mem`` is the minimum number of
+cycles between back-to-back accesses to one array.  These dataclasses carry
+the three device parameters the formulas need: clock frequency, random-access
+latency, and the back-to-back cycle count.
+
+The default constants follow the devices the paper cites:
+
+* ``DRAM_TIMING`` — the Morishita et al. 312 MHz random-cycle embedded DRAM
+  macro, operated conservatively at 200 MHz with a 6-cycle access, matching
+  the Figure 8 assumptions ("a more aggressive 200MHz CA-RAM operation ...
+  memory access latency is at least 6 cycles (DRAM)").
+* ``SRAM_TIMING`` — a single-cycle random-access SRAM at the same 200 MHz.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class MemoryTechnology(enum.Enum):
+    """Backing-store technology for a CA-RAM slice."""
+
+    SRAM = "sram"
+    DRAM = "dram"
+
+
+@dataclass(frozen=True)
+class MemoryTiming:
+    """Timing parameters of one memory array.
+
+    Attributes:
+        technology: SRAM or DRAM.
+        clock_hz: operating clock frequency of the array.
+        access_cycles: cycles from request to row data available (latency).
+        cycle_between_accesses: minimum cycles between two back-to-back
+            accesses to the same array (the paper's ``n_mem``); 1 for a fully
+            pipelined array.
+    """
+
+    technology: MemoryTechnology
+    clock_hz: float
+    access_cycles: int
+    cycle_between_accesses: int
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigurationError(f"clock_hz must be positive: {self.clock_hz}")
+        if self.access_cycles < 1:
+            raise ConfigurationError(
+                f"access_cycles must be >= 1: {self.access_cycles}"
+            )
+        if self.cycle_between_accesses < 1:
+            raise ConfigurationError(
+                f"cycle_between_accesses must be >= 1: {self.cycle_between_accesses}"
+            )
+
+    @property
+    def access_time_s(self) -> float:
+        """Random access latency in seconds (the paper's ``T_mem``)."""
+        return self.access_cycles / self.clock_hz
+
+    def accesses_per_second(self) -> float:
+        """Peak accesses per second for one array: ``f_clk / n_mem``."""
+        return self.clock_hz / self.cycle_between_accesses
+
+    def scaled_to(self, clock_hz: float) -> "MemoryTiming":
+        """Return a copy of this timing at a different clock frequency."""
+        return MemoryTiming(
+            technology=self.technology,
+            clock_hz=clock_hz,
+            access_cycles=self.access_cycles,
+            cycle_between_accesses=self.cycle_between_accesses,
+        )
+
+
+SRAM_TIMING = MemoryTiming(
+    technology=MemoryTechnology.SRAM,
+    clock_hz=200e6,
+    access_cycles=1,
+    cycle_between_accesses=1,
+)
+
+DRAM_TIMING = MemoryTiming(
+    technology=MemoryTechnology.DRAM,
+    clock_hz=200e6,
+    access_cycles=6,
+    cycle_between_accesses=6,
+)
+
+__all__ = ["MemoryTechnology", "MemoryTiming", "SRAM_TIMING", "DRAM_TIMING"]

@@ -1,0 +1,36 @@
+"""Shared low-level helpers: bit manipulation, deterministic RNG, units."""
+
+from repro.utils.bits import (
+    bit_length_for,
+    extract_bits,
+    from_bit_list,
+    mask_of,
+    reverse_bits,
+    select_bits,
+    to_bit_list,
+)
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.units import (
+    format_area_um2,
+    format_power_mw,
+    format_si,
+    mbits,
+    mm2,
+)
+
+__all__ = [
+    "bit_length_for",
+    "extract_bits",
+    "from_bit_list",
+    "mask_of",
+    "reverse_bits",
+    "select_bits",
+    "to_bit_list",
+    "make_rng",
+    "spawn_rngs",
+    "format_area_um2",
+    "format_power_mw",
+    "format_si",
+    "mbits",
+    "mm2",
+]

@@ -1,0 +1,105 @@
+"""Bit-manipulation helpers used by keys, index generators, and arrays.
+
+Keys in the CA-RAM model are plain Python integers interpreted as fixed-width
+bit vectors, MSB first (bit 0 of a width-W value is its most significant bit,
+matching the way the paper numbers address bits: "the first 16 bits of an IP
+address" are the high-order bits).  These helpers centralize that convention
+so the rest of the library never re-derives shift arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def mask_of(width: int) -> int:
+    """Return a mask with the low ``width`` bits set.
+
+    >>> mask_of(4)
+    15
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit_length_for(count: int) -> int:
+    """Return the number of bits needed to index ``count`` distinct values.
+
+    >>> bit_length_for(2048)
+    11
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    return (count - 1).bit_length() if count > 1 else 0
+
+
+def extract_bits(value: int, width: int, msb_offset: int, length: int) -> int:
+    """Extract ``length`` bits starting ``msb_offset`` bits from the MSB.
+
+    ``value`` is interpreted as a ``width``-bit vector.  ``msb_offset`` of 0
+    means the extraction starts at the most significant bit.
+
+    >>> extract_bits(0b1011_0000, 8, 0, 4)
+    11
+    >>> extract_bits(0b1011_0000, 8, 2, 3)
+    6
+    """
+    if msb_offset < 0 or length < 0 or msb_offset + length > width:
+        raise ValueError(
+            f"cannot extract bits [{msb_offset}, {msb_offset + length}) "
+            f"from a {width}-bit value"
+        )
+    shift = width - msb_offset - length
+    return (value >> shift) & mask_of(length)
+
+
+def select_bits(value: int, width: int, positions: Sequence[int]) -> int:
+    """Concatenate the bits of ``value`` at ``positions`` (MSB-first indices).
+
+    Position 0 is the most significant bit of the ``width``-bit ``value``.
+    The first position becomes the most significant bit of the result.  This
+    is the bit-selection hashing primitive of Zane et al. used by the paper's
+    IP-lookup index generator.
+
+    >>> bin(select_bits(0b10110000, 8, [0, 2, 3]))
+    '0b111'
+    """
+    result = 0
+    for pos in positions:
+        result = (result << 1) | extract_bits(value, width, pos, 1)
+    return result
+
+
+def to_bit_list(value: int, width: int) -> List[int]:
+    """Expand ``value`` into a list of ``width`` bits, MSB first.
+
+    >>> to_bit_list(0b101, 4)
+    [0, 1, 0, 1]
+    """
+    if value < 0 or value > mask_of(width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def from_bit_list(bits: Iterable[int]) -> int:
+    """Pack an MSB-first bit iterable back into an integer.
+
+    >>> from_bit_list([0, 1, 0, 1])
+    5
+    """
+    value = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0 or 1, got {bit!r}")
+        value = (value << 1) | bit
+    return value
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Reverse the bit order of a ``width``-bit value.
+
+    >>> reverse_bits(0b1100, 4)
+    3
+    """
+    return from_bit_list(reversed(to_bit_list(value, width)))

@@ -1,0 +1,76 @@
+"""Units and formatting helpers for the cost models and reports.
+
+The paper reports areas in µm² and mm², power in mW and W, and capacities in
+bits/Kb/Mb.  Internally the cost models keep canonical units (µm², mW, bits,
+Hz); these helpers convert and pretty-print for the experiment reports.
+"""
+
+from __future__ import annotations
+
+UM2_PER_MM2 = 1_000_000.0
+MW_PER_W = 1_000.0
+BITS_PER_KBIT = 1_024
+BITS_PER_MBIT = 1_024 * 1_024
+
+
+def mm2(area_um2: float) -> float:
+    """Convert µm² to mm²."""
+    return area_um2 / UM2_PER_MM2
+
+
+def mbits(bits: float) -> float:
+    """Convert a bit count to Mbit (2**20 bits, as in device datasheets)."""
+    return bits / BITS_PER_MBIT
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format a value with an SI prefix: ``format_si(2.5e9, 'Hz')`` → '2.5 GHz'.
+
+    Chooses the prefix that leaves a mantissa in [1, 1000) when possible.
+    """
+    prefixes = [
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+    ]
+    if value == 0:
+        return f"0 {unit}".rstrip()
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+
+
+def format_area_um2(area_um2: float) -> str:
+    """Render an area: µm² below 0.1 mm², mm² above."""
+    if area_um2 < 0.1 * UM2_PER_MM2:
+        return f"{area_um2:,.1f} um^2"
+    return f"{mm2(area_um2):,.3f} mm^2"
+
+
+def format_power_mw(power_mw: float) -> str:
+    """Render a power figure: mW below 1 W, W above."""
+    if power_mw < MW_PER_W:
+        return f"{power_mw:,.2f} mW"
+    return f"{power_mw / MW_PER_W:,.3f} W"
+
+
+__all__ = [
+    "UM2_PER_MM2",
+    "MW_PER_W",
+    "BITS_PER_KBIT",
+    "BITS_PER_MBIT",
+    "mm2",
+    "mbits",
+    "format_si",
+    "format_area_um2",
+    "format_power_mw",
+]

@@ -1,0 +1,21 @@
+"""Workload generation: key sets and access-pattern weights."""
+
+from repro.workloads.access import (
+    skewed_rank_weights,
+    uniform_weights,
+    zipf_weights,
+)
+from repro.workloads.keys import (
+    random_byte_strings,
+    random_keys,
+    unique_random_keys,
+)
+
+__all__ = [
+    "uniform_weights",
+    "zipf_weights",
+    "skewed_rank_weights",
+    "random_keys",
+    "unique_random_keys",
+    "random_byte_strings",
+]

@@ -1,0 +1,76 @@
+"""Access-pattern weights: uniform and skewed lookups.
+
+Section 4.1 evaluates AMAL twice: "we first assume a uniform access pattern
+for all prefixes, and compute AMALu.  Then we assume a skewed access
+pattern [22], where some prefixes are accessed more frequently than
+others."  The skew reference (Narlikar & Zane 2001) observed heavy-tailed
+prefix popularity in real traces, which a Zipf distribution over popularity
+rank captures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, make_rng
+
+
+def uniform_weights(count: int) -> np.ndarray:
+    """Equal access probability for every record."""
+    if count <= 0:
+        raise ConfigurationError(f"count must be positive: {count}")
+    return np.full(count, 1.0 / count)
+
+
+def zipf_weights(count: int, exponent: float = 1.0) -> np.ndarray:
+    """Zipf(``exponent``) weights over ranks 1..count (rank 0 hottest).
+
+    Normalized to sum to 1.
+    """
+    if count <= 0:
+        raise ConfigurationError(f"count must be positive: {count}")
+    if exponent < 0:
+        raise ConfigurationError(f"exponent must be >= 0: {exponent}")
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def skewed_rank_weights(
+    count: int,
+    exponent: float = 1.0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Zipf weights assigned to records in a random rank order.
+
+    The paper's skewed pattern is "an artifact": popularity is not
+    correlated with key value, so ranks are shuffled before weights are
+    assigned.  Returned in record order (index i = record i's weight).
+    """
+    weights = zipf_weights(count, exponent)
+    rng = make_rng(seed)
+    order = rng.permutation(count)
+    assigned = np.empty(count)
+    assigned[order] = weights
+    return assigned
+
+
+def sample_accesses(
+    weights: np.ndarray, count: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Draw ``count`` record indices according to the access weights."""
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative: {count}")
+    rng = make_rng(seed)
+    probabilities = np.asarray(weights, dtype=np.float64)
+    probabilities = probabilities / probabilities.sum()
+    return rng.choice(len(probabilities), size=count, p=probabilities)
+
+
+__all__ = [
+    "uniform_weights",
+    "zipf_weights",
+    "skewed_rank_weights",
+    "sample_accesses",
+]

@@ -1,0 +1,90 @@
+"""Synthetic key-set generators used by tests, examples, and ablations.
+
+The two application studies have their own domain-specific generators
+(:mod:`repro.apps.iplookup.table_gen`, :mod:`repro.apps.trigram.generator`);
+these are the generic building blocks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, make_rng
+
+
+def random_keys(count: int, key_bits: int, seed: SeedLike = None) -> np.ndarray:
+    """``count`` uniform random keys of ``key_bits`` bits (duplicates allowed)."""
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative: {count}")
+    if not 1 <= key_bits <= 64:
+        raise ConfigurationError(f"key_bits must be in [1, 64]: {key_bits}")
+    rng = make_rng(seed)
+    high = 1 << key_bits
+    return rng.integers(0, high, size=count, dtype=np.uint64)
+
+
+def unique_random_keys(count: int, key_bits: int, seed: SeedLike = None) -> np.ndarray:
+    """``count`` distinct uniform random keys.
+
+    Raises:
+        ConfigurationError: when the key space is too small.
+    """
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative: {count}")
+    if not 1 <= key_bits <= 64:
+        raise ConfigurationError(f"key_bits must be in [1, 64]: {key_bits}")
+    space = 1 << key_bits
+    if count > space:
+        raise ConfigurationError(
+            f"cannot draw {count} unique keys from a {key_bits}-bit space"
+        )
+    rng = make_rng(seed)
+    if count > space // 2:
+        # Dense draw: permute the whole space.
+        return rng.permutation(space).astype(np.uint64)[:count]
+    keys = set()
+    result = np.empty(count, dtype=np.uint64)
+    filled = 0
+    while filled < count:
+        batch = rng.integers(0, space, size=count - filled, dtype=np.uint64)
+        for key in batch:
+            value = int(key)
+            if value not in keys:
+                keys.add(value)
+                result[filled] = value
+                filled += 1
+                if filled == count:
+                    break
+    return result
+
+
+def random_byte_strings(
+    count: int,
+    min_length: int,
+    max_length: int,
+    alphabet: bytes = b"abcdefghijklmnopqrstuvwxyz",
+    seed: SeedLike = None,
+) -> List[bytes]:
+    """``count`` random byte strings with lengths in [min, max]."""
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative: {count}")
+    if not 1 <= min_length <= max_length:
+        raise ConfigurationError(
+            f"invalid length range [{min_length}, {max_length}]"
+        )
+    if not alphabet:
+        raise ConfigurationError("alphabet must be non-empty")
+    rng = make_rng(seed)
+    lengths = rng.integers(min_length, max_length + 1, size=count)
+    symbols = np.frombuffer(alphabet, dtype=np.uint8)
+    strings = []
+    for length in lengths:
+        picks = rng.integers(0, len(symbols), size=int(length))
+        strings.append(symbols[picks].tobytes())
+    return strings
+
+
+__all__ = ["random_keys", "unique_random_keys", "random_byte_strings"]

@@ -1,0 +1,109 @@
+"""Unit tests for the Table 2 design points and their evaluation."""
+
+import pytest
+
+from repro.apps.iplookup.designs import IP_DESIGNS, IpDesign
+from repro.apps.iplookup.evaluate import evaluate_ip_design
+from repro.apps.iplookup.table_gen import SyntheticBgpConfig, generate_bgp_table
+from repro.core.config import Arrangement
+from repro.errors import ConfigurationError
+
+
+class TestDesignGeometry:
+    def test_all_six_designs(self):
+        assert sorted(IP_DESIGNS) == list("ABCDEF")
+
+    def test_design_a(self):
+        d = IP_DESIGNS["A"]
+        assert d.bucket_count == 2048
+        assert d.slots_per_bucket == 32 * 6
+        assert d.row_bits == 2048
+        assert d.effective_index_bits == 11
+
+    def test_design_f_vertical(self):
+        d = IP_DESIGNS["F"]
+        assert d.bucket_count == 8192
+        assert d.slots_per_bucket == 64
+        assert d.effective_index_bits == 13
+
+    def test_d_and_f_equal_capacity(self):
+        # "for the same area (same alpha)" — D and F hold the same records.
+        assert (
+            IP_DESIGNS["D"].capacity_records
+            == IP_DESIGNS["F"].capacity_records
+        )
+
+    def test_paper_load_factors(self):
+        # Table 2's alpha column (on the 186,760-prefix table).
+        n = 186_760
+        expected = {"A": 0.47, "B": 0.40, "C": 0.36, "D": 0.36, "E": 0.24,
+                    "F": 0.36}
+        for name, alpha in expected.items():
+            assert n / IP_DESIGNS[name].capacity_records == pytest.approx(
+                alpha, abs=0.01
+            )
+
+    def test_capacity_bits_area_accounting(self):
+        d = IP_DESIGNS["D"]
+        assert d.capacity_bits == (1 << 12) * 4096 * 2
+
+    def test_invalid_designs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IpDesign("X", 11, 48, 2, Arrangement.HORIZONTAL)
+        with pytest.raises(ConfigurationError):
+            IpDesign("X", 11, 32, 3, Arrangement.VERTICAL)  # non-pow2 vertical
+
+    def test_describe(self):
+        assert "R=11" in IP_DESIGNS["A"].describe()
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return generate_bgp_table(
+            SyntheticBgpConfig(total_prefixes=40_000, seed=17)
+        )
+
+    @pytest.fixture(scope="class")
+    def results(self, table):
+        return {
+            name: evaluate_ip_design(IP_DESIGNS[name], table, seed=17)
+            for name in "ABCDEF"
+        }
+
+    def test_amal_at_least_one(self, results):
+        for res in results.values():
+            assert res.amal_uniform >= 1.0
+            assert res.amal_skewed >= 1.0
+
+    def test_sorted_placement_helps(self, results):
+        # AMALs <= AMALu in every design (Table 2's consistent pattern).
+        for res in results.values():
+            assert res.amal_skewed <= res.amal_uniform + 1e-9
+
+    def test_more_area_lower_amal(self, results):
+        # A -> B -> C adds slices at fixed hash: AMAL must not increase.
+        assert results["A"].amal_uniform >= results["B"].amal_uniform
+        assert results["B"].amal_uniform >= results["C"].amal_uniform
+        assert results["D"].amal_uniform >= results["E"].amal_uniform
+
+    def test_vertical_worse_than_horizontal_at_same_area(self, results):
+        # "This is evident from designs D and F."
+        assert results["F"].amal_uniform > results["D"].amal_uniform
+
+    def test_wide_buckets_beat_narrow_at_same_alpha(self, results):
+        # C vs D: same load factor, C's 256-slot buckets win.
+        assert results["C"].amal_uniform < results["D"].amal_uniform
+
+    def test_row_shape(self, results):
+        row = results["A"].row()
+        assert row["design"] == "A"
+        assert row["arrangement"] == "horizontal"
+        assert set(row) >= {"load_factor", "AMALu", "AMALs"}
+
+    def test_mapping_mismatch_rejected(self, table):
+        from repro.apps.iplookup.mapping import map_prefixes_to_buckets
+
+        mapping = map_prefixes_to_buckets(table, 11)
+        with pytest.raises(ValueError):
+            evaluate_ip_design(IP_DESIGNS["D"], table, mapping=mapping)

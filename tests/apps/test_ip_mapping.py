@@ -1,0 +1,95 @@
+"""Unit tests for the prefix-to-bucket mapping (duplication rules)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.iplookup.mapping import (
+    dont_care_hash_bits,
+    map_prefixes_to_buckets,
+)
+from repro.apps.iplookup.table_gen import PrefixTable
+from repro.errors import ConfigurationError
+
+
+def make_table(entries):
+    """entries: list of (value, length)."""
+    values = np.array([v for v, _ in entries], dtype=np.uint64)
+    lengths = np.array([l for _, l in entries], dtype=np.uint8)
+    hops = np.zeros(len(entries), dtype=np.uint16)
+    return PrefixTable(values=values, lengths=lengths, next_hops=hops)
+
+
+class TestDontCareHashBits:
+    def test_long_prefix_no_dont_care(self):
+        assert dont_care_hash_bits(24, 11) == 0
+        assert dont_care_hash_bits(16, 11) == 0
+
+    def test_short_prefix(self):
+        # R=11: window covers bits [5, 16); a /8 leaves bits 8..15 free.
+        assert dont_care_hash_bits(8, 11) == 8
+        assert dont_care_hash_bits(15, 11) == 1
+
+    def test_independent_of_r_when_window_covered(self):
+        # "a 6.4% increase ... regardless of the design": R > 8 keeps the
+        # overlap equal for every length >= 8.
+        for length in range(8, 16):
+            assert dont_care_hash_bits(length, 11) == dont_care_hash_bits(
+                length, 13
+            )
+
+    def test_very_small_r(self):
+        # Window [12, 16); a /13 leaves 3 free bits.
+        assert dont_care_hash_bits(13, 4) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            dont_care_hash_bits(8, 0)
+        with pytest.raises(ConfigurationError):
+            dont_care_hash_bits(8, 17)
+
+
+class TestMapping:
+    def test_long_prefix_single_bucket(self):
+        table = make_table([(0xC0A80000, 24)])  # 192.168.0.0/24
+        mapping = map_prefixes_to_buckets(table, 11)
+        assert mapping.record_count == 1
+        # Bucket = bits [5, 16) of the address = 0xC0A8 & 0x7FF.
+        assert mapping.home[0] == 0xC0A8 & 0x7FF
+
+    def test_short_prefix_duplicated(self):
+        table = make_table([(0x0A000000, 8)])  # 10.0.0.0/8
+        mapping = map_prefixes_to_buckets(table, 11)
+        assert mapping.record_count == 256
+        assert mapping.duplicate_count == 255
+        # Copies are contiguous bucket indices.
+        homes = np.sort(mapping.home)
+        assert (np.diff(homes) == 1).all()
+
+    def test_source_tracking(self):
+        table = make_table([(0x0A000000, 8), (0xC0A80000, 24)])
+        mapping = map_prefixes_to_buckets(table, 11)
+        copies = mapping.copies_per_source()
+        assert copies.tolist() == [256, 1]
+        assert mapping.duplication_overhead == pytest.approx(255 / 2)
+
+    def test_duplication_overhead_band(self):
+        # The calibrated full-profile table lands near the paper's 6.4%.
+        from repro.apps.iplookup.table_gen import (
+            SyntheticBgpConfig,
+            generate_bgp_table,
+        )
+
+        table = generate_bgp_table(SyntheticBgpConfig(seed=7))
+        mapping = map_prefixes_to_buckets(table, 11)
+        assert 0.04 < mapping.duplication_overhead < 0.10
+
+    def test_all_homes_in_range(self):
+        table = make_table([(0x0A000000, 8), (0xFFFF0000, 16)])
+        mapping = map_prefixes_to_buckets(table, 12)
+        assert mapping.home.min() >= 0
+        assert mapping.home.max() < 4096
+
+    def test_validation(self):
+        table = make_table([(0, 8)])
+        with pytest.raises(ConfigurationError):
+            map_prefixes_to_buckets(table, 0)

@@ -1,0 +1,132 @@
+"""Unit tests for the IPv6 scaling study."""
+
+import numpy as np
+import pytest
+
+from repro.apps.iplookup.ipv6 import (
+    FULL_V6_PREFIX_COUNT,
+    HASH_WINDOW_BITS_V6,
+    IPV6_DESIGN_D6,
+    Ipv6Config,
+    Ipv6Design,
+    compare_ipv6,
+    generate_ipv6_table,
+    map_ipv6_to_buckets,
+)
+from repro.apps.iplookup.table_gen import FULL_TABLE_PREFIX_COUNT
+from repro.core.config import Arrangement
+from repro.errors import ConfigurationError
+
+SMALL = 30_000
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_ipv6_table(Ipv6Config(total_prefixes=SMALL, seed=9))
+
+
+class TestGenerator:
+    def test_count(self, table):
+        assert len(table) == SMALL
+
+    def test_quadruple_default(self):
+        # "The size of a routing table will even quadruple"
+        assert FULL_V6_PREFIX_COUNT == 4 * FULL_TABLE_PREFIX_COUNT
+
+    def test_lengths_menu(self, table):
+        lengths = set(np.unique(table.lengths).tolist())
+        assert lengths <= {16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 64}
+        assert 48 in lengths
+
+    def test_48_dominates(self, table):
+        assert (table.lengths == 48).mean() > 0.4
+
+    def test_mostly_at_least_32(self, table):
+        assert table.fraction_at_least(32) > 0.97
+
+    def test_host_bits_zero(self, table):
+        lengths = table.lengths.astype(np.uint64)
+        host = (np.uint64(1) << (np.uint64(64) - lengths)) - np.uint64(1)
+        assert ((table.values & host) == 0).all()
+
+    def test_unique(self, table):
+        pairs = set(zip(table.values.tolist(), table.lengths.tolist()))
+        assert len(pairs) == SMALL
+
+    def test_deterministic(self):
+        a = generate_ipv6_table(Ipv6Config(total_prefixes=3000, seed=1))
+        b = generate_ipv6_table(Ipv6Config(total_prefixes=3000, seed=1))
+        assert (a.values == b.values).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Ipv6Config(total_prefixes=0)
+        with pytest.raises(ConfigurationError):
+            Ipv6Config(block_sigma=0)
+
+
+class TestMapping:
+    def test_long_prefixes_single_copy(self, table):
+        mapping = map_ipv6_to_buckets(table, 10)
+        long_count = int((table.lengths >= HASH_WINDOW_BITS_V6).sum())
+        assert mapping.record_count >= long_count
+
+    def test_offload_caps_duplication(self, table):
+        strict = map_ipv6_to_buckets(table, 12, dc_limit=0)
+        loose = map_ipv6_to_buckets(table, 12, dc_limit=6)
+        # Tighter limits offload more and duplicate less.
+        assert strict.tcam_offloaded >= loose.tcam_offloaded
+        assert strict.duplicate_count == 0
+        assert loose.duplicate_count >= 0
+
+    def test_homes_in_range(self, table):
+        mapping = map_ipv6_to_buckets(table, 12)
+        assert mapping.home.min() >= 0
+        assert mapping.home.max() < (1 << 12)
+
+    def test_validation(self, table):
+        with pytest.raises(ConfigurationError):
+            map_ipv6_to_buckets(table, 0)
+        with pytest.raises(ConfigurationError):
+            map_ipv6_to_buckets(table, 12, dc_limit=-1)
+
+
+class TestDesignAndComparison:
+    @pytest.fixture(scope="class")
+    def mid_table(self):
+        return generate_ipv6_table(
+            Ipv6Config(total_prefixes=4 * SMALL, seed=9)
+        )
+
+    def test_design_d6_matches_table2_alpha(self):
+        # Same 0.36 load factor as design D, at 4x the table.
+        alpha = FULL_V6_PREFIX_COUNT / IPV6_DESIGN_D6.capacity_records
+        assert alpha == pytest.approx(0.36, abs=0.01)
+
+    def test_mid_scale_comparison(self, mid_table):
+        design = Ipv6Design("M", 11, 64, 2, Arrangement.HORIZONTAL)
+        result = compare_ipv6(mid_table, design=design)
+        assert result.report.amal_uniform >= 1.0
+        assert 0.30 < result.area_saving < 0.60
+        assert result.power_saving > 0.4
+
+    def test_small_tables_lose_on_power(self, table):
+        """Crossover: against a 30k-entry TCAM, a 128-slot bucket of
+        256-bit keys (32,768 fetched bits) costs about as much energy as
+        searching the whole TCAM — CA-RAM's advantage is a *large-table*
+        advantage, exactly the regime the paper targets."""
+        design = Ipv6Design("S", 9, 64, 2, Arrangement.HORIZONTAL)
+        result = compare_ipv6(table, design=design)
+        assert result.power_saving < 0.2
+
+    def test_power_advantage_grows_with_scale(self, table, mid_table):
+        """The paper's scaling argument: TCAM power grows with capacity,
+        CA-RAM's does not (same bucket width, more rows)."""
+        small = compare_ipv6(
+            table, design=Ipv6Design("S", 9, 64, 2, Arrangement.HORIZONTAL)
+        )
+        mid = compare_ipv6(
+            mid_table,
+            design=Ipv6Design("M", 11, 64, 2, Arrangement.HORIZONTAL),
+        )
+        assert mid.power_saving > small.power_saving

@@ -1,0 +1,128 @@
+"""Unit tests for the real-data loaders."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.apps.iplookup.evaluate import evaluate_ip_design
+from repro.apps.iplookup.designs import IpDesign
+from repro.apps.iplookup.loader import (
+    dump_prefix_table,
+    load_prefix_table,
+)
+from repro.apps.iplookup.table_gen import SyntheticBgpConfig, generate_bgp_table
+from repro.apps.trigram.loader import load_trigram_database
+from repro.core.config import Arrangement
+from repro.errors import ConfigurationError, KeyFormatError
+
+
+class TestPrefixLoader:
+    def test_basic(self):
+        text = io.StringIO(
+            "10.0.0.0/8 3\n"
+            "192.168.0.0/16 peer-a\n"
+            "# a comment\n"
+            "\n"
+            "192.168.1.0/24\n"
+        )
+        table = load_prefix_table(text)
+        assert len(table) == 3
+        assert table.lengths.tolist() == [8, 16, 24]
+        assert table.next_hops[0] == 3       # integer token kept
+        assert table.next_hops[2] == 0       # default
+
+    def test_string_hops_interned(self):
+        text = io.StringIO("10.0.0.0/8 a\n11.0.0.0/8 b\n12.0.0.0/8 a\n")
+        table = load_prefix_table(text)
+        assert table.next_hops[0] == table.next_hops[2]
+        assert table.next_hops[0] != table.next_hops[1]
+
+    def test_inline_comment(self):
+        table = load_prefix_table(io.StringIO("10.0.0.0/8 1 # default\n"))
+        assert len(table) == 1
+
+    def test_duplicates_collapsed(self):
+        text = io.StringIO("10.0.0.0/8 1\n10.0.0.0/8 2\n")
+        table = load_prefix_table(text)
+        assert len(table) == 1
+        assert table.next_hops[0] == 1  # first announcement wins
+
+    def test_malformed_line_reports_number(self):
+        with pytest.raises(KeyFormatError, match="line 2"):
+            load_prefix_table(io.StringIO("10.0.0.0/8\nnot-an-ip/9\n"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_prefix_table(io.StringIO("# nothing\n"))
+
+    def test_round_trip(self, tmp_path):
+        table = generate_bgp_table(
+            SyntheticBgpConfig(total_prefixes=2000, seed=3)
+        )
+        path = tmp_path / "rib.txt"
+        dump_prefix_table(table, path)
+        loaded = load_prefix_table(path)
+        assert len(loaded) == len(table)
+        assert set(zip(loaded.values.tolist(), loaded.lengths.tolist())) == (
+            set(zip(table.values.tolist(), table.lengths.tolist()))
+        )
+
+    def test_loaded_table_runs_the_pipeline(self, tmp_path):
+        """A dumped-and-reloaded table feeds evaluate_ip_design."""
+        table = generate_bgp_table(
+            SyntheticBgpConfig(total_prefixes=5000, seed=4)
+        )
+        path = tmp_path / "rib.txt"
+        dump_prefix_table(table, path)
+        loaded = load_prefix_table(path)
+        design = IpDesign("L", 8, 32, 2, Arrangement.HORIZONTAL)
+        result = evaluate_ip_design(design, loaded, seed=4)
+        assert result.amal_uniform >= 1.0
+
+
+class TestTrigramLoader:
+    def test_basic(self):
+        text = io.StringIO(
+            "-2.5 of the roadway\n"
+            "in the basement\n"
+            "# comment\n"
+        )
+        result = load_trigram_database(text)
+        assert result.loaded == 2
+        assert result.database.string_at(0) == b"of the roadway"
+        # ARPA logprob quantized, plain lines default to prob 0.
+        assert result.database.probabilities[0] > 0
+        assert result.database.probabilities[1] == 0
+
+    def test_length_window_filter(self):
+        text = io.StringIO(
+            "a b c\n"                      # 5 chars: skipped
+            "of the road\n"                # 11 chars: skipped
+            "within the window\n"          # 17 chars: skipped
+            "with the windo\n"             # 14 chars: kept
+        )
+        result = load_trigram_database(text)
+        assert result.loaded == 1
+        assert result.skipped_length == 3
+
+    def test_malformed(self):
+        text = io.StringIO("only two\nof the road xx\nin the window\n")
+        result = load_trigram_database(text)
+        assert result.skipped_malformed == 2
+        assert result.loaded == 1
+
+    def test_case_folded_and_deduped(self):
+        text = io.StringIO("Of The Road12\nof the road12\n")
+        result = load_trigram_database(text)
+        assert result.loaded == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_trigram_database(io.StringIO(""))
+
+    def test_loaded_database_hashes(self):
+        text = io.StringIO("one two threex\nfour five sixx\n")
+        result = load_trigram_database(text)
+        buckets = result.database.bucket_indices(64)
+        assert buckets.shape == (2,)

@@ -1,0 +1,93 @@
+"""Unit tests for IPv4 prefixes."""
+
+import pytest
+
+from repro.apps.iplookup.prefix import ADDRESS_BITS, Prefix
+from repro.errors import KeyFormatError
+
+
+class TestConstruction:
+    def test_from_string(self):
+        prefix = Prefix.from_string("192.168.0.0/16")
+        assert prefix.length == 16
+        assert prefix.value == 0xC0A80000
+
+    def test_from_string_default_length(self):
+        assert Prefix.from_string("10.0.0.1").length == 32
+
+    def test_from_string_truncates_host_bits(self):
+        prefix = Prefix.from_string("10.1.2.3/8")
+        assert prefix.value == 0x0A000000
+
+    def test_from_bits(self):
+        prefix = Prefix.from_bits(0b1010, 4)
+        assert prefix.value == 0xA0000000
+        assert prefix.prefix_bits == 0b1010
+
+    def test_zero_length(self):
+        prefix = Prefix.from_bits(0, 0)
+        assert prefix.matches(0xFFFFFFFF)
+
+    def test_nonzero_host_bits_rejected(self):
+        with pytest.raises(KeyFormatError):
+            Prefix(value=0x0A000001, length=8)
+
+    def test_bad_string(self):
+        with pytest.raises(KeyFormatError):
+            Prefix.from_string("10.0.0/8")
+        with pytest.raises(KeyFormatError):
+            Prefix.from_string("10.0.0.256/8")
+
+    def test_str_round_trip(self):
+        text = "172.16.0.0/12"
+        assert str(Prefix.from_string(text)) == text
+
+
+class TestMatching:
+    def test_matches(self):
+        prefix = Prefix.from_string("10.0.0.0/8")
+        assert prefix.matches(0x0A123456)
+        assert not prefix.matches(0x0B000000)
+
+    def test_host_route(self):
+        prefix = Prefix.from_string("1.2.3.4/32")
+        assert prefix.matches(0x01020304)
+        assert not prefix.matches(0x01020305)
+
+    def test_bad_address(self):
+        with pytest.raises(KeyFormatError):
+            Prefix.from_string("10.0.0.0/8").matches(1 << 32)
+
+
+class TestTernaryConversion:
+    def test_pattern_shape(self):
+        prefix = Prefix.from_string("128.0.0.0/1")
+        key = prefix.to_ternary_key()
+        assert key.to_pattern() == "1" + "X" * 31
+
+    def test_matches_agree(self):
+        prefix = Prefix.from_string("10.32.0.0/11")
+        key = prefix.to_ternary_key()
+        for address in (0x0A200000, 0x0A3FFFFF, 0x0A400000, 0xFF000000):
+            assert key.matches(address, ADDRESS_BITS) == prefix.matches(address)
+
+
+class TestFirstBits:
+    def test_window(self):
+        prefix = Prefix.from_string("192.168.0.0/16")
+        assert prefix.first_bits(16) == 0xC0A8
+        assert prefix.first_bits(8) == 0xC0
+        assert prefix.first_bits(0) == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(KeyFormatError):
+            Prefix.from_string("10.0.0.0/8").first_bits(33)
+
+
+class TestOrdering:
+    def test_sortable(self):
+        prefixes = [
+            Prefix.from_string("10.0.0.0/8"),
+            Prefix.from_string("9.0.0.0/8"),
+        ]
+        assert sorted(prefixes)[0].value == 0x09000000

@@ -1,0 +1,130 @@
+"""Unit tests for the synthetic BGP table generator."""
+
+import numpy as np
+import pytest
+
+from repro.apps.iplookup.table_gen import (
+    FULL_TABLE_LENGTH_COUNTS,
+    FULL_TABLE_PREFIX_COUNT,
+    PrefixTable,
+    SyntheticBgpConfig,
+    generate_bgp_table,
+)
+from repro.errors import ConfigurationError
+
+SMALL = 20_000
+
+
+@pytest.fixture(scope="module")
+def small_table():
+    return generate_bgp_table(
+        SyntheticBgpConfig(total_prefixes=SMALL, seed=123)
+    )
+
+
+class TestStructure:
+    def test_total_count(self, small_table):
+        assert len(small_table) == SMALL
+
+    def test_unique_prefixes(self, small_table):
+        combined = (
+            small_table.values << np.uint64(6)
+        ) | small_table.lengths.astype(np.uint64)
+        assert np.unique(combined).size == SMALL
+
+    def test_host_bits_zero(self, small_table):
+        lengths = small_table.lengths.astype(np.uint64)
+        host_mask = (np.uint64(1) << (np.uint64(32) - lengths)) - np.uint64(1)
+        assert ((small_table.values & host_mask) == 0).all()
+
+    def test_minimum_length_eight(self, small_table):
+        # "the minimum length of the prefixes is 8"
+        assert small_table.lengths.min() >= 8
+
+    def test_98_percent_at_least_16(self, small_table):
+        # "over 98% of the prefixes ... are at least 16 bits long"
+        assert small_table.fraction_at_least(16) > 0.97
+
+    def test_slash24_dominates(self, small_table):
+        histogram = small_table.length_histogram()
+        assert histogram[24] > 0.4 * SMALL
+
+    def test_deterministic(self):
+        a = generate_bgp_table(SyntheticBgpConfig(total_prefixes=5000, seed=1))
+        b = generate_bgp_table(SyntheticBgpConfig(total_prefixes=5000, seed=1))
+        assert (a.values == b.values).all()
+        assert (a.lengths == b.lengths).all()
+
+    def test_seed_changes_table(self):
+        a = generate_bgp_table(SyntheticBgpConfig(total_prefixes=5000, seed=1))
+        b = generate_bgp_table(SyntheticBgpConfig(total_prefixes=5000, seed=2))
+        assert not (a.values == b.values).all()
+
+    def test_default_full_scale_count(self):
+        # The default config targets the paper's 186,760 prefixes.
+        assert FULL_TABLE_PREFIX_COUNT == 186_760
+        assert sum(FULL_TABLE_LENGTH_COUNTS.values()) == 186_760
+
+
+class TestClustering:
+    def test_clustered_beats_uniform_variance(self):
+        clustered = generate_bgp_table(
+            SyntheticBgpConfig(total_prefixes=SMALL, seed=5)
+        )
+        uniform = generate_bgp_table(
+            SyntheticBgpConfig(
+                total_prefixes=SMALL, seed=5, block_model="uniform"
+            )
+        )
+
+        def block_variance(table):
+            blocks = (table.values >> np.uint64(16)).astype(np.int64)
+            counts = np.bincount(blocks, minlength=1 << 16)
+            return counts.var()
+
+        assert block_variance(clustered) > 3 * block_variance(uniform)
+
+    def test_block_cap_respected(self):
+        config = SyntheticBgpConfig(
+            total_prefixes=SMALL, seed=5, block_max_prefixes=150
+        )
+        table = generate_bgp_table(config)
+        blocks = (table.values >> np.uint64(16)).astype(np.int64)
+        counts = np.bincount(blocks, minlength=1 << 16)
+        # The cap bounds the *expected* count; allow sampling noise.
+        assert counts.max() < 300
+
+    def test_zipf_model_runs(self):
+        table = generate_bgp_table(
+            SyntheticBgpConfig(
+                total_prefixes=5000, seed=5, block_model="zipf",
+                zipf_exponent=1.0,
+            )
+        )
+        assert len(table) == 5000
+
+
+class TestAccessors:
+    def test_prefixes_iterator(self, small_table):
+        first = next(small_table.prefixes())
+        assert first.value == int(small_table.values[0])
+        assert first.length == int(small_table.lengths[0])
+
+    def test_subset(self, small_table):
+        subset = small_table.subset(np.arange(10))
+        assert len(subset) == 10
+
+    def test_next_hops_in_range(self, small_table):
+        assert small_table.next_hops.max() < 256
+
+
+class TestValidation:
+    def test_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticBgpConfig(total_prefixes=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticBgpConfig(block_model="weird")
+        with pytest.raises(ConfigurationError):
+            SyntheticBgpConfig(block_sigma=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticBgpConfig(block_max_prefixes=0)

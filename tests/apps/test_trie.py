@@ -1,0 +1,89 @@
+"""Unit tests for the binary-trie LPM reference."""
+
+import pytest
+
+from repro.apps.iplookup.prefix import Prefix
+from repro.apps.iplookup.trie import BinaryTrie
+
+
+def p(text):
+    return Prefix.from_string(text)
+
+
+class TestLpm:
+    def test_longest_wins(self):
+        trie = BinaryTrie()
+        trie.insert(p("10.0.0.0/8"), data=8)
+        trie.insert(p("10.1.0.0/16"), data=16)
+        assert trie.lookup(0x0A010203).data == 16
+        assert trie.lookup(0x0A020304).data == 8
+
+    def test_miss(self):
+        trie = BinaryTrie()
+        trie.insert(p("10.0.0.0/8"), data=1)
+        result = trie.lookup(0x0B000000)
+        assert not result.hit
+        assert result.data is None
+
+    def test_default_route(self):
+        trie = BinaryTrie()
+        trie.insert(p("0.0.0.0/0"), data=99)
+        assert trie.lookup(0xDEADBEEF).data == 99
+
+    def test_exact_host_route(self):
+        trie = BinaryTrie()
+        trie.insert(p("1.2.3.4/32"), data=5)
+        assert trie.lookup(0x01020304).data == 5
+        assert not trie.lookup(0x01020305).hit
+
+    def test_update_in_place(self):
+        trie = BinaryTrie()
+        trie.insert(p("10.0.0.0/8"), data=1)
+        trie.insert(p("10.0.0.0/8"), data=2)
+        assert trie.lookup(0x0A000000).data == 2
+        assert len(trie) == 1
+
+
+class TestTrace:
+    def test_nodes_visited_counts_depth(self):
+        trie = BinaryTrie()
+        trie.insert(p("10.0.0.0/8"), data=1)
+        result = trie.lookup(0x0A000000)
+        # Root + 8 levels... the walk continues until a child is missing.
+        assert result.nodes_visited >= 9
+        assert len(result.addresses) == result.nodes_visited
+
+    def test_pointer_chasing_cost_grows_with_depth(self):
+        trie = BinaryTrie()
+        trie.insert(p("10.0.0.0/8"), data=1)
+        trie.insert(p("10.1.1.0/24"), data=2)
+        shallow = trie.lookup(0x0B000000)
+        deep = trie.lookup(0x0A010100)
+        assert deep.nodes_visited > shallow.nodes_visited
+
+
+class TestDelete:
+    def test_delete(self):
+        trie = BinaryTrie()
+        trie.insert(p("10.0.0.0/8"), data=1)
+        assert trie.delete(p("10.0.0.0/8")) is True
+        assert not trie.lookup(0x0A000000).hit
+        assert len(trie) == 0
+
+    def test_delete_missing(self):
+        trie = BinaryTrie()
+        assert trie.delete(p("10.0.0.0/8")) is False
+
+    def test_delete_keeps_descendants(self):
+        trie = BinaryTrie()
+        trie.insert(p("10.0.0.0/8"), data=1)
+        trie.insert(p("10.1.0.0/16"), data=2)
+        trie.delete(p("10.0.0.0/8"))
+        assert trie.lookup(0x0A010000).data == 2
+
+    def test_bad_address(self):
+        from repro.errors import KeyFormatError
+
+        trie = BinaryTrie()
+        with pytest.raises(KeyFormatError):
+            trie.lookup(-1)

@@ -1,0 +1,115 @@
+"""Unit tests for the Table 3 designs and their evaluation."""
+
+import pytest
+
+from repro.apps.trigram.designs import (
+    KEYS_PER_ROW,
+    TRIGRAM_DESIGNS,
+    TRIGRAM_KEY_BITS,
+    TrigramDesign,
+)
+from repro.apps.trigram.evaluate import evaluate_trigram_design
+from repro.apps.trigram.generator import (
+    FULL_TRIGRAM_COUNT,
+    TrigramConfig,
+    generate_trigram_database,
+)
+from repro.core.config import Arrangement
+from repro.errors import ConfigurationError
+
+#: 1/64 scale keeps unit tests fast (~84k entries, R=8).
+SCALE_SHIFT = 6
+
+
+class TestDesignGeometry:
+    def test_all_four_designs(self):
+        assert sorted(TRIGRAM_DESIGNS) == list("ABCD")
+
+    def test_paper_constants(self):
+        # "the length of a key (N) is 16x8 = 128 bits ... C is
+        # 96x128 = 12,288 bits"
+        assert TRIGRAM_KEY_BITS == 128
+        assert KEYS_PER_ROW == 96
+        assert TRIGRAM_DESIGNS["A"].row_bits == 12_288
+
+    def test_vertical_design_a(self):
+        d = TRIGRAM_DESIGNS["A"]
+        assert d.arrangement is Arrangement.VERTICAL
+        assert d.bucket_count == 4 * (1 << 14)
+        assert d.slots_per_bucket == 96
+
+    def test_horizontal_design_c(self):
+        d = TRIGRAM_DESIGNS["C"]
+        assert d.bucket_count == 1 << 14
+        assert d.slots_per_bucket == 384
+
+    def test_paper_load_factors(self):
+        # alpha = 5,385,231 / capacity: 0.86 for 4 slices, 0.68 for 5.
+        for name, alpha in (("A", 0.86), ("B", 0.68), ("C", 0.86),
+                            ("D", 0.68)):
+            design = TRIGRAM_DESIGNS[name]
+            assert FULL_TRIGRAM_COUNT / design.capacity_records == pytest.approx(
+                alpha, abs=0.01
+            )
+
+    def test_scaled_preserves_load_factor(self):
+        design = TRIGRAM_DESIGNS["A"]
+        scaled = design.scaled(3)
+        assert scaled.capacity_records * 8 == design.capacity_records
+
+    def test_scaled_validation(self):
+        with pytest.raises(ConfigurationError):
+            TRIGRAM_DESIGNS["A"].scaled(-1)
+        with pytest.raises(ConfigurationError):
+            TRIGRAM_DESIGNS["A"].scaled(14)
+
+    def test_bad_design(self):
+        with pytest.raises(ConfigurationError):
+            TrigramDesign("X", 0, Arrangement.VERTICAL)
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def database(self):
+        return generate_trigram_database(
+            TrigramConfig(
+                total_entries=FULL_TRIGRAM_COUNT >> SCALE_SHIFT, seed=31
+            )
+        )
+
+    @pytest.fixture(scope="class")
+    def results(self, database):
+        return {
+            name: evaluate_trigram_design(
+                TRIGRAM_DESIGNS[name].scaled(SCALE_SHIFT), database
+            )
+            for name in "ABCD"
+        }
+
+    def test_design_a_band(self, results):
+        # Paper: alpha 0.86, ~6% overflowing, ~0.34% spilled, AMAL 1.003.
+        res = results["A"]
+        assert res.load_factor == pytest.approx(0.86, abs=0.01)
+        assert 2.0 < res.overflowing_buckets_pct < 12.0
+        assert 0.05 < res.spilled_records_pct < 1.5
+        assert 1.0 < res.amal < 1.02
+
+    def test_other_designs_near_perfect(self, results):
+        # Paper: B/C/D have essentially no spills and AMAL 1.000.
+        for name in "BCD":
+            assert results[name].spilled_records_pct < 0.1
+            assert results[name].amal == pytest.approx(1.0, abs=0.005)
+
+    def test_horizontal_absorbs_overflow(self, results):
+        # A vs C: same alpha, C's 4x-wider buckets nearly eliminate
+        # overflow ("the trade-off between horizontal vs. vertical slice
+        # arrangement").
+        assert (
+            results["C"].overflowing_buckets_pct
+            < results["A"].overflowing_buckets_pct
+        )
+
+    def test_row_shape(self, results):
+        row = results["A"].row()
+        assert row["design"] == "A"
+        assert "AMAL" in row

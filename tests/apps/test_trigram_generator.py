@@ -1,0 +1,114 @@
+"""Unit tests for the synthetic trigram database generator."""
+
+import numpy as np
+import pytest
+
+from repro.apps.trigram.generator import (
+    MAX_CHARS,
+    MIN_CHARS,
+    TrigramConfig,
+    TrigramDatabase,
+    generate_trigram_database,
+)
+from repro.errors import ConfigurationError
+from repro.hashing.djb import djb2_bytes
+
+SMALL = 30_000
+
+
+@pytest.fixture(scope="module")
+def database():
+    return generate_trigram_database(
+        TrigramConfig(total_entries=SMALL, seed=21)
+    )
+
+
+class TestStructure:
+    def test_count(self, database):
+        assert len(database) == SMALL
+
+    def test_length_window(self, database):
+        # "we ... focus only on the entries with 13-16 characters"
+        lengths = database.lengths()
+        assert lengths.min() >= MIN_CHARS
+        assert lengths.max() <= MAX_CHARS
+
+    def test_unique_entries(self, database):
+        strings = set()
+        for row in range(0, SMALL, 17):
+            strings.add(database.string_at(row))
+        assert len(strings) == len(range(0, SMALL, 17))
+        # Full uniqueness via the packed matrix.
+        view = database.packed.view(
+            [("bytes", f"({MAX_CHARS + 1},)u1")]
+        ).ravel()
+        assert np.unique(view).size == SMALL
+
+    def test_word_trigram_shape(self, database):
+        # Two spaces separating three lowercase words.
+        for row in range(50):
+            text = database.string_at(row)
+            words = text.split(b" ")
+            assert len(words) == 3
+            assert all(w.isalpha() and w.islower() for w in words)
+
+    def test_padding_zeroed(self, database):
+        lengths = database.lengths().astype(np.int64)
+        for row in range(100):
+            length = lengths[row]
+            assert (database.packed[row, length:MAX_CHARS] == 0).all()
+
+    def test_deterministic(self):
+        a = generate_trigram_database(TrigramConfig(total_entries=2000, seed=3))
+        b = generate_trigram_database(TrigramConfig(total_entries=2000, seed=3))
+        assert (a.packed == b.packed).all()
+
+
+class TestHashing:
+    def test_bucket_indices_match_scalar_djb(self, database):
+        buckets = database.bucket_indices(4096)
+        for row in range(0, 500, 13):
+            expected = djb2_bytes(database.string_at(row)) % 4096
+            assert buckets[row] == expected
+
+    def test_spread_near_poisson(self, database):
+        # DJB over the synthetic corpus must spread near-uniformly — the
+        # property Figure 7 depends on.
+        buckets = database.bucket_indices(256)
+        counts = np.bincount(buckets, minlength=256)
+        mean = counts.mean()
+        assert counts.std() < 2.5 * np.sqrt(mean)
+
+    def test_hashes_are_32bit(self, database):
+        hashes = database.hashes()
+        assert hashes.max() < (1 << 32)
+
+
+class TestAccessors:
+    def test_subset(self, database):
+        sub = database.subset(np.arange(10))
+        assert len(sub) == 10
+        assert sub.string_at(0) == database.string_at(0)
+
+    def test_strings_iterator(self, database):
+        first = next(database.strings())
+        assert first == database.string_at(0)
+
+    def test_probabilities_shape(self, database):
+        assert database.probabilities.shape == (SMALL,)
+
+
+class TestValidation:
+    def test_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            TrigramConfig(total_entries=0)
+        with pytest.raises(ConfigurationError):
+            TrigramConfig(vocabulary_size=2)
+        with pytest.raises(ConfigurationError):
+            TrigramConfig(word_zipf_exponent=-1)
+
+    def test_tiny_vocabulary_cannot_fill(self):
+        with pytest.raises(ConfigurationError):
+            generate_trigram_database(
+                TrigramConfig(total_entries=100_000, vocabulary_size=4, seed=1)
+            )

@@ -1,0 +1,103 @@
+"""Unit tests for the binary CAM baseline."""
+
+import pytest
+
+from repro.cam.cam import BinaryCAM
+from repro.errors import CapacityError, ConfigurationError, KeyFormatError, LookupError_
+
+
+class TestBasic:
+    def test_insert_search(self):
+        cam = BinaryCAM(entries=8, key_bits=16)
+        row = cam.insert(0xBEEF, data=7)
+        result = cam.search(0xBEEF)
+        assert result.hit
+        assert result.index == row
+        assert result.data == 7
+
+    def test_miss(self):
+        cam = BinaryCAM(8, 16)
+        result = cam.search(1)
+        assert not result.hit
+        assert result.index is None
+
+    def test_explicit_index(self):
+        cam = BinaryCAM(8, 16)
+        assert cam.insert(5, index=3) == 3
+        assert cam.read(3) == 5
+
+    def test_occupied_index_rejected(self):
+        cam = BinaryCAM(8, 16)
+        cam.insert(1, index=0)
+        with pytest.raises(CapacityError):
+            cam.insert(2, index=0)
+
+    def test_full_cam(self):
+        cam = BinaryCAM(2, 8)
+        cam.insert(1)
+        cam.insert(2)
+        with pytest.raises(CapacityError):
+            cam.insert(3)
+
+    def test_entry_count(self):
+        cam = BinaryCAM(8, 16)
+        cam.insert(1)
+        cam.insert(2)
+        assert cam.entry_count == 2
+
+
+class TestPriorityEncoder:
+    def test_lowest_index_wins(self):
+        cam = BinaryCAM(8, 16)
+        cam.insert(7, data=1, index=5)
+        cam.insert(7, data=2, index=2)
+        result = cam.search(7)
+        assert result.index == 2
+        assert result.data == 2
+        assert result.match_count == 2
+
+
+class TestDelete:
+    def test_delete_all_copies(self):
+        cam = BinaryCAM(8, 16)
+        cam.insert(7, index=1)
+        cam.insert(7, index=4)
+        assert cam.delete(7) == 2
+        assert not cam.search(7).hit
+
+    def test_delete_missing(self):
+        cam = BinaryCAM(8, 16)
+        with pytest.raises(LookupError_):
+            cam.delete(7)
+
+
+class TestPowerActivity:
+    def test_every_search_activates_all_rows(self):
+        # The O(w*n) power story of Section 2.2.
+        cam = BinaryCAM(64, 16)
+        cam.search(1)
+        cam.search(2)
+        assert cam.stats.searches == 2
+        assert cam.stats.rows_activated == 128
+
+
+class TestValidation:
+    def test_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            BinaryCAM(0, 8)
+        with pytest.raises(ConfigurationError):
+            BinaryCAM(8, 0)
+
+    def test_key_too_wide(self):
+        cam = BinaryCAM(8, 8)
+        with pytest.raises(KeyFormatError):
+            cam.search(256)
+
+    def test_read_out_of_range(self):
+        cam = BinaryCAM(8, 8)
+        with pytest.raises(ConfigurationError):
+            cam.read(8)
+
+    def test_read_empty(self):
+        cam = BinaryCAM(8, 8)
+        assert cam.read(0) is None

@@ -1,0 +1,70 @@
+"""Unit tests for the published cell constants."""
+
+import pytest
+
+from repro.cam.cells import (
+    CAM_STACKED_YAMAGATA92,
+    DRAM_CELL_MORISHITA,
+    MATCH_PROCESSOR_AREA_OVERHEAD,
+    PUBLISHED_CELLS,
+    TCAM_16T_SRAM_NODA03,
+    TCAM_6T_DYNAMIC_NODA05,
+    TCAM_8T_DYNAMIC_NODA03,
+    ca_ram_binary_cell_area,
+    ca_ram_ternary_cell_area,
+)
+
+
+class TestPublishedValues:
+    def test_noda_cells(self):
+        # The paper's Section 5.1 figures.
+        assert TCAM_16T_SRAM_NODA03.area_um2_per_cell == pytest.approx(9.0)
+        assert TCAM_8T_DYNAMIC_NODA03.area_um2_per_cell == pytest.approx(4.79)
+        assert TCAM_6T_DYNAMIC_NODA05.area_um2_per_cell == pytest.approx(3.59)
+
+    def test_morishita_dram(self):
+        # "an embedded DRAM cell ... (0.35 um^2) is an order of magnitude
+        # smaller than their smallest TCAM cell"
+        assert DRAM_CELL_MORISHITA.area_um2_per_cell == pytest.approx(0.35)
+        assert (
+            TCAM_6T_DYNAMIC_NODA05.area_um2_per_cell
+            / DRAM_CELL_MORISHITA.area_um2_per_cell
+            > 10
+        )
+
+    def test_dram_clock_over_twice_tcam(self):
+        # "operated at over twice the clock rate of the TCAM"
+        assert DRAM_CELL_MORISHITA.clock_hz > 2 * TCAM_6T_DYNAMIC_NODA05.clock_hz
+
+    def test_registry(self):
+        assert TCAM_16T_SRAM_NODA03.name in PUBLISHED_CELLS
+        assert CAM_STACKED_YAMAGATA92.name in PUBLISHED_CELLS
+        assert len(PUBLISHED_CELLS) == 5
+
+    def test_same_process_node(self):
+        # "the same advanced 130nm process technology to allow a fair
+        # comparison"
+        for spec in (TCAM_16T_SRAM_NODA03, TCAM_6T_DYNAMIC_NODA05,
+                     DRAM_CELL_MORISHITA):
+            assert spec.process_nm == 130
+
+
+class TestCaRamCellArea:
+    def test_ternary_cell(self):
+        # 2 DRAM bits + 7% match overhead.
+        expected = 0.35 * 2 * (1 + MATCH_PROCESSOR_AREA_OVERHEAD)
+        assert ca_ram_ternary_cell_area() == pytest.approx(expected)
+
+    def test_binary_cell_is_half_ternary(self):
+        assert ca_ram_ternary_cell_area() == pytest.approx(
+            2 * ca_ram_binary_cell_area()
+        )
+
+    def test_paper_ratios(self):
+        # "over 12x smaller than a 16T SRAM-based TCAM cell, and 4.8x
+        # smaller than a state-of-the-art 6T dynamic TCAM cell"
+        cell = ca_ram_ternary_cell_area()
+        assert TCAM_16T_SRAM_NODA03.area_um2_per_cell / cell > 12.0
+        assert TCAM_6T_DYNAMIC_NODA05.area_um2_per_cell / cell == pytest.approx(
+            4.8, abs=0.05
+        )

@@ -1,0 +1,105 @@
+"""Unit tests for the TCAM baseline."""
+
+import pytest
+
+from repro.cam.tcam import TCAM
+from repro.core.key import TernaryKey
+from repro.core.record import Record
+from repro.errors import CapacityError, KeyFormatError, LookupError_
+
+
+class TestTernarySearch:
+    def test_exact_key(self):
+        tcam = TCAM(8, 16)
+        tcam.insert(0xBEEF, data=1)
+        assert tcam.search(0xBEEF).hit
+        assert not tcam.search(0xBEEE).hit
+
+    def test_pattern_matches_range(self):
+        tcam = TCAM(8, 5)
+        tcam.insert(TernaryKey.from_pattern("110XX"), data=7)
+        for value in (0b11000, 0b11011):
+            assert tcam.search(value).data == 7
+        assert not tcam.search(0b10000).hit
+
+    def test_search_mask(self):
+        tcam = TCAM(8, 8)
+        tcam.insert(0b10101010, data=3)
+        assert not tcam.search(0b10101011).hit
+        assert tcam.search(0b10101011, search_mask=0b1).hit
+
+    def test_ternary_search_key(self):
+        tcam = TCAM(8, 4)
+        tcam.insert(0b1010, data=1)
+        probe = TernaryKey.from_pattern("10X0")
+        assert tcam.search(probe).hit
+
+
+class TestLpmPriority:
+    def test_sorted_load_gives_lpm(self):
+        # "the priority encoder in TCAM can be used to perform LPM when
+        # prefixes in TCAM are sorted on prefix length"
+        tcam = TCAM(8, 8)
+        records = [
+            Record(key=TernaryKey.from_prefix(0b1010, 4, 8), data=4),
+            Record(key=TernaryKey.from_prefix(0b10, 2, 8), data=2),
+        ]
+        tcam.load_sorted(records)
+        result = tcam.search(0b10101111)
+        assert result.data == 4  # longest prefix
+        assert result.match_count == 2
+        assert tcam.search(0b10111111).data == 2
+
+    def test_load_sorted_replaces(self):
+        tcam = TCAM(8, 8)
+        tcam.insert(1)
+        tcam.load_sorted([Record(key=TernaryKey.exact(2, 8), data=0)])
+        assert not tcam.search(1).hit
+        assert tcam.search(2).hit
+
+    def test_load_too_many(self):
+        tcam = TCAM(1, 8)
+        records = [Record(key=TernaryKey.exact(i, 8), data=0) for i in range(2)]
+        with pytest.raises(CapacityError):
+            tcam.load_sorted(records)
+
+
+class TestUpdates:
+    def test_delete_pattern(self):
+        tcam = TCAM(8, 8)
+        pattern = TernaryKey.from_pattern("1XXXXXXX")
+        tcam.insert(pattern)
+        assert tcam.delete(pattern) == 1
+        assert not tcam.search(0b10000000).hit
+
+    def test_delete_requires_exact_pattern(self):
+        tcam = TCAM(8, 8)
+        tcam.insert(TernaryKey.from_pattern("1XXXXXXX"))
+        with pytest.raises(LookupError_):
+            tcam.delete(TernaryKey.from_pattern("11XXXXXX"))
+
+    def test_full(self):
+        tcam = TCAM(1, 8)
+        tcam.insert(1)
+        with pytest.raises(CapacityError):
+            tcam.insert(2)
+
+
+class TestValidation:
+    def test_key_width_checked(self):
+        tcam = TCAM(4, 8)
+        with pytest.raises(KeyFormatError):
+            tcam.insert(TernaryKey.exact(0, 16))
+        with pytest.raises(KeyFormatError):
+            tcam.search(256)
+
+    def test_activity_counters(self):
+        tcam = TCAM(16, 8)
+        tcam.search(0)
+        assert tcam.stats.rows_activated == 16
+
+    def test_lookup_convenience(self):
+        tcam = TCAM(4, 8)
+        tcam.insert(9, data=5)
+        assert tcam.lookup(9) == 5
+        assert tcam.lookup(10) is None

@@ -1,0 +1,96 @@
+"""Unit tests for the sorted-TCAM update manager."""
+
+import pytest
+
+from repro.apps.iplookup.prefix import Prefix
+from repro.cam.tcam_update import SortedTcamManager
+from repro.errors import CapacityError, ConfigurationError, LookupError_
+
+
+def p(text):
+    return Prefix.from_string(text)
+
+
+class TestLpmThroughManager:
+    def test_lookup_prefers_longest(self):
+        manager = SortedTcamManager(capacity=16)
+        manager.insert(p("10.0.0.0/8"), 8)
+        manager.insert(p("10.1.0.0/16"), 16)
+        manager.insert(p("10.1.1.0/24"), 24)
+        assert manager.lookup(0x0A010101) == 24
+        assert manager.lookup(0x0A010201) == 16
+        assert manager.lookup(0x0A020101) == 8
+        assert manager.lookup(0x0B000000) is None
+
+    def test_insertion_order_irrelevant(self):
+        a = SortedTcamManager(capacity=8)
+        b = SortedTcamManager(capacity=8)
+        routes = [(p("10.0.0.0/8"), 1), (p("10.1.0.0/16"), 2)]
+        for prefix, hop in routes:
+            a.insert(prefix, hop)
+        for prefix, hop in reversed(routes):
+            b.insert(prefix, hop)
+        for address in (0x0A010000, 0x0A020000):
+            assert a.lookup(address) == b.lookup(address)
+
+
+class TestMoveAccounting:
+    def test_insert_at_pivot_is_free(self):
+        manager = SortedTcamManager(capacity=16, pivot_length=24)
+        assert manager.insert(p("10.1.1.0/24"), 1) == 0
+
+    def test_moves_count_intervening_regions(self):
+        manager = SortedTcamManager(capacity=32, pivot_length=24)
+        manager.insert(p("10.1.1.0/24"), 1)
+        manager.insert(p("10.1.0.0/25"), 1)   # hops over /24 region
+        assert manager.stats.entry_moves == 1
+        # A /32 insert must displace one edge entry per non-empty region
+        # between 32 and the pool (here /25 and /24).
+        moves = manager.insert(p("10.1.1.1/32"), 1)
+        assert moves == 2
+
+    def test_empty_regions_cost_nothing(self):
+        manager = SortedTcamManager(capacity=32, pivot_length=24)
+        assert manager.insert(p("10.1.1.1/32"), 1) == 0  # nothing between
+
+    def test_short_side_of_pivot(self):
+        manager = SortedTcamManager(capacity=32, pivot_length=24)
+        manager.insert(p("10.0.0.0/16"), 1)
+        moves = manager.insert(p("12.0.0.0/8"), 1)  # hops over /16
+        assert moves == 1
+
+    def test_update_in_place_free(self):
+        manager = SortedTcamManager(capacity=8)
+        manager.insert(p("10.0.0.0/8"), 1)
+        assert manager.insert(p("10.0.0.0/8"), 2) == 0
+        assert manager.lookup(0x0A000000) == 2
+        assert manager.entry_count == 1
+
+    def test_moves_per_insert_statistic(self):
+        manager = SortedTcamManager(capacity=64, pivot_length=24)
+        for i, length in enumerate((24, 25, 26, 27, 28)):
+            prefix = Prefix.from_bits((0x0A << (length - 8)) | i, length)
+            manager.insert(prefix, 1)
+        assert manager.stats.moves_per_insert >= 1.0
+
+
+class TestBoundaries:
+    def test_capacity(self):
+        manager = SortedTcamManager(capacity=1)
+        manager.insert(p("10.0.0.0/8"), 1)
+        with pytest.raises(CapacityError):
+            manager.insert(p("11.0.0.0/8"), 1)
+
+    def test_delete(self):
+        manager = SortedTcamManager(capacity=8)
+        manager.insert(p("10.0.0.0/8"), 1)
+        manager.delete(p("10.0.0.0/8"))
+        assert manager.lookup(0x0A000000) is None
+        with pytest.raises(LookupError_):
+            manager.delete(p("10.0.0.0/8"))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SortedTcamManager(capacity=0)
+        with pytest.raises(ConfigurationError):
+            SortedTcamManager(capacity=8, pivot_length=40)

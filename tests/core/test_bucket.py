@@ -1,0 +1,150 @@
+"""Unit tests for the bucket row layout."""
+
+import pytest
+
+from repro.core.bucket import BucketLayout
+from repro.core.record import Record, RecordFormat
+from repro.errors import ConfigurationError
+
+
+def make_layout(row_bits=128, key_bits=16, data_bits=8, aux_bits=8, **kw):
+    return BucketLayout(
+        row_bits=row_bits,
+        record_format=RecordFormat(key_bits=key_bits, data_bits=data_bits),
+        aux_bits=aux_bits,
+        **kw,
+    )
+
+
+def make_record(layout, key, data=0):
+    return Record.make(key, data, layout.record_format)
+
+
+class TestGeometry:
+    def test_slots_per_bucket(self):
+        layout = make_layout()  # slot = 25 bits, (128-8)//25 = 4
+        assert layout.slots_per_bucket == 4
+
+    def test_paper_floor_c_over_n(self):
+        # No aux, no data, no valid-bit economy: floor(C / slot_bits).
+        layout = BucketLayout(
+            row_bits=12_288,
+            record_format=RecordFormat(key_bits=128),
+            aux_bits=0,
+        )
+        assert layout.slots_per_bucket == 12_288 // 129
+
+    def test_slots_override(self):
+        layout = make_layout(slots_override=2)
+        assert layout.slots_per_bucket == 2
+
+    def test_slots_override_too_large(self):
+        with pytest.raises(ConfigurationError):
+            make_layout(slots_override=10).slots_per_bucket
+
+    def test_row_too_small(self):
+        with pytest.raises(ConfigurationError):
+            make_layout(row_bits=16)
+
+    def test_max_reach(self):
+        assert make_layout(aux_bits=8).max_reach == 255
+        assert make_layout(aux_bits=0).max_reach == 0
+
+
+class TestAuxField:
+    def test_round_trip(self):
+        layout = make_layout()
+        row = layout.write_aux(0, 42)
+        assert layout.read_aux(row) == 42
+
+    def test_aux_does_not_clobber_slots(self):
+        layout = make_layout()
+        record = make_record(layout, 0xABCD, 0x12)
+        row = layout.write_slot(0, 0, record)
+        row = layout.write_aux(row, 7)
+        valid, decoded = layout.read_slot(row, 0)
+        assert valid and decoded == record
+        assert layout.read_aux(row) == 7
+
+    def test_reach_overflow_rejected(self):
+        layout = make_layout(aux_bits=4)
+        with pytest.raises(ConfigurationError):
+            layout.write_aux(0, 16)
+
+    def test_disabled_aux(self):
+        layout = make_layout(aux_bits=0)
+        assert layout.read_aux(123) == 0
+        with pytest.raises(ConfigurationError):
+            layout.write_aux(0, 1)
+
+
+class TestSlots:
+    def test_write_read_each_slot(self):
+        layout = make_layout()
+        row = 0
+        records = [make_record(layout, 100 + i, i) for i in range(4)]
+        for slot, record in enumerate(records):
+            row = layout.write_slot(row, slot, record)
+        for slot, record in enumerate(records):
+            valid, decoded = layout.read_slot(row, slot)
+            assert valid and decoded == record
+
+    def test_clear_slot(self):
+        layout = make_layout()
+        row = layout.write_slot(0, 1, make_record(layout, 5))
+        row = layout.write_slot(row, 1, None)
+        valid, _ = layout.read_slot(row, 1)
+        assert not valid
+
+    def test_write_preserves_neighbors(self):
+        layout = make_layout()
+        a, b = make_record(layout, 1, 1), make_record(layout, 2, 2)
+        row = layout.write_slot(0, 0, a)
+        row = layout.write_slot(row, 1, b)
+        row = layout.write_slot(row, 0, None)
+        valid, decoded = layout.read_slot(row, 1)
+        assert valid and decoded == b
+
+    def test_slot_out_of_range(self):
+        layout = make_layout()
+        with pytest.raises(ConfigurationError):
+            layout.read_slot(0, 4)
+
+
+class TestHelpers:
+    def test_find_free_slot(self):
+        layout = make_layout()
+        row = layout.write_slot(0, 0, make_record(layout, 1))
+        assert layout.find_free_slot(row) == 1
+        for slot in range(1, 4):
+            row = layout.write_slot(row, slot, make_record(layout, slot + 1))
+        assert layout.find_free_slot(row) is None
+
+    def test_occupancy(self):
+        layout = make_layout()
+        row = layout.write_slot(0, 2, make_record(layout, 9))
+        assert layout.occupancy(row) == 1
+
+    def test_read_all(self):
+        layout = make_layout()
+        row = layout.write_slot(0, 1, make_record(layout, 3))
+        slots = layout.read_all(row)
+        assert len(slots) == 4
+        assert [valid for valid, _ in slots] == [False, True, False, False]
+
+    def test_pack(self):
+        layout = make_layout()
+        records = [make_record(layout, i + 1, i) for i in range(3)]
+        row = layout.pack(records, reach=5)
+        assert layout.read_aux(row) == 5
+        assert layout.occupancy(row) == 3
+        valid, decoded = layout.read_slot(row, 0)
+        assert valid and decoded == records[0]
+        valid, _ = layout.read_slot(row, 3)
+        assert not valid
+
+    def test_pack_too_many(self):
+        layout = make_layout()
+        records = [make_record(layout, i, 0) for i in range(5)]
+        with pytest.raises(ConfigurationError):
+            layout.pack(records)

@@ -1,0 +1,86 @@
+"""Unit tests for slice configuration."""
+
+import pytest
+
+from repro.core.config import (
+    Arrangement,
+    PROTOTYPE_KEY_BYTES,
+    SliceConfig,
+    prototype_key_supported,
+)
+from repro.core.record import RecordFormat
+from repro.errors import ConfigurationError
+
+
+def make_config(**kw):
+    defaults = dict(
+        index_bits=8,
+        row_bits=256,
+        record_format=RecordFormat(key_bits=16, data_bits=8),
+    )
+    defaults.update(kw)
+    return SliceConfig(**defaults)
+
+
+class TestGeometry:
+    def test_rows(self):
+        assert make_config(index_bits=11).rows == 2048
+
+    def test_slots_per_bucket(self):
+        config = make_config()  # slot 25 bits, (256-8)//25 = 9
+        assert config.slots_per_bucket == 9
+
+    def test_capacity(self):
+        config = make_config()
+        assert config.capacity_records == 256 * 9
+        assert config.capacity_bits == 256 * 256
+
+    def test_load_factor(self):
+        config = make_config()
+        assert config.load_factor(config.capacity_records) == pytest.approx(1.0)
+
+    def test_describe_mentions_geometry(self):
+        text = make_config().describe()
+        assert "2^8 rows" in text
+        assert "16-bit" in text
+
+
+class TestValidation:
+    def test_bad_index_bits(self):
+        with pytest.raises(ConfigurationError):
+            make_config(index_bits=0)
+        with pytest.raises(ConfigurationError):
+            make_config(index_bits=32)
+
+    def test_row_too_narrow(self):
+        with pytest.raises(ConfigurationError):
+            make_config(row_bits=16)
+
+
+class TestTernaryToggle:
+    def test_with_ternary_halves_slots(self):
+        binary = make_config(row_bits=512)
+        ternary = binary.with_ternary(True)
+        assert ternary.record_format.ternary
+        assert ternary.slots_per_bucket < binary.slots_per_bucket
+
+    def test_round_trip(self):
+        config = make_config()
+        assert config.with_ternary(True).with_ternary(False) == config
+
+
+class TestPrototypeKeySizes:
+    def test_supported_sizes(self):
+        # Section 3.3: "1, 2, 3, 4, 6, 8, 12, and 16 bytes".
+        for size in PROTOTYPE_KEY_BYTES:
+            assert prototype_key_supported(size * 8)
+
+    def test_unsupported(self):
+        assert not prototype_key_supported(5 * 8)
+        assert not prototype_key_supported(12)  # not byte-aligned
+
+
+class TestArrangement:
+    def test_values(self):
+        assert Arrangement.HORIZONTAL.value == "horizontal"
+        assert Arrangement.VERTICAL.value == "vertical"

@@ -1,0 +1,136 @@
+"""Unit tests for the input controller and throughput simulator."""
+
+import pytest
+
+from repro.core.config import Arrangement, SliceConfig
+from repro.core.controller import InputController, ThroughputSimulator
+from repro.core.record import RecordFormat
+from repro.core.subsystem import CARAMSubsystem, SliceGroup
+from repro.errors import ConfigurationError
+from repro.hashing.base import ModuloHash
+from repro.memory.timing import DRAM_TIMING, SRAM_TIMING
+
+
+def make_subsystem():
+    config = SliceConfig(
+        index_bits=4, row_bits=128,
+        record_format=RecordFormat(key_bits=16, data_bits=8),
+    )
+    sub = CARAMSubsystem()
+    group = SliceGroup(
+        config, 2, Arrangement.VERTICAL, ModuloHash(32), name="db"
+    )
+    sub.add_group(group)
+    sub.map_port("p0", "db")
+    return sub, group
+
+
+def make_group(slice_count, arrangement=Arrangement.VERTICAL, timing=DRAM_TIMING):
+    config = SliceConfig(
+        index_bits=6, row_bits=128,
+        record_format=RecordFormat(key_bits=16, data_bits=8),
+        timing=timing,
+    )
+    buckets = (
+        config.rows * slice_count
+        if arrangement is Arrangement.VERTICAL
+        else config.rows
+    )
+    return SliceGroup(
+        config, slice_count, arrangement, ModuloHash(buckets), name="tp"
+    )
+
+
+class TestInputController:
+    def test_submit_and_drain(self):
+        sub, group = make_subsystem()
+        sub.insert("db", 3, data=9)
+        controller = InputController(sub)
+        tag = controller.submit("p0", 3)
+        assert controller.pending_requests == 1
+        assert controller.drain() == 1
+        response = controller.fetch_result()
+        assert response.tag == tag
+        assert response.result.data == 9
+        assert controller.fetch_result() is None
+
+    def test_fifo_order(self):
+        sub, group = make_subsystem()
+        sub.insert("db", 1, data=1)
+        sub.insert("db", 2, data=2)
+        controller = InputController(sub)
+        t1 = controller.submit("p0", 1)
+        t2 = controller.submit("p0", 2)
+        controller.drain()
+        assert controller.fetch_result().tag == t1
+        assert controller.fetch_result().tag == t2
+
+    def test_queue_depth_backpressure(self):
+        sub, _ = make_subsystem()
+        controller = InputController(sub, queue_depth=2)
+        controller.submit("p0", 1)
+        controller.submit("p0", 2)
+        with pytest.raises(ConfigurationError):
+            controller.submit("p0", 3)
+
+    def test_step_idle(self):
+        sub, _ = make_subsystem()
+        assert InputController(sub).step() is False
+
+
+class TestThroughputSimulator:
+    def test_single_slice_bandwidth(self):
+        # One DRAM slice, n_mem=6: 1 lookup per 6 cycles.
+        group = make_group(1)
+        sim = ThroughputSimulator(group)
+        lookups = [(i % group.bucket_count, 1) for i in range(600)]
+        report = sim.simulate(lookups)
+        assert report.lookups_per_second == pytest.approx(
+            DRAM_TIMING.clock_hz / 6, rel=0.05
+        )
+
+    def test_vertical_slices_scale_bandwidth(self):
+        reports = {}
+        for count in (1, 4):
+            group = make_group(count)
+            lookups = [(i % group.bucket_count, 1) for i in range(2000)]
+            reports[count] = ThroughputSimulator(group).simulate(lookups)
+        ratio = (
+            reports[4].lookups_per_second / reports[1].lookups_per_second
+        )
+        assert ratio == pytest.approx(4.0, rel=0.1)
+
+    def test_horizontal_does_not_scale(self):
+        # Horizontal fetches hold every slice: bandwidth stays 1/n_mem.
+        group = make_group(4, arrangement=Arrangement.HORIZONTAL)
+        lookups = [(i % group.bucket_count, 1) for i in range(600)]
+        report = ThroughputSimulator(group).simulate(lookups)
+        assert report.lookups_per_second == pytest.approx(
+            DRAM_TIMING.clock_hz / 6, rel=0.05
+        )
+
+    def test_dispatch_port_caps_throughput(self):
+        # With SRAM (n_mem=1) and many slices, the 1/cycle port is the cap.
+        group = make_group(8, timing=SRAM_TIMING)
+        lookups = [(i % group.bucket_count, 1) for i in range(2000)]
+        report = ThroughputSimulator(group).simulate(lookups)
+        assert report.lookups_per_cycle <= 1.0 + 1e-9
+        assert report.lookups_per_cycle == pytest.approx(1.0, rel=0.05)
+
+    def test_multi_access_lookups_cost_more(self):
+        group = make_group(1)
+        single = ThroughputSimulator(group).simulate([(0, 1)] * 100)
+        double = ThroughputSimulator(group).simulate([(0, 2)] * 100)
+        assert double.cycles > single.cycles
+
+    def test_zero_accesses_rejected(self):
+        group = make_group(1)
+        with pytest.raises(ConfigurationError):
+            ThroughputSimulator(group).simulate([(0, 0)])
+
+    def test_utilization_bounds(self):
+        group = make_group(2)
+        report = ThroughputSimulator(group).simulate(
+            [(i % group.bucket_count, 1) for i in range(500)]
+        )
+        assert 0.0 < report.utilization <= 1.0

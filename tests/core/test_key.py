@@ -1,0 +1,154 @@
+"""Unit tests for ternary keys."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.key import TernaryKey
+from repro.errors import KeyFormatError
+
+
+class TestConstruction:
+    def test_exact(self):
+        key = TernaryKey.exact(0b1010, 4)
+        assert key.is_binary
+        assert key.value == 0b1010
+
+    def test_masked_value_normalized(self):
+        # Bits under the mask are forced to zero.
+        key = TernaryKey(value=0b1111, mask=0b0011, width=4)
+        assert key.value == 0b1100
+
+    def test_normalization_makes_equal_keys_equal(self):
+        a = TernaryKey(value=0b1111, mask=0b0011, width=4)
+        b = TernaryKey(value=0b1100, mask=0b0011, width=4)
+        assert a == b
+
+    def test_bad_width(self):
+        with pytest.raises(KeyFormatError):
+            TernaryKey(value=0, mask=0, width=0)
+
+    def test_value_too_wide(self):
+        with pytest.raises(KeyFormatError):
+            TernaryKey(value=16, mask=0, width=4)
+
+    def test_mask_too_wide(self):
+        with pytest.raises(KeyFormatError):
+            TernaryKey(value=0, mask=16, width=4)
+
+
+class TestFromPrefix:
+    def test_paper_example(self):
+        # "110XX" matches "11000".."11011".
+        key = TernaryKey.from_prefix(0b110, 3, 5)
+        assert key.to_pattern() == "110XX"
+        for value in (0b11000, 0b11001, 0b11010, 0b11011):
+            assert key.matches(value, 5)
+        assert not key.matches(0b10000, 5)
+
+    def test_zero_length(self):
+        key = TernaryKey.from_prefix(0, 0, 4)
+        assert key.to_pattern() == "XXXX"
+        assert key.matches(0b1111, 4)
+
+    def test_full_length(self):
+        key = TernaryKey.from_prefix(0b1010, 4, 4)
+        assert key.is_binary
+
+    def test_bad_length(self):
+        with pytest.raises(KeyFormatError):
+            TernaryKey.from_prefix(0, 5, 4)
+
+
+class TestFromPattern:
+    def test_round_trip(self):
+        for pattern in ("101", "1X0", "XXXX", "0"):
+            assert TernaryKey.from_pattern(pattern).to_pattern() == pattern
+
+    def test_lowercase_x(self):
+        assert TernaryKey.from_pattern("1x0").to_pattern() == "1X0"
+
+    def test_bad_symbol(self):
+        with pytest.raises(KeyFormatError):
+            TernaryKey.from_pattern("102")
+
+
+class TestMatching:
+    def test_stored_dont_care(self):
+        key = TernaryKey.from_pattern("1X1")
+        assert key.matches(0b101, 3)
+        assert key.matches(0b111, 3)
+        assert not key.matches(0b001, 3)
+
+    def test_search_mask(self):
+        key = TernaryKey.from_pattern("101")
+        # Search with the middle bit masked out.
+        assert key.matches(0b111, 3, search_mask=0b010)
+        assert not key.matches(0b111, 3)
+
+    def test_width_mismatch(self):
+        key = TernaryKey.exact(1, 3)
+        with pytest.raises(KeyFormatError):
+            key.matches(1, 4)
+
+    def test_bit_accessor(self):
+        key = TernaryKey.from_pattern("1X0")
+        assert key.bit(0) == "1"
+        assert key.bit(1) == "X"
+        assert key.bit(2) == "0"
+
+
+class TestOverlap:
+    def test_overlapping_patterns(self):
+        a = TernaryKey.from_pattern("1X0")
+        b = TernaryKey.from_pattern("10X")
+        assert a.overlaps(b)
+
+    def test_disjoint_patterns(self):
+        a = TernaryKey.from_pattern("1X0")
+        b = TernaryKey.from_pattern("0XX")
+        assert not a.overlaps(b)
+
+    def test_width_mismatch(self):
+        with pytest.raises(KeyFormatError):
+            TernaryKey.exact(0, 3).overlaps(TernaryKey.exact(0, 4))
+
+
+class TestExpansion:
+    def test_dont_care_positions(self):
+        key = TernaryKey.from_pattern("1X0X")
+        assert key.dont_care_positions() == [1, 3]
+        assert key.dont_care_count == 2
+
+    def test_expand_positions(self):
+        key = TernaryKey.from_pattern("1X0X")
+        expanded = list(key.expand_positions([1]))
+        assert len(expanded) == 2
+        patterns = {k.to_pattern() for k in expanded}
+        assert patterns == {"100X", "110X"}
+
+    def test_expand_skips_concrete_positions(self):
+        key = TernaryKey.from_pattern("1X0")
+        expanded = list(key.expand_positions([0, 2]))  # both concrete
+        assert len(expanded) == 1
+        assert expanded[0] == key
+
+    def test_expand_all(self):
+        key = TernaryKey.from_pattern("XX")
+        patterns = {k.to_pattern() for k in key.expand_positions([0, 1])}
+        assert patterns == {"00", "01", "10", "11"}
+
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255))
+    def test_expansions_cover_exactly_the_matches(self, value, mask):
+        """Every concrete key matching the original is matched by exactly
+        one expansion over all don't-care positions."""
+        key = TernaryKey(value=value, mask=mask, width=8)
+        expanded = list(key.expand_positions(range(8)))
+        assert len(expanded) == 1 << key.dont_care_count
+        for probe in range(256):
+            matching = [e for e in expanded if e.matches(probe, 8)]
+            if key.matches(probe, 8):
+                assert len(matching) == 1
+            else:
+                assert not matching

@@ -1,0 +1,99 @@
+"""Unit tests for the match processor."""
+
+import pytest
+
+from repro.core.key import TernaryKey
+from repro.core.match import MatchProcessor
+from repro.core.record import Record, RecordFormat
+from repro.errors import KeyFormatError
+
+FMT = RecordFormat(key_bits=8, data_bits=8, ternary=True)
+
+
+def candidate(pattern, data=0, valid=True):
+    return (valid, Record(key=TernaryKey.from_pattern(pattern), data=data))
+
+
+class TestMatchVector:
+    def test_single_hit(self):
+        mp = MatchProcessor(8)
+        result = mp.match([candidate("10101010", data=7)], 0b10101010)
+        assert result.hit
+        assert result.matched_slot == 0
+        assert result.data == 7
+        assert result.match_vector == (True,)
+
+    def test_miss(self):
+        mp = MatchProcessor(8)
+        result = mp.match([candidate("10101010")], 0b01010101)
+        assert not result.hit
+        assert result.matched_slot is None
+        assert result.data is None
+
+    def test_invalid_slots_never_match(self):
+        mp = MatchProcessor(8)
+        result = mp.match(
+            [candidate("10101010", valid=False)], 0b10101010
+        )
+        assert not result.hit
+
+    def test_empty_bucket(self):
+        mp = MatchProcessor(8)
+        result = mp.match([], 0)
+        assert not result.hit
+        assert result.match_vector == ()
+
+
+class TestPriorityEncoding:
+    def test_lowest_slot_wins(self):
+        mp = MatchProcessor(8)
+        result = mp.match(
+            [
+                candidate("00000000", data=1),
+                candidate("1010XXXX", data=2),
+                candidate("10101010", data=3),
+            ],
+            0b10101010,
+        )
+        assert result.matched_slot == 1
+        assert result.data == 2
+        assert result.multiple_matches
+
+    def test_single_match_not_multiple(self):
+        mp = MatchProcessor(8)
+        result = mp.match([candidate("11110000", data=4)], 0b11110000)
+        assert not result.multiple_matches
+
+
+class TestTernarySemantics:
+    def test_stored_dont_care(self):
+        mp = MatchProcessor(8)
+        result = mp.match([candidate("1XXXXXXX", data=9)], 0b10000001)
+        assert result.hit
+
+    def test_search_mask(self):
+        mp = MatchProcessor(8)
+        stored = candidate("10101010")
+        assert not mp.match([stored], 0b10101011).hit
+        assert mp.match([stored], 0b10101011, search_mask=0b1).hit
+
+    def test_both_masks(self):
+        mp = MatchProcessor(8)
+        stored = candidate("1010XXXX")
+        assert mp.match([stored], 0b00101111, search_mask=0b1000_0000).hit
+
+
+class TestValidation:
+    def test_key_too_wide(self):
+        mp = MatchProcessor(8)
+        with pytest.raises(KeyFormatError):
+            mp.match([], 256)
+
+    def test_mask_too_wide(self):
+        mp = MatchProcessor(8)
+        with pytest.raises(KeyFormatError):
+            mp.match([], 0, search_mask=256)
+
+    def test_bad_width(self):
+        with pytest.raises(KeyFormatError):
+            MatchProcessor(0)

@@ -1,0 +1,55 @@
+"""Unit tests for the overflow probing policies."""
+
+import pytest
+
+from repro.core.probing import DoubleHashing, LinearProbing, QuadraticProbing
+from repro.errors import ConfigurationError
+from repro.hashing.base import ModuloHash
+
+
+class TestLinearProbing:
+    def test_sequence(self):
+        policy = LinearProbing()
+        assert [policy.probe(5, a, 8, None) for a in range(4)] == [5, 6, 7, 0]
+
+    def test_attempt_zero_is_home(self):
+        assert LinearProbing().probe(3, 0, 8, None) == 3
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearProbing().probe(0, -1, 8, None)
+
+
+class TestDoubleHashing:
+    def test_home_first(self):
+        policy = DoubleHashing(ModuloHash(8))
+        assert policy.probe(3, 0, 8, key=10) == 3
+
+    def test_step_is_odd(self):
+        policy = DoubleHashing(ModuloHash(8))
+        # key=4 -> step hash 4, forced odd to 5.
+        assert policy.probe(0, 1, 8, key=4) == 5
+        assert policy.probe(0, 2, 8, key=4) == 2
+
+    def test_covers_all_rows_power_of_two(self):
+        policy = DoubleHashing(ModuloHash(16))
+        for key in range(20):
+            visited = {policy.probe(0, a, 16, key) for a in range(16)}
+            assert visited == set(range(16))
+
+    def test_different_keys_different_sequences(self):
+        policy = DoubleHashing(ModuloHash(64))
+        seq_a = [policy.probe(0, a, 64, key=1) for a in range(5)]
+        seq_b = [policy.probe(0, a, 64, key=2) for a in range(5)]
+        assert seq_a != seq_b
+
+
+class TestQuadraticProbing:
+    def test_triangular_offsets(self):
+        policy = QuadraticProbing()
+        assert [policy.probe(0, a, 16, None) for a in range(5)] == [0, 1, 3, 6, 10]
+
+    def test_covers_all_rows_power_of_two(self):
+        policy = QuadraticProbing()
+        visited = {policy.probe(0, a, 16, None) for a in range(16)}
+        assert visited == set(range(16))

@@ -1,0 +1,102 @@
+"""Unit tests for records and their serialized format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.key import TernaryKey
+from repro.core.record import (
+    Record,
+    RecordFormat,
+    decode_record,
+    encode_record,
+)
+from repro.errors import ConfigurationError, KeyFormatError
+
+
+class TestRecordFormat:
+    def test_binary_slot_bits(self):
+        fmt = RecordFormat(key_bits=32, data_bits=16)
+        assert fmt.key_storage_bits == 32
+        assert fmt.slot_bits == 1 + 32 + 16
+
+    def test_ternary_doubles_key_storage(self):
+        # "the number of records that can fit ... will be halved when the
+        # ternary search capability is enabled"
+        fmt = RecordFormat(key_bits=32, ternary=True)
+        assert fmt.key_storage_bits == 64
+        assert fmt.slot_bits == 65
+
+    def test_bad_widths(self):
+        with pytest.raises(ConfigurationError):
+            RecordFormat(key_bits=0)
+        with pytest.raises(ConfigurationError):
+            RecordFormat(key_bits=8, data_bits=-1)
+
+    def test_normalize_int_key(self):
+        fmt = RecordFormat(key_bits=8)
+        key = fmt.normalize_key(0xAB)
+        assert key == TernaryKey.exact(0xAB, 8)
+
+    def test_normalize_rejects_wrong_width(self):
+        fmt = RecordFormat(key_bits=8)
+        with pytest.raises(KeyFormatError):
+            fmt.normalize_key(TernaryKey.exact(0, 16))
+
+    def test_normalize_rejects_mask_in_binary_format(self):
+        fmt = RecordFormat(key_bits=8)
+        with pytest.raises(KeyFormatError):
+            fmt.normalize_key(TernaryKey.from_pattern("1XXXXXXX"))
+
+
+class TestRecordMake:
+    def test_data_range_checked(self):
+        fmt = RecordFormat(key_bits=8, data_bits=4)
+        Record.make(1, 15, fmt)
+        with pytest.raises(KeyFormatError):
+            Record.make(1, 16, fmt)
+
+    def test_zero_data_with_no_data_bits(self):
+        fmt = RecordFormat(key_bits=8)
+        record = Record.make(1, 0, fmt)
+        assert record.data == 0
+
+
+class TestEncodeDecode:
+    def test_binary_round_trip(self):
+        fmt = RecordFormat(key_bits=16, data_bits=8)
+        record = Record.make(0xBEEF, 0x5A, fmt)
+        valid, decoded = decode_record(encode_record(record, fmt), fmt)
+        assert valid
+        assert decoded == record
+
+    def test_ternary_round_trip(self):
+        fmt = RecordFormat(key_bits=8, data_bits=4, ternary=True)
+        record = Record.make(TernaryKey.from_pattern("10XX01XX"), 9, fmt)
+        valid, decoded = decode_record(encode_record(record, fmt), fmt)
+        assert valid
+        assert decoded.key.to_pattern() == "10XX01XX"
+        assert decoded.data == 9
+
+    def test_zero_slot_is_invalid(self):
+        fmt = RecordFormat(key_bits=8)
+        valid, _ = decode_record(0, fmt)
+        assert not valid
+
+    def test_valid_bit_is_msb(self):
+        fmt = RecordFormat(key_bits=8)
+        record = Record.make(0, 0, fmt)
+        bits = encode_record(record, fmt)
+        assert bits == 1 << 8  # valid bit above the key field
+
+    @given(
+        st.integers(min_value=0, max_value=2**16 - 1),
+        st.integers(min_value=0, max_value=2**16 - 1),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_ternary_round_trip_property(self, value, mask, data):
+        fmt = RecordFormat(key_bits=16, data_bits=8, ternary=True)
+        record = Record(key=TernaryKey(value=value, mask=mask, width=16), data=data)
+        valid, decoded = decode_record(encode_record(record, fmt), fmt)
+        assert valid
+        assert decoded == record

@@ -1,0 +1,159 @@
+"""Unit tests for the memory-mapped register/port interface."""
+
+import pytest
+
+from repro.core.registers import (
+    MODE_CAM,
+    MODE_RAM,
+    MemoryMappedCaRam,
+    PORT_DELETE,
+    PORT_INSERT,
+    PORT_RAM_DATA,
+    PORT_SEARCH,
+    REG_DATA_BITS,
+    REG_INSERT_DATA,
+    REG_KEY_BYTES,
+    REG_MODE,
+    REG_RAM_ADDR,
+    REG_SEARCH_MASK,
+    REG_STATUS,
+    REG_TERNARY,
+    STATUS_HIT,
+    STATUS_MULTI_MATCH,
+    STATUS_RESULT_VALID,
+)
+from repro.errors import ConfigurationError, RamModeError
+
+
+@pytest.fixture
+def device():
+    return MemoryMappedCaRam(index_bits=4, row_bits=512, key_bytes=2)
+
+
+class TestPortProtocol:
+    def test_store_load_search(self, device):
+        # "to submit a request, an application will issue a store
+        # instruction at the port address, passing the search key"
+        device.store(REG_INSERT_DATA, 99)
+        device.store(PORT_INSERT, 0xBEEF)
+        device.store(PORT_SEARCH, 0xBEEF)
+        status = device.load(REG_STATUS)
+        assert status & STATUS_RESULT_VALID
+        assert status & STATUS_HIT
+        assert device.load(PORT_SEARCH) == 99
+
+    def test_result_consumed_on_read(self, device):
+        device.store(PORT_SEARCH, 1)
+        device.load(PORT_SEARCH)
+        assert not device.load(REG_STATUS) & STATUS_RESULT_VALID
+
+    def test_miss_status(self, device):
+        device.store(PORT_SEARCH, 42)
+        status = device.load(REG_STATUS)
+        assert status & STATUS_RESULT_VALID
+        assert not status & STATUS_HIT
+        assert device.search(42) is None
+
+    def test_multi_match_status(self, device):
+        device.store(REG_INSERT_DATA, 1)
+        device.store(PORT_INSERT, 7)
+        device.store(PORT_INSERT, 7)
+        device.store(PORT_SEARCH, 7)
+        assert device.load(REG_STATUS) & STATUS_MULTI_MATCH
+
+    def test_search_mask_register(self, device):
+        device.store(REG_INSERT_DATA, 5)
+        device.store(PORT_INSERT, 0xAB00)
+        device.store(REG_SEARCH_MASK, 0x00FF)
+        assert device.search(0xABCD) == 5
+
+    def test_delete_port(self, device):
+        device.store(PORT_INSERT, 7)
+        device.store(PORT_DELETE, 7)
+        assert device.search(7) is None
+
+    def test_delete_missing_does_not_trap(self, device):
+        device.store(PORT_DELETE, 9)  # no exception
+
+    def test_driver_search(self, device):
+        device.store(REG_INSERT_DATA, 12)
+        device.store(PORT_INSERT, 3)
+        assert device.search(3) == 12
+
+
+class TestReconfiguration:
+    def test_key_size_select(self, device):
+        # §3.3: "we limited the key size to be 1, 2, 3, 4, 6, 8, 12, and
+        # 16 bytes"
+        for key_bytes in (1, 2, 3, 4, 6, 8, 12, 16):
+            device.store(REG_KEY_BYTES, key_bytes)
+            assert device.load(REG_KEY_BYTES) == key_bytes
+
+    def test_unsupported_key_size(self, device):
+        with pytest.raises(ConfigurationError):
+            device.store(REG_KEY_BYTES, 5)
+
+    def test_reconfigure_clears_contents(self, device):
+        device.store(PORT_INSERT, 7)
+        device.store(REG_KEY_BYTES, 4)
+        assert device.search(7) is None
+        assert device.slice.record_count == 0
+
+    def test_ternary_enable_halves_slots(self, device):
+        binary_slots = device.slots_per_bucket
+        device.store(REG_TERNARY, 1)
+        assert device.slots_per_bucket < binary_slots
+        assert device.load(REG_TERNARY) == 1
+
+    def test_smaller_keys_more_slots(self, device):
+        device.store(REG_KEY_BYTES, 1)
+        small_key_slots = device.slots_per_bucket
+        device.store(REG_KEY_BYTES, 16)
+        assert device.slots_per_bucket < small_key_slots
+
+    def test_data_bits_register(self, device):
+        device.store(REG_DATA_BITS, 8)
+        device.store(REG_INSERT_DATA, 255)
+        device.store(PORT_INSERT, 1)
+        assert device.search(1) == 255
+
+
+class TestRamMode:
+    def test_ram_window(self, device):
+        device.store(REG_MODE, MODE_RAM)
+        device.store(REG_RAM_ADDR, 3)
+        device.store(PORT_RAM_DATA, 0xDEAD)
+        assert device.load(PORT_RAM_DATA) == 0xDEAD
+
+    def test_cam_ports_blocked_in_ram_mode(self, device):
+        device.store(REG_MODE, MODE_RAM)
+        with pytest.raises(ConfigurationError):
+            device.store(PORT_SEARCH, 1)
+
+    def test_ram_port_blocked_in_cam_mode(self, device):
+        with pytest.raises(ConfigurationError):
+            device.store(PORT_RAM_DATA, 1)
+
+    def test_invalid_mode(self, device):
+        with pytest.raises(ConfigurationError):
+            device.store(REG_MODE, 5)
+
+    def test_mode_round_trip(self, device):
+        device.store(REG_MODE, MODE_RAM)
+        assert device.load(REG_MODE) == MODE_RAM
+        device.store(REG_MODE, MODE_CAM)
+        device.store(PORT_INSERT, 1)  # CAM works again
+
+
+class TestAddressDecode:
+    def test_unmapped_load(self, device):
+        with pytest.raises(RamModeError):
+            device.load(0x1000)
+
+    def test_unmapped_store(self, device):
+        with pytest.raises(RamModeError):
+            device.store(0x1000, 0)
+
+    def test_negative_value(self, device):
+        with pytest.raises(ConfigurationError):
+            device.store(REG_INSERT_DATA, -1)

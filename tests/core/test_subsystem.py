@@ -1,0 +1,220 @@
+"""Unit tests for slice groups and the CA-RAM subsystem."""
+
+import pytest
+
+from repro.core.config import Arrangement, SliceConfig
+from repro.core.record import RecordFormat
+from repro.core.subsystem import CARAMSubsystem, SliceGroup
+from repro.errors import CapacityError, ConfigurationError, LookupError_
+from repro.cam.tcam import TCAM
+from repro.hashing.base import ModuloHash
+
+
+def make_config(index_bits=3, row_bits=128, key_bits=16, data_bits=8):
+    return SliceConfig(
+        index_bits=index_bits,
+        row_bits=row_bits,
+        record_format=RecordFormat(key_bits=key_bits, data_bits=data_bits),
+    )
+
+
+def make_group(slice_count=2, arrangement=Arrangement.VERTICAL, **kw):
+    config = make_config()
+    buckets = (
+        config.rows * slice_count
+        if arrangement is Arrangement.VERTICAL
+        else config.rows
+    )
+    return SliceGroup(
+        config=config,
+        slice_count=slice_count,
+        arrangement=arrangement,
+        hash_function=ModuloHash(buckets),
+        name=kw.pop("name", "test"),
+        **kw,
+    )
+
+
+class TestGeometry:
+    def test_vertical_more_rows(self):
+        group = make_group(slice_count=3, arrangement=Arrangement.VERTICAL)
+        assert group.bucket_count == 24
+        assert group.slots_per_bucket == group.config.slots_per_bucket
+        assert group.rows_fetched_per_access == 1
+
+    def test_horizontal_wider_buckets(self):
+        group = make_group(slice_count=3, arrangement=Arrangement.HORIZONTAL)
+        assert group.bucket_count == 8
+        assert group.slots_per_bucket == 3 * group.config.slots_per_bucket
+        assert group.rows_fetched_per_access == 3
+
+    def test_equal_capacity_both_arrangements(self):
+        v = make_group(slice_count=2, arrangement=Arrangement.VERTICAL)
+        h = make_group(slice_count=2, arrangement=Arrangement.HORIZONTAL)
+        assert v.capacity_records == h.capacity_records
+
+    def test_hash_function_must_match_buckets(self):
+        config = make_config()
+        with pytest.raises(ConfigurationError):
+            SliceGroup(
+                config, 2, Arrangement.VERTICAL, ModuloHash(config.rows)
+            )
+
+
+class TestOperations:
+    @pytest.mark.parametrize(
+        "arrangement", [Arrangement.VERTICAL, Arrangement.HORIZONTAL]
+    )
+    def test_round_trip(self, arrangement):
+        group = make_group(arrangement=arrangement)
+        for k in range(40):
+            group.insert(k, data=k % 256)
+        for k in range(40):
+            assert group.lookup(k) == k % 256
+        assert group.record_count == 40
+
+    def test_horizontal_parallel_fetch_counts_one_access(self):
+        group = make_group(slice_count=4, arrangement=Arrangement.HORIZONTAL)
+        group.insert(5, data=1)
+        result = group.search(5)
+        assert result.bucket_accesses == 1
+        # But four physical rows were fetched.
+        assert group.physical_row_fetches == 4
+
+    def test_vertical_routes_to_one_slice(self):
+        group = make_group(slice_count=4, arrangement=Arrangement.VERTICAL)
+        group.insert(5, data=1)
+        group.search(5)
+        # Only the owning slice's row is fetched (inserts peek, searches
+        # count).
+        assert group.physical_row_fetches == 1
+
+    def test_spill_across_slice_boundary_vertical(self):
+        group = make_group(slice_count=2, arrangement=Arrangement.VERTICAL)
+        slots = group.slots_per_bucket
+        # Fill bucket 7 (last of slice 0) so it spills into bucket 8
+        # (first of slice 1).
+        keys = [7 + 16 * i for i in range(slots + 1)]
+        for k in keys:
+            group.insert(k, data=k % 251)
+        for k in keys:
+            assert group.lookup(k) == k % 251
+
+    def test_delete(self):
+        group = make_group()
+        group.insert(5, data=1)
+        assert group.delete(5) == 1
+        assert group.lookup(5) is None
+        with pytest.raises(LookupError_):
+            group.delete(5)
+
+    def test_records_iterator(self):
+        group = make_group()
+        group.insert(1, data=1)
+        group.insert(20, data=2)
+        assert {r.key.value for _, r in group.records()} == {1, 20}
+
+    def test_clear(self):
+        group = make_group()
+        group.insert(1)
+        group.clear()
+        assert group.record_count == 0
+        assert group.physical_row_fetches == 0
+
+    def test_insert_no_spill_raises_when_home_full(self):
+        group = make_group()
+        slots = group.slots_per_bucket
+        for i in range(slots):
+            group.insert(i * 16, data=0, allow_spill=False)
+        with pytest.raises(CapacityError):
+            group.insert(slots * 16, data=0, allow_spill=False)
+
+
+class TestSlotPriority:
+    def test_sorted_bucket(self):
+        # Two records with the same key: the priority encoder must return
+        # the higher-priority one (lower slot after sorted insert).
+        group = make_group(slot_priority=lambda r: float(r.data))
+        group.insert(0, data=1)
+        group.insert(0, data=9)
+        result = group.search(0)
+        assert result.record.data == 9
+        assert result.multiple_matches
+
+
+class TestSubsystem:
+    def test_group_registration(self):
+        sub = CARAMSubsystem()
+        group = sub.add_group(make_group(name="ip"))
+        assert sub.group("ip") is group
+        assert sub.group_names == ["ip"]
+        with pytest.raises(ConfigurationError):
+            sub.add_group(make_group(name="ip"))
+
+    def test_unknown_group(self):
+        sub = CARAMSubsystem()
+        with pytest.raises(ConfigurationError):
+            sub.group("nope")
+
+    def test_ports(self):
+        sub = CARAMSubsystem()
+        sub.add_group(make_group(name="db"))
+        sub.map_port("port0", "db")
+        sub.insert("db", 3, data=7)
+        assert sub.search_port("port0", 3).data == 7
+        with pytest.raises(ConfigurationError):
+            sub.search_port("portX", 3)
+
+    def test_multiple_databases(self):
+        sub = CARAMSubsystem()
+        sub.add_group(make_group(name="a"))
+        sub.add_group(make_group(name="b"))
+        sub.insert("a", 1, data=10)
+        sub.insert("b", 1, data=20)
+        assert sub.search("a", 1).data == 10
+        assert sub.search("b", 1).data == 20
+
+    def test_total_stats(self):
+        sub = CARAMSubsystem()
+        sub.add_group(make_group(name="a"))
+        sub.insert("a", 1, data=1)
+        sub.search("a", 1)
+        assert sub.total_stats().lookups == 1
+
+
+class TestVictimOverflow:
+    def make_subsystem(self):
+        sub = CARAMSubsystem()
+        sub.add_group(make_group(slice_count=1, name="db"))
+        sub.attach_overflow("db", TCAM(64, 16))
+        return sub
+
+    def test_overflow_insert_diverts_to_tcam(self):
+        sub = self.make_subsystem()
+        group = sub.group("db")
+        slots = group.slots_per_bucket
+        keys = [i * 8 for i in range(slots + 3)]  # all hash to bucket 0
+        for k in keys:
+            sub.insert("db", k, data=k % 100)
+        store = sub.overflow_store("db")
+        assert store.entry_count == 3
+
+    def test_amal_is_one_with_victim(self):
+        # Section 4.3: "If this TCAM is accessed simultaneously with the
+        # main CA-RAM, AMAL becomes 1."
+        sub = self.make_subsystem()
+        group = sub.group("db")
+        slots = group.slots_per_bucket
+        keys = [i * 8 for i in range(slots + 3)]
+        for k in keys:
+            sub.insert("db", k, data=k % 100)
+        for k in keys:
+            result = sub.search("db", k)
+            assert result.hit
+            assert result.data == k % 100
+            assert result.bucket_accesses == 1
+
+    def test_miss_with_victim(self):
+        sub = self.make_subsystem()
+        result = sub.search("db", 999)
+        assert not result.hit

@@ -1,0 +1,81 @@
+"""Unit tests for the area models (Figure 6(a), Figure 8 area half)."""
+
+import pytest
+
+from repro.apps.iplookup.designs import IP_DESIGNS, KEY_SYMBOLS
+from repro.apps.trigram.designs import TRIGRAM_DESIGNS, TRIGRAM_KEY_BITS
+from repro.cam.cells import (
+    CAM_STACKED_YAMAGATA92,
+    TCAM_6T_DYNAMIC_NODA05,
+)
+from repro.cost.area import (
+    ca_ram_database_area_um2,
+    cam_database_area_um2,
+    cell_size_comparison,
+    database_area_comparison,
+)
+from repro.errors import ConfigurationError
+from repro.experiments import paper_values
+
+
+class TestCellComparison:
+    def test_four_schemes(self):
+        rows = cell_size_comparison()
+        assert len(rows) == 4
+        assert rows[0].relative == pytest.approx(1.0)
+
+    def test_ca_ram_is_smallest(self):
+        rows = cell_size_comparison()
+        ca_ram = rows[-1]
+        assert all(ca_ram.area_um2 <= r.area_um2 for r in rows)
+
+    def test_paper_headline_ratios(self):
+        rows = {r.scheme: r.area_um2 for r in cell_size_comparison()}
+        ca_ram = rows["ternary DRAM CA-RAM"]
+        assert rows["16T SRAM TCAM"] / ca_ram > paper_values.FIG6_CA_RAM_VS_16T
+        assert rows["6T dynamic TCAM"] / ca_ram == pytest.approx(
+            paper_values.FIG6_CA_RAM_VS_6T, abs=0.05
+        )
+
+
+class TestDatabaseAreas:
+    def test_cam_area_linear(self):
+        one = cam_database_area_um2(1000, 32, TCAM_6T_DYNAMIC_NODA05)
+        two = cam_database_area_um2(2000, 32, TCAM_6T_DYNAMIC_NODA05)
+        assert two == pytest.approx(2 * one)
+
+    def test_ca_ram_includes_overhead(self):
+        area = ca_ram_database_area_um2(1_000_000)
+        assert area == pytest.approx(1_000_000 * 0.35 * 1.07)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            cam_database_area_um2(0, 32, TCAM_6T_DYNAMIC_NODA05)
+        with pytest.raises(ConfigurationError):
+            ca_ram_database_area_um2(0)
+
+
+class TestFigure8Areas:
+    def test_ip_area_saving_in_paper_band(self):
+        # Design D vs 6T TCAM: paper reports ~45% saving.
+        design = IP_DESIGNS["D"]
+        rows = database_area_comparison(
+            cam_entries=paper_values.TABLE2_PREFIX_COUNT,
+            cam_symbols_per_entry=KEY_SYMBOLS,
+            cam_cell=TCAM_6T_DYNAMIC_NODA05,
+            ca_ram_capacity_bits=design.capacity_bits,
+        )
+        saving = 1.0 - rows[1].relative
+        assert 0.35 < saving < 0.50
+
+    def test_trigram_area_ratio_near_paper(self):
+        design = TRIGRAM_DESIGNS["A"]
+        cam = cam_database_area_um2(
+            paper_values.TABLE3_ENTRY_COUNT,
+            TRIGRAM_KEY_BITS,
+            CAM_STACKED_YAMAGATA92,
+        )
+        ca_ram = ca_ram_database_area_um2(design.capacity_bits, ternary=False)
+        assert cam / ca_ram == pytest.approx(
+            paper_values.FIG8_TRIGRAM_AREA_RATIO, abs=0.3
+        )

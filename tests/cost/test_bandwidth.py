@@ -1,0 +1,67 @@
+"""Unit tests for the bandwidth/latency models (Section 3.4)."""
+
+import pytest
+
+from repro.cost.bandwidth import (
+    ca_ram_search_bandwidth,
+    cam_search_bandwidth,
+    search_latency_comparison,
+)
+from repro.errors import ConfigurationError
+from repro.memory.timing import DRAM_TIMING, SRAM_TIMING
+
+
+class TestBandwidthFormulas:
+    def test_ca_ram_formula(self):
+        # B = N_slice / n_mem * f_clk.
+        assert ca_ram_search_bandwidth(8, DRAM_TIMING) == pytest.approx(
+            8 / 6 * 200e6
+        )
+
+    def test_sram_slice_full_rate(self):
+        assert ca_ram_search_bandwidth(1, SRAM_TIMING) == pytest.approx(200e6)
+
+    def test_cam_formula(self):
+        assert cam_search_bandwidth(143e6) == pytest.approx(143e6)
+        assert cam_search_bandwidth(143e6, cycles_per_search=2) == pytest.approx(
+            71.5e6
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ca_ram_search_bandwidth(0, DRAM_TIMING)
+        with pytest.raises(ConfigurationError):
+            cam_search_bandwidth(0)
+
+
+class TestLatencyComparison:
+    def test_data_access_exposed_in_cam(self):
+        comparison = search_latency_comparison(
+            ca_ram_timing=DRAM_TIMING,
+            match_time_s=5e-9,
+            cam_clock_hz=143e6,
+        )
+        assert comparison.cam_with_data_s > comparison.cam_lookup_s
+        # "the time to access data (T_mem) is fully exposed in CAM while
+        # it is effectively hidden in CA-RAM"
+        assert comparison.ca_ram_wins_with_data
+
+    def test_multi_cycle_cam_loses_harder(self):
+        fast_cam = search_latency_comparison(
+            DRAM_TIMING, 5e-9, 143e6, cam_cycles_per_search=1
+        )
+        slow_cam = search_latency_comparison(
+            DRAM_TIMING, 5e-9, 143e6, cam_cycles_per_search=4
+        )
+        assert slow_cam.cam_with_data_s > fast_cam.cam_with_data_s
+
+    def test_amal_inflates_ca_ram_latency(self):
+        base = search_latency_comparison(DRAM_TIMING, 5e-9, 143e6, amal=1.0)
+        probed = search_latency_comparison(DRAM_TIMING, 5e-9, 143e6, amal=2.0)
+        assert probed.ca_ram_lookup_s == pytest.approx(
+            2 * base.ca_ram_lookup_s
+        )
+
+    def test_bad_amal(self):
+        with pytest.raises(ConfigurationError):
+            search_latency_comparison(DRAM_TIMING, 5e-9, 143e6, amal=0.9)

@@ -1,0 +1,97 @@
+"""Unit tests for the Table 1 match-processor synthesis model."""
+
+import pytest
+
+from repro.cost.matchproc import (
+    MatchProcessorModel,
+    REFERENCE_KEY_BITS,
+    REFERENCE_POWER_MW,
+    REFERENCE_ROW_BITS,
+)
+from repro.errors import ConfigurationError
+from repro.experiments import paper_values
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MatchProcessorModel()
+
+
+class TestReferencePoint:
+    def test_stage_values_match_table1(self, model):
+        result = model.synthesize()
+        for stage in result.stages:
+            cells, area, delay, overlapped = paper_values.TABLE1[stage.name]
+            assert stage.cells == cells
+            assert stage.area_um2 == pytest.approx(area)
+            assert stage.delay_ns == pytest.approx(delay)
+            assert stage.overlapped == overlapped
+
+    def test_totals_match_table1(self, model):
+        result = model.synthesize()
+        assert result.total_cells == paper_values.TABLE1_TOTAL[0]
+        assert result.total_area_um2 == pytest.approx(paper_values.TABLE1_TOTAL[1])
+        # The paper's Total delay excludes the overlapped expand stage.
+        assert result.critical_path_ns == pytest.approx(
+            paper_values.TABLE1_TOTAL[2]
+        )
+
+    def test_single_cycle_over_200mhz(self, model):
+        # "we achieve a latency that will fit in a single cycle at over
+        # 200MHz"
+        assert model.synthesize().max_clock_hz > 200e6
+
+    def test_reference_power(self, model):
+        assert model.dynamic_power_mw() == pytest.approx(
+            REFERENCE_POWER_MW, rel=1e-6
+        )
+
+
+class TestScaling:
+    def test_area_scales_with_row_width(self, model):
+        double = model.synthesize(row_bits=2 * REFERENCE_ROW_BITS)
+        reference = model.synthesize()
+        assert double.total_area_um2 > 1.8 * reference.total_area_um2
+
+    def test_delay_grows_with_slots(self, model):
+        wide = model.synthesize(row_bits=4 * REFERENCE_ROW_BITS)
+        reference = model.synthesize()
+        assert wide.critical_path_ns > reference.critical_path_ns
+
+    def test_fixed_key_simplifies_decode(self, model):
+        # Fewer slots at the same C -> smaller priority encoder
+        # ("in an application-specific CA-RAM design ... much of this
+        # complexity will be removed").
+        small_keys = model.synthesize(key_bits=8)
+        big_keys = model.synthesize(key_bits=64)
+        assert (
+            big_keys.stage("decode_match_vector").cells
+            < small_keys.stage("decode_match_vector").cells
+        )
+
+    def test_power_scales_with_area(self, model):
+        assert model.dynamic_power_mw(row_bits=2 * REFERENCE_ROW_BITS) > (
+            1.5 * REFERENCE_POWER_MW
+        )
+
+    def test_power_scales_with_clock(self, model):
+        slow = model.dynamic_power_mw(clock_hz=100e6)
+        fast = model.dynamic_power_mw(clock_hz=200e6)
+        assert fast == pytest.approx(2 * slow)
+
+    def test_match_energy_positive(self, model):
+        energy = model.match_energy_j(row_bits=2048)
+        assert 0 < energy < 1e-8
+
+    def test_stage_lookup(self, model):
+        result = model.synthesize()
+        with pytest.raises(ConfigurationError):
+            result.stage("nonexistent")
+
+
+class TestValidation:
+    def test_bad_geometry(self, model):
+        with pytest.raises(ConfigurationError):
+            model.synthesize(row_bits=0)
+        with pytest.raises(ConfigurationError):
+            model.synthesize(row_bits=8, key_bits=16)

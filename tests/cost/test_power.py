@@ -1,0 +1,82 @@
+"""Unit tests for the power models (Figure 6(b), Figure 8 power half)."""
+
+import pytest
+
+from repro.cam.cells import TCAM_6T_DYNAMIC_NODA05, TCAM_16T_SRAM_NODA03
+from repro.cost.power import (
+    ca_ram_search_energy_j,
+    ca_ram_search_power_w,
+    cam_search_power_w,
+    power_comparison,
+)
+from repro.errors import ConfigurationError
+from repro.experiments import paper_values
+
+
+class TestCaRamPower:
+    def test_energy_scales_with_row_bits(self):
+        assert ca_ram_search_energy_j(2048) > ca_ram_search_energy_j(512)
+
+    def test_horizontal_fetch_costs_more(self):
+        assert ca_ram_search_energy_j(512, rows_fetched=4) > (
+            3 * ca_ram_search_energy_j(512, rows_fetched=1)
+        )
+
+    def test_power_scales_with_rate(self):
+        slow = ca_ram_search_power_w(512, 100e6)
+        fast = ca_ram_search_power_w(512, 200e6)
+        assert fast == pytest.approx(2 * slow)
+
+    def test_amal_multiplies_energy(self):
+        base = ca_ram_search_power_w(512, 100e6, amal=1.0)
+        probed = ca_ram_search_power_w(512, 100e6, amal=1.5)
+        assert probed == pytest.approx(1.5 * base)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ca_ram_search_energy_j(0)
+        with pytest.raises(ConfigurationError):
+            ca_ram_search_power_w(512, 100e6, amal=0.5)
+
+
+class TestCamPower:
+    def test_scales_with_capacity(self):
+        # The O(w*n) structure: double the entries, double the power.
+        small = cam_search_power_w(1000, 32, TCAM_6T_DYNAMIC_NODA05, 100e6)
+        large = cam_search_power_w(2000, 32, TCAM_6T_DYNAMIC_NODA05, 100e6)
+        assert large == pytest.approx(2 * small, rel=1e-3)
+
+    def test_16t_burns_more_than_6t(self):
+        p16 = cam_search_power_w(1000, 32, TCAM_16T_SRAM_NODA03, 100e6)
+        p6 = cam_search_power_w(1000, 32, TCAM_6T_DYNAMIC_NODA05, 100e6)
+        assert p16 > 3 * p6
+
+    def test_uncalibrated_cell_rejected(self):
+        from repro.cam.cells import DRAM_CELL_MORISHITA
+
+        with pytest.raises(ConfigurationError):
+            cam_search_power_w(1000, 32, DRAM_CELL_MORISHITA, 100e6)
+
+
+class TestFigure6b:
+    def test_paper_ratios(self):
+        rows = {r.scheme: r.power_w for r in power_comparison()}
+        ca_ram = rows["ternary DRAM CA-RAM"]
+        assert rows["16T SRAM TCAM"] / ca_ram == pytest.approx(
+            paper_values.FIG6_POWER_VS_16T, abs=0.5
+        )
+        assert rows["6T dynamic TCAM"] / ca_ram == pytest.approx(
+            paper_values.FIG6_POWER_VS_6T, abs=0.3
+        )
+
+    def test_ordering(self):
+        rows = power_comparison()
+        powers = [r.power_w for r in rows]
+        # 16T > 8T > 6T > CA-RAM.
+        assert powers == sorted(powers, reverse=True)
+
+    def test_rate_independence_of_ratios(self):
+        at_100 = {r.scheme: r.relative for r in power_comparison(100e6)}
+        at_200 = {r.scheme: r.relative for r in power_comparison(200e6)}
+        for scheme in at_100:
+            assert at_100[scheme] == pytest.approx(at_200[scheme])

@@ -1,0 +1,99 @@
+"""Unit tests for the power-management policy model."""
+
+import pytest
+
+from repro.core.config import Arrangement, SliceConfig
+from repro.core.record import RecordFormat
+from repro.core.subsystem import SliceGroup
+from repro.cost.powermgmt import (
+    DROWSY_WAKEUP_CYCLES,
+    PowerPolicy,
+    SubsystemPowerModel,
+)
+from repro.errors import ConfigurationError
+from repro.hashing.base import ModuloHash
+from repro.memory.timing import DRAM_TIMING
+
+
+def make_group(slice_count=4, arrangement=Arrangement.VERTICAL):
+    config = SliceConfig(
+        index_bits=8, row_bits=1024,
+        record_format=RecordFormat(key_bits=32, data_bits=16),
+        timing=DRAM_TIMING,
+    )
+    buckets = (
+        config.rows * slice_count
+        if arrangement is Arrangement.VERTICAL
+        else config.rows
+    )
+    return SliceGroup(
+        config, slice_count, arrangement, ModuloHash(buckets), name="pm"
+    )
+
+
+@pytest.fixture
+def model():
+    return SubsystemPowerModel([make_group()])
+
+
+class TestDynamicPower:
+    def test_scales_with_rate(self, model):
+        assert model.dynamic_power_w(100e6) == pytest.approx(
+            2 * model.dynamic_power_w(50e6)
+        )
+
+    def test_amal_multiplier(self, model):
+        assert model.dynamic_power_w(50e6, amal=1.5) == pytest.approx(
+            1.5 * model.dynamic_power_w(50e6)
+        )
+
+    def test_horizontal_costs_more(self):
+        vertical = SubsystemPowerModel([make_group(4, Arrangement.VERTICAL)])
+        horizontal = SubsystemPowerModel(
+            [make_group(4, Arrangement.HORIZONTAL)]
+        )
+        assert horizontal.dynamic_power_w(50e6) > 3 * vertical.dynamic_power_w(
+            50e6
+        )
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            model.dynamic_power_w(-1)
+        with pytest.raises(ConfigurationError):
+            model.dynamic_power_w(1e6, amal=0.5)
+
+
+class TestPolicies:
+    def test_policy_ordering_when_idle(self, model):
+        """Idle subsystem: ALWAYS_ON > BANK_SELECT > DROWSY."""
+        rates = [model.background_power_w(p, 0.0) for p in (
+            PowerPolicy.ALWAYS_ON, PowerPolicy.BANK_SELECT, PowerPolicy.DROWSY
+        )]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_policies_converge_at_saturation(self, model):
+        """Fully busy slices leave nothing to gate."""
+        saturating = 1e12
+        on = model.background_power_w(PowerPolicy.ALWAYS_ON, saturating)
+        gated = model.background_power_w(PowerPolicy.BANK_SELECT, saturating)
+        assert gated == pytest.approx(on, rel=1e-6)
+
+    def test_breakdown_totals(self, model):
+        breakdown = model.breakdown(PowerPolicy.BANK_SELECT, 50e6)
+        assert breakdown.total_w == pytest.approx(
+            breakdown.dynamic_w + breakdown.background_w
+        )
+
+    def test_drowsy_wakeup_penalty(self, model):
+        drowsy = model.breakdown(PowerPolicy.DROWSY, 1e6)
+        awake = model.breakdown(PowerPolicy.BANK_SELECT, 1e6)
+        assert drowsy.wakeup_latency_cycles == DROWSY_WAKEUP_CYCLES
+        assert awake.wakeup_latency_cycles == 0
+
+    def test_compare_covers_all_policies(self, model):
+        breakdowns = model.compare(10e6)
+        assert {b.policy for b in breakdowns} == set(PowerPolicy)
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SubsystemPowerModel([])

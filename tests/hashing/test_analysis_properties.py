@@ -1,0 +1,112 @@
+"""Property-based tests: the sweep-based spill model against a brute-force
+sequential-insertion reference."""
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.analysis import simulate_linear_probing
+
+
+def reference_linear_probing(
+    home: Sequence[int],
+    bucket_count: int,
+    slots: int,
+    arrival_order: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Literal sequential insertion: each record walks forward from its
+    home bucket to the first bucket with a free slot."""
+    if arrival_order is None:
+        order = list(range(len(home)))
+    else:
+        order = sorted(range(len(home)), key=lambda i: arrival_order[i])
+    occupancy = [0] * bucket_count
+    displacements = [0] * len(home)
+    for record in order:
+        start = home[record]
+        for distance in range(bucket_count):
+            bucket = (start + distance) % bucket_count
+            if occupancy[bucket] < slots:
+                occupancy[bucket] += 1
+                displacements[record] = distance
+                break
+        else:  # pragma: no cover - capacity guaranteed by strategy
+            raise AssertionError("table full")
+    return displacements
+
+
+@st.composite
+def probing_case(draw):
+    bucket_count = draw(st.integers(min_value=1, max_value=12))
+    slots = draw(st.integers(min_value=1, max_value=4))
+    capacity = bucket_count * slots
+    count = draw(st.integers(min_value=0, max_value=capacity))
+    home = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=bucket_count - 1),
+            min_size=count, max_size=count,
+        )
+    )
+    return bucket_count, slots, home
+
+
+class TestAgainstReference:
+    @given(probing_case())
+    @settings(max_examples=300, deadline=None)
+    def test_input_order_matches_reference(self, case):
+        bucket_count, slots, home = case
+        result = simulate_linear_probing(home, bucket_count, slots)
+        expected = reference_linear_probing(home, bucket_count, slots)
+        assert result.displacements.tolist() == expected
+
+    @given(probing_case(), st.randoms(use_true_random=False))
+    @settings(max_examples=200, deadline=None)
+    def test_shuffled_arrival_matches_reference(self, case, rnd):
+        bucket_count, slots, home = case
+        arrival = list(range(len(home)))
+        rnd.shuffle(arrival)
+        result = simulate_linear_probing(
+            home, bucket_count, slots, arrival_order=arrival
+        )
+        expected = reference_linear_probing(
+            home, bucket_count, slots, arrival_order=arrival
+        )
+        assert result.displacements.tolist() == expected
+
+
+class TestInvariants:
+    @given(probing_case())
+    @settings(max_examples=200, deadline=None)
+    def test_occupancy_conserves_records(self, case):
+        bucket_count, slots, home = case
+        result = simulate_linear_probing(home, bucket_count, slots)
+        assert result.occupancy.sum() == len(home)
+        assert (result.occupancy <= slots).all()
+
+    @given(probing_case())
+    @settings(max_examples=200, deadline=None)
+    def test_displacements_bounded(self, case):
+        bucket_count, slots, home = case
+        result = simulate_linear_probing(home, bucket_count, slots)
+        assert (result.displacements >= 0).all()
+        assert (result.displacements < bucket_count).all()
+
+    @given(probing_case())
+    @settings(max_examples=200, deadline=None)
+    def test_reach_covers_every_record(self, case):
+        bucket_count, slots, home = case
+        result = simulate_linear_probing(home, bucket_count, slots)
+        for record, bucket in enumerate(home):
+            assert result.displacements[record] <= result.reach[bucket]
+
+    @given(probing_case())
+    @settings(max_examples=200, deadline=None)
+    def test_home_records_fill_before_spilling(self, case):
+        """No record spills out of a bucket that ends up with free slots."""
+        bucket_count, slots, home = case
+        result = simulate_linear_probing(home, bucket_count, slots)
+        for record, bucket in enumerate(home):
+            if result.displacements[record] > 0:
+                assert result.occupancy[bucket] == slots

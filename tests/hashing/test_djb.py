@@ -1,0 +1,94 @@
+"""Unit tests for the DJB string hash and its vectorized kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hashing.djb import (
+    DJB_SEED,
+    DJBHash,
+    djb2_bytes,
+    djb2_matrix,
+    pack_strings,
+)
+
+
+class TestScalarDjb:
+    def test_empty_string_is_seed(self):
+        assert djb2_bytes(b"") == DJB_SEED
+
+    def test_recurrence(self):
+        # hash(i) = (hash(i-1) << 5) + hash(i-1) + str[i], mod 2^32.
+        expected = ((DJB_SEED << 5) + DJB_SEED + ord("a")) & 0xFFFFFFFF
+        assert djb2_bytes(b"a") == expected
+
+    def test_known_value(self):
+        # djb2("hello") is a widely quoted constant.
+        assert djb2_bytes(b"hello") == 261238937
+
+    def test_str_and_bytes_agree(self):
+        assert djb2_bytes("of the road") == djb2_bytes(b"of the road")
+
+    def test_distinct_strings_differ(self):
+        assert djb2_bytes(b"abc") != djb2_bytes(b"acb")
+
+
+class TestPackStrings:
+    def test_layout(self):
+        packed = pack_strings([b"ab", b"c"], max_length=4)
+        assert packed.shape == (2, 5)
+        assert packed[0, :2].tobytes() == b"ab"
+        assert packed[0, 4] == 2
+        assert packed[1, 4] == 1
+        assert packed[0, 2] == 0  # zero padding
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pack_strings([b"abcde"], max_length=4)
+
+
+class TestVectorizedDjb:
+    @given(st.lists(
+        st.binary(min_size=0, max_size=16).filter(lambda b: b"\x00" not in b),
+        min_size=1, max_size=20,
+    ))
+    def test_matrix_matches_scalar(self, strings):
+        packed = pack_strings(strings, max_length=16)
+        hashes = djb2_matrix(packed)
+        expected = [djb2_bytes(s) for s in strings]
+        assert hashes.tolist() == expected
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            djb2_matrix(np.zeros(4, dtype=np.uint8))
+
+
+class TestDJBHash:
+    def test_power_of_two_uses_mask(self):
+        h = DJBHash(1 << 14)
+        key = b"hello world xx"
+        assert h(key) == djb2_bytes(key) & ((1 << 14) - 1)
+
+    def test_non_power_of_two_uses_modulo(self):
+        h = DJBHash(1000)
+        key = b"hello"
+        assert h(key) == djb2_bytes(key) % 1000
+
+    def test_index_many_matches_scalar(self):
+        h = DJBHash(4096)
+        keys = [b"alpha beta", b"gamma", b"delta epsilon"]
+        assert h.index_many(keys).tolist() == [h(k) for k in keys]
+
+    def test_rebucketed(self):
+        h = DJBHash(1024).rebucketed(2048)
+        assert h.bucket_count == 2048
+
+    def test_spread_is_reasonable(self):
+        # DJB over text-like strings should land near-uniform: no bucket
+        # more than ~4x the mean for 10k strings over 256 buckets.
+        h = DJBHash(256)
+        keys = [f"word{i} test{i % 97}".encode() for i in range(10_000)]
+        counts = np.bincount(h.index_many(keys), minlength=256)
+        assert counts.max() < 4 * counts.mean()

@@ -1,0 +1,132 @@
+"""Unit tests for the software hash-table baselines."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.hashing.base import ModuloHash
+from repro.hashing.table import (
+    HEAP_BASE,
+    ChainedHashTable,
+    OpenAddressingTable,
+)
+
+
+class TestChainedHashTable:
+    def test_insert_lookup(self):
+        table = ChainedHashTable(ModuloHash(8))
+        table.insert(10, "a")
+        table.insert(18, "b")  # same bucket
+        assert table.lookup(10).value == "a"
+        assert table.lookup(18).value == "b"
+        assert len(table) == 2
+
+    def test_update_in_place(self):
+        table = ChainedHashTable(ModuloHash(8))
+        table.insert(1, "a")
+        table.insert(1, "b")
+        assert table.lookup(1).value == "b"
+        assert len(table) == 1
+
+    def test_miss(self):
+        table = ChainedHashTable(ModuloHash(8))
+        outcome = table.lookup(5)
+        assert not outcome.found
+        assert outcome.value is None
+
+    def test_delete(self):
+        table = ChainedHashTable(ModuloHash(8))
+        table.insert(1, "a")
+        assert table.delete(1) is True
+        assert table.delete(1) is False
+        assert not table.lookup(1).found
+
+    def test_delete_middle_of_chain(self):
+        table = ChainedHashTable(ModuloHash(4))
+        for k in (0, 4, 8):
+            table.insert(k, k)
+        assert table.delete(4) is True
+        assert table.lookup(0).found and table.lookup(8).found
+
+    def test_chain_traversal_costs_accesses(self):
+        table = ChainedHashTable(ModuloHash(1))  # everything chains
+        for k in range(5):
+            table.insert(k, k)
+        # Chains are LIFO: key 0 is deepest -> 1 slot + 5 nodes.
+        assert table.lookup(0).memory_accesses == 6
+        assert table.lookup(4).memory_accesses == 2
+
+    def test_addresses_distinguish_slots_and_nodes(self):
+        table = ChainedHashTable(ModuloHash(4))
+        table.insert(1, "x")
+        outcome = table.lookup(1)
+        assert outcome.addresses[0] < HEAP_BASE  # bucket slot
+        assert outcome.addresses[1] >= HEAP_BASE  # node
+
+    def test_chain_lengths(self):
+        table = ChainedHashTable(ModuloHash(2))
+        for k in (0, 2, 4, 1):
+            table.insert(k, k)
+        assert sorted(table.chain_lengths()) == [1, 3]
+
+
+class TestOpenAddressingTable:
+    def test_insert_lookup(self):
+        table = OpenAddressingTable(ModuloHash(8))
+        table.insert(3, "x")
+        assert table.lookup(3).value == "x"
+
+    def test_linear_probe_on_collision(self):
+        table = OpenAddressingTable(ModuloHash(8))
+        table.insert(0, "a")
+        probes = table.insert(8, "b")  # collides at slot 0
+        assert probes == 2
+        assert table.lookup(8).value == "b"
+        assert table.lookup(8).memory_accesses == 2
+
+    def test_update_in_place(self):
+        table = OpenAddressingTable(ModuloHash(8))
+        table.insert(1, "a")
+        table.insert(1, "b")
+        assert table.lookup(1).value == "b"
+        assert len(table) == 1
+
+    def test_wraparound(self):
+        table = OpenAddressingTable(ModuloHash(4))
+        table.insert(3, "a")
+        table.insert(7, "b")  # wraps to slot 0
+        assert table.lookup(7).value == "b"
+
+    def test_full_table_raises(self):
+        table = OpenAddressingTable(ModuloHash(2))
+        table.insert(0, "a")
+        table.insert(1, "b")
+        with pytest.raises(CapacityError):
+            table.insert(2, "c")
+
+    def test_tombstone_preserves_probe_chain(self):
+        table = OpenAddressingTable(ModuloHash(8))
+        table.insert(0, "a")
+        table.insert(8, "b")   # probes past slot 0
+        assert table.delete(0) is True
+        # Key 8 must still be reachable through the tombstone.
+        assert table.lookup(8).value == "b"
+
+    def test_insert_reuses_tombstone(self):
+        table = OpenAddressingTable(ModuloHash(4))
+        table.insert(0, "a")
+        table.insert(4, "b")
+        table.delete(0)
+        table.insert(8, "c")  # same bucket; should take the tombstone slot
+        assert table.lookup(8).value == "c"
+        assert table.lookup(8).memory_accesses == 1
+
+    def test_delete_missing(self):
+        table = OpenAddressingTable(ModuloHash(4))
+        assert table.delete(9) is False
+
+    def test_miss_stops_at_empty(self):
+        table = OpenAddressingTable(ModuloHash(8))
+        table.insert(0, "a")
+        outcome = table.lookup(8)
+        assert not outcome.found
+        assert outcome.memory_accesses == 2  # slot 0 occupied, slot 1 empty

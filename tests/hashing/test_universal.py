@@ -1,0 +1,103 @@
+"""Unit tests for the alternative hash families."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hashing.base import ModuloHash
+from repro.hashing.universal import (
+    FNV1aHash,
+    MultiplicativeHash,
+    TabulationHash,
+    fnv1a_64,
+)
+
+
+class TestModuloHash:
+    def test_basic(self):
+        h = ModuloHash(16)
+        assert h(35) == 3
+
+    def test_vectorized(self):
+        h = ModuloHash(7)
+        keys = np.arange(100, dtype=np.uint64)
+        assert h.index_many(keys).tolist() == [h(int(k)) for k in keys]
+
+    def test_rebucketed(self):
+        assert ModuloHash(4).rebucketed(8).bucket_count == 8
+
+
+class TestFnv:
+    def test_known_offset(self):
+        # FNV-1a of a single zero byte from the offset basis.
+        assert fnv1a_64(b"\x00") == (0xCBF29CE484222325 * 0x100000001B3) % 2**64
+
+    def test_int_and_bytes_keys(self):
+        assert fnv1a_64(0x41) == fnv1a_64(b"\x41")
+
+    def test_string_keys(self):
+        assert fnv1a_64("abc") == fnv1a_64(b"abc")
+
+    def test_in_range(self):
+        h = FNV1aHash(100)
+        assert all(0 <= h(k) < 100 for k in range(1000))
+
+    def test_spread(self):
+        h = FNV1aHash(64)
+        counts = np.bincount([h(k) for k in range(10_000)], minlength=64)
+        assert counts.max() < 3 * counts.mean()
+
+
+class TestMultiplicativeHash:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            MultiplicativeHash(100)
+
+    def test_even_multiplier_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiplicativeHash(64, multiplier=2)
+
+    def test_in_range(self):
+        h = MultiplicativeHash(256)
+        assert all(0 <= h(k) < 256 for k in range(5000))
+
+    def test_vectorized_matches_scalar(self):
+        h = MultiplicativeHash(1024)
+        keys = np.arange(0, 100_000, 997, dtype=np.uint64)
+        assert h.index_many(keys).tolist() == [h(int(k)) for k in keys]
+
+    def test_sequential_keys_spread(self):
+        # The whole point of the golden-ratio multiplier: sequential keys
+        # should not cluster.
+        h = MultiplicativeHash(64)
+        counts = np.bincount([h(k) for k in range(6400)], minlength=64)
+        assert counts.max() <= 2 * counts.mean()
+
+
+class TestTabulationHash:
+    def test_deterministic_per_seed(self):
+        a = TabulationHash(128, seed=5)
+        b = TabulationHash(128, seed=5)
+        assert all(a(k) == b(k) for k in (b"x", b"hello", 12345))
+
+    def test_seed_changes_function(self):
+        a = TabulationHash(128, seed=1)
+        b = TabulationHash(128, seed=2)
+        assert any(a(k) != b(k) for k in range(100))
+
+    def test_length_sensitivity(self):
+        # Keys that share a prefix but differ in length must (almost
+        # surely) hash differently because length is mixed in.
+        h = TabulationHash(1 << 30, seed=3)
+        assert h(b"ab") == h(b"ab")
+        assert h(b"a") != h(b"aa")
+
+    def test_key_too_long_rejected(self):
+        h = TabulationHash(64, max_key_bytes=4)
+        with pytest.raises(ConfigurationError):
+            h(b"abcde")
+
+    def test_spread(self):
+        h = TabulationHash(64, seed=7)
+        counts = np.bincount([h(k) for k in range(10_000)], minlength=64)
+        assert counts.max() < 3 * counts.mean()

@@ -1,0 +1,47 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, cmd_list, cmd_run, main
+
+
+class TestParser:
+    def test_list(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_names(self):
+        args = build_parser().parse_args(["run", "table1", "fig6"])
+        assert args.names == ["table1", "fig6"]
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_output(self, capsys):
+        assert cmd_list() == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_fast_experiments(self, capsys):
+        assert main(["run", "table1", "fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Figure 6" in out
+
+    def test_run_dedupes(self, capsys):
+        assert main(["run", "table1", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("########## table1 ##########") == 1
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "bogus"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_every_registered_experiment_has_callable(self):
+        for name, (func, description) in EXPERIMENTS.items():
+            assert callable(func), name
+            assert description

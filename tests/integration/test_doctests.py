@@ -1,0 +1,30 @@
+"""Run the doctest examples embedded in the public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.apps.iplookup.prefix
+import repro.core.key
+import repro.experiments.reporting
+import repro.hashing.bit_select
+import repro.hashing.djb
+import repro.utils.bits
+
+MODULES = [
+    repro.utils.bits,
+    repro.core.key,
+    repro.hashing.bit_select,
+    repro.hashing.djb,
+    repro.apps.iplookup.prefix,
+    repro.experiments.reporting,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures"
+    assert result.attempted > 0, "expected at least one doctest example"

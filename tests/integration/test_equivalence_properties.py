@@ -1,0 +1,132 @@
+"""Property-based equivalence between the CAM baselines and CA-RAM.
+
+The design goal of Section 3: "achieve full content addressability on a
+large database without the cost of exhaustively implementing hardware
+match logic for each memory element".  These properties check the *full
+content addressability* half: on random key sets, CA-RAM answers exactly
+like the exhaustive CAM/TCAM, and a one-slice group behaves exactly like a
+bare slice.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cam.cam import BinaryCAM
+from repro.cam.tcam import TCAM
+from repro.core.config import Arrangement, SliceConfig
+from repro.core.index import make_index_generator
+from repro.core.key import TernaryKey
+from repro.core.record import RecordFormat
+from repro.core.slice import CARAMSlice
+from repro.core.subsystem import SliceGroup
+from repro.hashing.base import ModuloHash
+from repro.hashing.bit_select import BitSelectHash
+
+KEY_BITS = 8
+ROWS = 8
+
+
+def build_slice(ternary=False):
+    record_format = RecordFormat(key_bits=KEY_BITS, data_bits=8, ternary=ternary)
+    config = SliceConfig(
+        index_bits=3,
+        row_bits=8 + 40 * record_format.slot_bits,  # ample slots: no spills
+        record_format=record_format,
+    )
+    generator = make_index_generator(
+        BitSelectHash(KEY_BITS, range(KEY_BITS - 3, KEY_BITS))
+    )
+    return CARAMSlice(config, generator)
+
+
+unique_keys = st.lists(
+    st.integers(min_value=0, max_value=255), min_size=0, max_size=24,
+    unique=True,
+)
+
+
+class TestBinaryEquivalence:
+    @given(keys=unique_keys, probes=st.lists(
+        st.integers(min_value=0, max_value=255), max_size=24))
+    @settings(max_examples=150, deadline=None)
+    def test_slice_matches_binary_cam(self, keys, probes):
+        cam = BinaryCAM(entries=64, key_bits=KEY_BITS)
+        caram = build_slice()
+        for i, key in enumerate(keys):
+            cam.insert(key, data=i)
+            caram.insert(key, data=i)
+        for probe in probes + keys:
+            cam_result = cam.search(probe)
+            caram_result = caram.search(probe)
+            assert cam_result.hit == caram_result.hit, probe
+            if cam_result.hit:
+                assert cam_result.data == caram_result.data
+
+
+@st.composite
+def pattern_set(draw):
+    """Random ternary patterns with don't-care bits outside the hash
+    window (so both structures store one copy per pattern)."""
+    count = draw(st.integers(min_value=0, max_value=12))
+    patterns = []
+    seen = set()
+    for _ in range(count):
+        value = draw(st.integers(min_value=0, max_value=255))
+        # Mask only the low 5 bits region... but hash uses low 3 bits; to
+        # keep single-copy storage, mask only bits 0..4 (MSB side).
+        mask = draw(st.integers(min_value=0, max_value=31)) << 3
+        key = TernaryKey(value=value, mask=mask, width=KEY_BITS)
+        if (key.value, key.mask) not in seen:
+            seen.add((key.value, key.mask))
+            patterns.append(key)
+    return patterns
+
+
+class TestTernaryEquivalence:
+    @given(patterns=pattern_set(), probes=st.lists(
+        st.integers(min_value=0, max_value=255), max_size=24))
+    @settings(max_examples=150, deadline=None)
+    def test_slice_matches_tcam_membership(self, patterns, probes):
+        """Hit/miss agreement.  (Priority may differ: the TCAM is ordered
+        by insertion, the CA-RAM bucket by slot; membership is the
+        invariant.)"""
+        tcam = TCAM(entries=32, key_bits=KEY_BITS)
+        caram = build_slice(ternary=True)
+        for i, pattern in enumerate(patterns):
+            tcam.insert(pattern, data=i)
+            caram.insert(pattern, data=i)
+        for probe in probes:
+            assert tcam.search(probe).hit == caram.search(probe).hit, (
+                probe, [str(p) for p in patterns],
+            )
+
+
+class TestGroupOfOneEquivalence:
+    @given(keys=unique_keys, probes=st.lists(
+        st.integers(min_value=0, max_value=255), max_size=16))
+    @settings(max_examples=100, deadline=None)
+    def test_single_slice_group_matches_slice(self, keys, probes):
+        record_format = RecordFormat(key_bits=KEY_BITS, data_bits=8)
+        config = SliceConfig(
+            index_bits=3,
+            row_bits=8 + 8 * record_format.slot_bits,
+            record_format=record_format,
+            slots_override=8,
+        )
+        sl = CARAMSlice(config, make_index_generator(ModuloHash(ROWS)))
+        group = SliceGroup(
+            config, 1, Arrangement.VERTICAL, ModuloHash(ROWS), name="g"
+        )
+        if len(keys) > config.capacity_records:
+            keys = keys[: config.capacity_records]
+        for i, key in enumerate(keys):
+            sl.insert(key, data=i % 251)
+            group.insert(key, data=i % 251)
+        for probe in probes + keys:
+            a = sl.search(probe)
+            b = group.search(probe)
+            assert a.hit == b.hit
+            assert a.bucket_accesses == b.bucket_accesses
+            if a.hit:
+                assert a.data == b.data

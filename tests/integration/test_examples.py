@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "cognitive_memory.py",
+    "subsystem_and_bandwidth.py",
+]
+
+HEAVY_EXAMPLES = [
+    "ip_router_lookup.py",
+    "speech_trigram.py",
+]
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example(name):
+    output = run_example(name)
+    assert output.strip()
+
+
+def test_quickstart_contents():
+    output = run_example("quickstart.py")
+    assert "slice geometry" in output
+    assert "RAM-mode scratchpad write/read round-trip OK" in output
+
+
+@pytest.mark.parametrize("name", HEAVY_EXAMPLES)
+def test_heavy_example(name):
+    output = run_example(name)
+    assert output.strip()
+
+
+def test_ip_example_reports_table2():
+    output = run_example("ip_router_lookup.py")
+    assert "CA-RAM == trie == TCAM" in output
+    assert "best design by AMALu" in output
+
+
+def test_trigram_example_reports_figure7():
+    output = run_example("speech_trigram.py")
+    assert "bucket capacity" in output
+    assert "AMAL" in output

@@ -1,0 +1,69 @@
+"""Integration tests for the extension experiments (ipv6, misses,
+robustness)."""
+
+import pytest
+
+from repro.apps.iplookup.ipv6 import (
+    FULL_V6_PREFIX_COUNT,
+    Ipv6Config,
+    generate_ipv6_table,
+)
+from repro.experiments import ipv6_scaling, misses, robustness
+
+
+class TestIpv6Scaling:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        table = generate_ipv6_table(
+            Ipv6Config(total_prefixes=FULL_V6_PREFIX_COUNT // 4, seed=7)
+        )
+        return ipv6_scaling.run(table=table)
+
+    def test_two_rows(self, rows):
+        assert len(rows) == 2
+        assert "IPv4" in rows[0]["table"]
+        assert "IPv6" in rows[1]["table"]
+
+    def test_power_advantage_widens(self, rows):
+        assert rows[1]["power_saving_pct"] >= rows[0]["power_saving_pct"] - 2
+
+    def test_area_saving_holds(self, rows):
+        assert 35 < rows[1]["area_saving_pct"] < 55
+
+    def test_offload_reported(self, rows):
+        assert rows[1]["tcam_offloaded"] >= 0
+
+
+class TestMisses:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return misses.run(seed=7)
+
+    def test_all_designs(self, rows):
+        assert [row["design"] for row in rows] == list("ABCDEF")
+
+    def test_miss_cost_at_least_one(self, rows):
+        for row in rows:
+            assert row["miss_AMAL"] >= 1.0
+            assert row["with_victim_tcam"] == 1.0
+
+    def test_overflowing_designs_pay_on_misses(self, rows):
+        by_design = {row["design"]: row for row in rows}
+        # A has substantial overflow: misses must scan beyond home.
+        assert by_design["A"]["miss_AMAL"] > 1.02
+        # E has almost none: misses are nearly one access.
+        assert by_design["E"]["miss_AMAL"] < by_design["A"]["miss_AMAL"]
+
+
+class TestRobustness:
+    def test_orderings_stable_across_seeds(self):
+        # Scaled-down tables keep the test fast while spanning seeds.
+        rows = robustness.run(seeds=(1, 2, 3), total_prefixes=60_000)
+        assert len(rows) == 6
+        assert robustness.orderings_stable(rows)
+
+    def test_spread_is_reported(self):
+        rows = robustness.run(seeds=(5, 6), total_prefixes=40_000)
+        for row in rows:
+            assert row["seeds"] == 2
+            assert row["AMALu_stdev"] >= 0.0

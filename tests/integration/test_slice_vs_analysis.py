@@ -1,0 +1,88 @@
+"""Integration: the behavioral slice and the vectorized analytics agree.
+
+Tables 2 and 3 are computed with :mod:`repro.hashing.analysis`; the
+behavioral :class:`~repro.core.slice.CARAMSlice` implements the same
+machine bit-by-bit.  These tests insert the same records through both paths
+and compare AMAL, spill counts, and occupancy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SliceConfig
+from repro.core.index import make_index_generator
+from repro.core.record import RecordFormat
+from repro.core.slice import CARAMSlice
+from repro.hashing.analysis import occupancy_report, simulate_linear_probing
+from repro.hashing.base import ModuloHash
+from repro.utils.rng import make_rng
+
+INDEX_BITS = 5
+ROWS = 1 << INDEX_BITS
+KEY_BITS = 16
+
+
+def build_slice(slots):
+    record_format = RecordFormat(key_bits=KEY_BITS, data_bits=8)
+    row_bits = 8 + slots * record_format.slot_bits
+    config = SliceConfig(
+        index_bits=INDEX_BITS,
+        row_bits=row_bits,
+        record_format=record_format,
+        slots_override=slots,
+    )
+    return CARAMSlice(config, make_index_generator(ModuloHash(ROWS)))
+
+
+@pytest.mark.parametrize("slots,count,seed", [
+    (4, 90, 0),
+    (4, 120, 1),
+    (2, 60, 2),
+    (8, 250, 3),
+])
+def test_behavioral_amal_matches_analysis(slots, count, seed):
+    rng = make_rng(seed)
+    # Distinct keys so searches are unambiguous.
+    keys = rng.permutation(1 << KEY_BITS)[:count]
+    homes = keys % ROWS
+
+    sl = build_slice(slots)
+    for key in keys:
+        sl.insert(int(key), data=int(key) % 251)
+
+    probe = simulate_linear_probing(homes, ROWS, slots)
+
+    # Final occupancy agrees.
+    behavioral_occupancy = np.zeros(ROWS, dtype=np.int64)
+    for row, _, _ in sl.records():
+        behavioral_occupancy[row] += 1
+    assert (behavioral_occupancy == probe.occupancy).all()
+
+    # Per-key search cost agrees with 1 + displacement.
+    for i, key in enumerate(keys):
+        result = sl.search(int(key))
+        assert result.hit
+        assert result.data == int(key) % 251
+        assert result.bucket_accesses == 1 + probe.displacements[i], (
+            f"key {key} home {homes[i]}"
+        )
+
+    # Aggregate AMAL agrees with the analytic report.
+    report = occupancy_report(homes, ROWS, slots)
+    assert sl.stats.amal == pytest.approx(report.amal_uniform)
+
+
+def test_spilled_counts_agree():
+    rng = make_rng(9)
+    keys = rng.permutation(1 << KEY_BITS)[:90]  # capacity is 32 x 3 = 96
+    homes = keys % ROWS
+    sl = build_slice(3)
+    for key in keys:
+        sl.insert(int(key))
+    probe = simulate_linear_probing(homes, ROWS, 3)
+    spilled_behavioral = sum(
+        1
+        for i, key in enumerate(keys)
+        if sl.search(int(key)).bucket_accesses > 1
+    )
+    assert spilled_behavioral == probe.spilled_count

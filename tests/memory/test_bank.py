@@ -1,0 +1,57 @@
+"""Unit tests for banked memory."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RamModeError
+from repro.memory.bank import BankedMemory
+
+
+class TestGeometry:
+    def test_bank_split(self):
+        banked = BankedMemory(rows=16, row_bits=32, bank_count=4)
+        assert banked.bank_count == 4
+        assert all(b.rows == 4 for b in banked.banks)
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BankedMemory(rows=10, row_bits=8, bank_count=4)
+
+    def test_zero_banks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BankedMemory(rows=8, row_bits=8, bank_count=0)
+
+
+class TestAddressing:
+    def test_locate_block_partition(self):
+        banked = BankedMemory(rows=16, row_bits=8, bank_count=4)
+        assert banked.locate(0) == (0, 0)
+        assert banked.locate(3) == (0, 3)
+        assert banked.locate(4) == (1, 0)
+        assert banked.locate(15) == (3, 3)
+
+    def test_locate_out_of_range(self):
+        banked = BankedMemory(rows=8, row_bits=8, bank_count=2)
+        with pytest.raises(RamModeError):
+            banked.locate(8)
+
+    def test_read_write_through_banks(self):
+        banked = BankedMemory(rows=8, row_bits=8, bank_count=2)
+        banked.write_row(5, 0x5A)
+        assert banked.read_row(5) == 0x5A
+        # Row 5 lives in bank 1.
+        assert banked.banks[1].stats.writes == 1
+        assert banked.banks[0].stats.writes == 0
+
+
+class TestStats:
+    def test_total_accesses(self):
+        banked = BankedMemory(rows=8, row_bits=8, bank_count=2)
+        banked.write_row(0, 1)
+        banked.read_row(7)
+        assert banked.total_accesses() == 2
+
+    def test_reset(self):
+        banked = BankedMemory(rows=8, row_bits=8, bank_count=2)
+        banked.write_row(0, 1)
+        banked.reset_stats()
+        assert banked.total_accesses() == 0

@@ -1,0 +1,85 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.cache import CacheSimulator, CacheStats
+
+
+class TestConfiguration:
+    def test_geometry(self):
+        cache = CacheSimulator(size_bytes=1024, line_bytes=64, associativity=4)
+        assert cache.set_count == 4
+
+    def test_line_not_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            CacheSimulator(line_bytes=48)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            CacheSimulator(size_bytes=1000, line_bytes=64, associativity=4)
+
+
+class TestAccessBehavior:
+    def test_cold_miss_then_hit(self):
+        cache = CacheSimulator(size_bytes=1024, line_bytes=64, associativity=2)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.access(63) is True  # same line
+
+    def test_different_lines_miss(self):
+        cache = CacheSimulator(size_bytes=1024, line_bytes=64, associativity=2)
+        cache.access(0)
+        assert cache.access(64) is False
+
+    def test_lru_eviction(self):
+        # 2-way, 1 set: capacity two lines.
+        cache = CacheSimulator(size_bytes=128, line_bytes=64, associativity=2)
+        cache.access(0)      # line 0
+        cache.access(64)     # line 1
+        cache.access(0)      # touch line 0 -> line 1 becomes LRU
+        cache.access(128)    # evicts line 1
+        assert cache.access(0) is True
+        assert cache.access(64) is False
+
+    def test_negative_address_rejected(self):
+        cache = CacheSimulator()
+        with pytest.raises(ValueError):
+            cache.access(-1)
+
+
+class TestBlockAccess:
+    def test_block_spanning_lines(self):
+        cache = CacheSimulator(size_bytes=1024, line_bytes=64, associativity=2)
+        misses = cache.access_block(0, 130)  # lines 0, 1, 2
+        assert misses == 3
+        assert cache.access_block(0, 130) == 0
+
+    def test_empty_block(self):
+        cache = CacheSimulator()
+        assert cache.access_block(0, 0) == 0
+
+
+class TestStats:
+    def test_miss_rate(self):
+        cache = CacheSimulator(size_bytes=1024, line_bytes=64, associativity=2)
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_average_latency(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.average_latency_cycles(1, 101) == pytest.approx(26.0)
+
+    def test_flush_keeps_stats(self):
+        cache = CacheSimulator(size_bytes=1024, line_bytes=64, associativity=2)
+        cache.access(0)
+        cache.flush()
+        assert cache.stats.misses == 1
+        assert cache.access(0) is False
+
+    def test_reset_clears_stats(self):
+        cache = CacheSimulator(size_bytes=1024, line_bytes=64, associativity=2)
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0

@@ -1,0 +1,52 @@
+"""Unit tests for memory device timing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.timing import (
+    DRAM_TIMING,
+    SRAM_TIMING,
+    MemoryTechnology,
+    MemoryTiming,
+)
+
+
+class TestDefaults:
+    def test_sram_single_cycle(self):
+        assert SRAM_TIMING.access_cycles == 1
+        assert SRAM_TIMING.cycle_between_accesses == 1
+
+    def test_dram_multi_cycle(self):
+        # Figure 8 assumption: "memory access latency is at least 6 cycles
+        # (DRAM)" at 200 MHz.
+        assert DRAM_TIMING.access_cycles == 6
+        assert DRAM_TIMING.clock_hz == 200e6
+
+    def test_access_time(self):
+        assert DRAM_TIMING.access_time_s == pytest.approx(30e-9)
+        assert SRAM_TIMING.access_time_s == pytest.approx(5e-9)
+
+
+class TestDerived:
+    def test_accesses_per_second(self):
+        assert DRAM_TIMING.accesses_per_second() == pytest.approx(200e6 / 6)
+
+    def test_scaled_to(self):
+        fast = DRAM_TIMING.scaled_to(312e6)
+        assert fast.clock_hz == 312e6
+        assert fast.access_cycles == DRAM_TIMING.access_cycles
+        assert fast.technology is MemoryTechnology.DRAM
+
+
+class TestValidation:
+    def test_bad_clock(self):
+        with pytest.raises(ConfigurationError):
+            MemoryTiming(MemoryTechnology.SRAM, 0, 1, 1)
+
+    def test_bad_access_cycles(self):
+        with pytest.raises(ConfigurationError):
+            MemoryTiming(MemoryTechnology.SRAM, 1e6, 0, 1)
+
+    def test_bad_back_to_back(self):
+        with pytest.raises(ConfigurationError):
+            MemoryTiming(MemoryTechnology.SRAM, 1e6, 1, 0)

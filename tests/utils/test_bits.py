@@ -1,0 +1,110 @@
+"""Unit tests for the bit-manipulation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    bit_length_for,
+    extract_bits,
+    from_bit_list,
+    mask_of,
+    reverse_bits,
+    select_bits,
+    to_bit_list,
+)
+
+
+class TestMaskOf:
+    def test_zero_width(self):
+        assert mask_of(0) == 0
+
+    def test_small_masks(self):
+        assert mask_of(1) == 1
+        assert mask_of(4) == 0xF
+        assert mask_of(8) == 0xFF
+
+    def test_wide_mask(self):
+        assert mask_of(128) == (1 << 128) - 1
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            mask_of(-1)
+
+
+class TestBitLengthFor:
+    def test_one_value_needs_zero_bits(self):
+        assert bit_length_for(1) == 0
+
+    def test_powers_of_two(self):
+        assert bit_length_for(2) == 1
+        assert bit_length_for(2048) == 11
+        assert bit_length_for(65536) == 16
+
+    def test_non_powers(self):
+        assert bit_length_for(3) == 2
+        assert bit_length_for(5) == 3
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            bit_length_for(0)
+
+
+class TestExtractBits:
+    def test_msb_extraction(self):
+        assert extract_bits(0b1011_0000, 8, 0, 4) == 0b1011
+
+    def test_middle_extraction(self):
+        assert extract_bits(0b1011_0000, 8, 2, 3) == 0b110
+
+    def test_single_bit(self):
+        assert extract_bits(0b1000_0000, 8, 0, 1) == 1
+        assert extract_bits(0b1000_0000, 8, 7, 1) == 0
+
+    def test_full_width(self):
+        assert extract_bits(0xAB, 8, 0, 8) == 0xAB
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            extract_bits(0, 8, 5, 4)
+
+
+class TestSelectBits:
+    def test_paper_hash_selection(self):
+        # The last 3 bits of the first 4 bits of an 8-bit value.
+        value = 0b1010_0000
+        assert select_bits(value, 8, [1, 2, 3]) == 0b010
+
+    def test_order_matters(self):
+        value = 0b10
+        assert select_bits(value, 2, [0, 1]) == 0b10
+        assert select_bits(value, 2, [1, 0]) == 0b01
+
+
+class TestBitListRoundTrip:
+    def test_to_bit_list(self):
+        assert to_bit_list(0b101, 4) == [0, 1, 0, 1]
+
+    def test_from_bit_list(self):
+        assert from_bit_list([1, 0, 1]) == 5
+
+    def test_value_too_large(self):
+        with pytest.raises(ValueError):
+            to_bit_list(16, 4)
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(ValueError):
+            from_bit_list([0, 2])
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_round_trip(self, value):
+        assert from_bit_list(to_bit_list(value, 64)) == value
+
+
+class TestReverseBits:
+    def test_simple(self):
+        assert reverse_bits(0b1100, 4) == 0b0011
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_involution(self, value):
+        assert reverse_bits(reverse_bits(value, 32), 32) == value

@@ -1,0 +1,56 @@
+"""Unit tests for the deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import DEFAULT_SEED, derive_seed, make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_default_is_deterministic(self):
+        a = make_rng(None).integers(0, 1 << 30, size=8)
+        b = make_rng(None).integers(0, 1 << 30, size=8)
+        assert (a == b).all()
+
+    def test_integer_seed_deterministic(self):
+        a = make_rng(42).random(4)
+        b = make_rng(42).random(4)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).random(8)
+        b = make_rng(2).random(8)
+        assert not (a == b).all()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(5)
+        assert make_rng(gen) is gen
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert not (a.random(8) == b.random(8)).all()
+
+    def test_deterministic(self):
+        first = [g.random(2).tolist() for g in spawn_rngs(9, 3)]
+        second = [g.random(2).tolist() for g in spawn_rngs(9, 3)]
+        assert first == second
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(3, "x") == derive_seed(3, "x")
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(3, "a") != derive_seed(3, "b")
+
+    def test_none_uses_default(self):
+        assert derive_seed(None, "x") == derive_seed(DEFAULT_SEED, "x")

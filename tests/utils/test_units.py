@@ -1,0 +1,49 @@
+"""Unit tests for units/formatting helpers."""
+
+from repro.utils.units import (
+    format_area_um2,
+    format_power_mw,
+    format_si,
+    mbits,
+    mm2,
+)
+
+
+class TestConversions:
+    def test_mm2(self):
+        assert mm2(1_000_000) == 1.0
+
+    def test_mbits(self):
+        assert mbits(1024 * 1024) == 1.0
+
+
+class TestFormatSi:
+    def test_zero(self):
+        assert format_si(0, "Hz") == "0 Hz"
+
+    def test_mega(self):
+        assert format_si(200e6, "Hz") == "200 MHz"
+
+    def test_giga(self):
+        assert format_si(2.5e9, "Hz") == "2.5 GHz"
+
+    def test_milli(self):
+        assert format_si(0.0608, "W") == "60.8 mW"
+
+    def test_no_unit(self):
+        assert format_si(1500.0) == "1.5 k"
+
+
+class TestAreaPowerFormat:
+    def test_small_area_in_um2(self):
+        assert "um^2" in format_area_um2(100.0)
+
+    def test_large_area_in_mm2(self):
+        assert "mm^2" in format_area_um2(5e6)
+
+    def test_small_power_in_mw(self):
+        assert format_power_mw(60.8) == "60.80 mW"
+
+    def test_large_power_in_w(self):
+        assert "W" in format_power_mw(3200.0)
+        assert "mW" not in format_power_mw(3200.0)

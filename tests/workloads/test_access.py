@@ -1,0 +1,74 @@
+"""Unit tests for the access-pattern weights."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.access import (
+    sample_accesses,
+    skewed_rank_weights,
+    uniform_weights,
+    zipf_weights,
+)
+
+
+class TestUniform:
+    def test_normalized(self):
+        weights = uniform_weights(10)
+        assert weights.sum() == pytest.approx(1.0)
+        assert (weights == weights[0]).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            uniform_weights(0)
+
+
+class TestZipf:
+    def test_normalized_and_decreasing(self):
+        weights = zipf_weights(100, 1.0)
+        assert weights.sum() == pytest.approx(1.0)
+        assert (np.diff(weights) <= 0).all()
+
+    def test_exponent_zero_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_heavier_exponent_more_skew(self):
+        light = zipf_weights(100, 0.5)
+        heavy = zipf_weights(100, 1.5)
+        assert heavy[0] > light[0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_weights(0)
+        with pytest.raises(ConfigurationError):
+            zipf_weights(10, -1.0)
+
+
+class TestSkewedRankWeights:
+    def test_same_multiset_as_zipf(self):
+        assigned = skewed_rank_weights(50, 1.0, seed=5)
+        assert np.allclose(sorted(assigned), sorted(zipf_weights(50, 1.0)))
+
+    def test_shuffled(self):
+        assigned = skewed_rank_weights(50, 1.0, seed=5)
+        assert not np.allclose(assigned, zipf_weights(50, 1.0))
+
+    def test_deterministic(self):
+        a = skewed_rank_weights(50, 1.0, seed=5)
+        b = skewed_rank_weights(50, 1.0, seed=5)
+        assert np.allclose(a, b)
+
+
+class TestSampleAccesses:
+    def test_respects_weights(self):
+        weights = np.array([0.9, 0.1])
+        picks = sample_accesses(weights, 1000, seed=6)
+        assert (picks == 0).mean() > 0.8
+
+    def test_count(self):
+        assert sample_accesses(np.ones(4), 17, seed=1).size == 17
+
+    def test_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            sample_accesses(np.ones(4), -1)

@@ -1,0 +1,67 @@
+"""Unit tests for the generic key generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.keys import (
+    random_byte_strings,
+    random_keys,
+    unique_random_keys,
+)
+
+
+class TestRandomKeys:
+    def test_count_and_range(self):
+        keys = random_keys(100, 8, seed=1)
+        assert keys.size == 100
+        assert keys.max() < 256
+
+    def test_deterministic(self):
+        assert (random_keys(10, 16, seed=3) == random_keys(10, 16, seed=3)).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_keys(-1, 8)
+        with pytest.raises(ConfigurationError):
+            random_keys(1, 0)
+        with pytest.raises(ConfigurationError):
+            random_keys(1, 65)
+
+
+class TestUniqueRandomKeys:
+    def test_uniqueness(self):
+        keys = unique_random_keys(1000, 16, seed=2)
+        assert np.unique(keys).size == 1000
+
+    def test_dense_draw(self):
+        # More than half the space: permutation path.
+        keys = unique_random_keys(200, 8, seed=2)
+        assert np.unique(keys).size == 200
+
+    def test_full_space(self):
+        keys = unique_random_keys(256, 8, seed=2)
+        assert sorted(keys.tolist()) == list(range(256))
+
+    def test_space_too_small(self):
+        with pytest.raises(ConfigurationError):
+            unique_random_keys(257, 8)
+
+
+class TestRandomByteStrings:
+    def test_lengths(self):
+        strings = random_byte_strings(50, 3, 7, seed=4)
+        assert len(strings) == 50
+        assert all(3 <= len(s) <= 7 for s in strings)
+
+    def test_alphabet_respected(self):
+        strings = random_byte_strings(20, 2, 4, alphabet=b"ab", seed=4)
+        assert all(set(s) <= set(b"ab") for s in strings)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_byte_strings(1, 0, 3)
+        with pytest.raises(ConfigurationError):
+            random_byte_strings(1, 5, 3)
+        with pytest.raises(ConfigurationError):
+            random_byte_strings(1, 1, 2, alphabet=b"")
