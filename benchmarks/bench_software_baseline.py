@@ -66,8 +66,7 @@ def trie_lookup_cost(prefix_pairs, probe_addresses):
 def caram_lookup_cost(prefix_pairs, probe_addresses):
     group = build_ip_caram(prefix_pairs, DESIGN)
     group.stats.reset()
-    for address in probe_addresses:
-        group.search(address)
+    group.search_batch(probe_addresses)
     return {"accesses_per_lookup": group.stats.amal}
 
 

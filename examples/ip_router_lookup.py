@@ -23,7 +23,7 @@ from repro.apps.iplookup import (
     SyntheticBgpConfig,
 )
 from repro.apps.iplookup.baseline_tcam import lpm_lookup
-from repro.apps.iplookup.caram import lpm_search
+from repro.apps.iplookup.caram import lpm_search_batch
 from repro.apps.iplookup.trie import BinaryTrie
 from repro.core.config import Arrangement
 from repro.experiments.reporting import print_table
@@ -53,11 +53,13 @@ def behavioral_demo() -> None:
           f"hash bits), load factor {caram.load_factor:.2f}")
 
     rng = make_rng(6)
+    addresses = [int(a) for a in rng.integers(0, 1 << 32, size=2_000)]
+    # The whole probe stream goes through the vectorized batch engine; the
+    # per-address baselines then cross-check every answer.
+    caram_hops = lpm_search_batch(caram, addresses)
     agree = 0
-    for address in rng.integers(0, 1 << 32, size=2_000):
-        address = int(address)
+    for address, got_caram in zip(addresses, caram_hops):
         expected = trie.lookup(address)
-        got_caram = lpm_search(caram, address)
         got_tcam = lpm_lookup(tcam, address)
         reference = expected.data if expected.hit else None
         assert got_caram == reference, hex(address)

@@ -20,7 +20,7 @@ from repro.apps.trigram import (
     evaluate_trigram_design,
     generate_trigram_database,
 )
-from repro.apps.trigram.caram import trigram_lookup
+from repro.apps.trigram.caram import trigram_lookup, trigram_lookup_batch
 from repro.apps.trigram.generator import FULL_TRIGRAM_COUNT
 from repro.core.config import Arrangement
 from repro.experiments.reporting import print_table
@@ -79,8 +79,10 @@ def behavioral_demo() -> None:
     print(f"loaded {caram.record_count} records, "
           f"load factor {caram.load_factor:.2f}")
 
-    for text, probability in entries[:5]:
-        found = trigram_lookup(caram, text)
+    # One batch call resolves the 128-bit string keys through the mirror's
+    # wide-key path.
+    found_all = trigram_lookup_batch(caram, [text for text, _ in entries[:5]])
+    for (text, probability), found in zip(entries[:5], found_all):
         print(f"  {text.decode():20s} -> {found} (expected {probability})")
         assert found == probability
     assert trigram_lookup(caram, b"zz qq jj xx yy") is None

@@ -19,7 +19,7 @@ the TCAM baseline.  For full-scale Table 2 analytics use
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.apps.iplookup.designs import IpDesign
 from repro.apps.iplookup.prefix import ADDRESS_BITS, Prefix
@@ -96,6 +96,22 @@ def lpm_search(group: SliceGroup, address: int) -> Optional[int]:
     return result.data if result.hit else None
 
 
+def lpm_search_batch(
+    group: SliceGroup, addresses: Sequence[int]
+) -> List[Optional[int]]:
+    """Vectorized LPM over an address stream (one next hop per address).
+
+    Backed by :meth:`SliceGroup.search_batch`, so a long query trace is
+    resolved against the decoded mirror instead of per-address row decodes;
+    results and AMAL statistics are identical to per-address
+    :func:`lpm_search` calls.
+    """
+    return [
+        result.data if result.hit else None
+        for result in group.search_batch(addresses)
+    ]
+
+
 __all__ = [
     "ip_record_format",
     "ip_slice_config",
@@ -103,4 +119,5 @@ __all__ = [
     "prefix_priority",
     "build_ip_caram",
     "lpm_search",
+    "lpm_search_batch",
 ]

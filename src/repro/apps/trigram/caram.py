@@ -11,7 +11,7 @@ analytics run through the vectorized :mod:`repro.apps.trigram.evaluate`.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.apps.trigram.designs import (
     KEYS_PER_ROW,
@@ -123,6 +123,22 @@ def trigram_lookup(group: SliceGroup, text: BytesLike) -> Optional[int]:
     return result.data if result.hit else None
 
 
+def trigram_lookup_batch(
+    group: SliceGroup, texts: Sequence[BytesLike]
+) -> List[Optional[int]]:
+    """Vectorized exact-match lookup of many trigram strings at once.
+
+    The 128-bit packed keys take the wide-key (multi-word) path of the
+    decoded mirror; results and statistics match per-string
+    :func:`trigram_lookup` calls.
+    """
+    keys = [StringKeyCodec.encode(text) for text in texts]
+    return [
+        result.data if result.hit else None
+        for result in group.search_batch(keys)
+    ]
+
+
 __all__ = [
     "StringKeyCodec",
     "PackedStringDJBHash",
@@ -130,4 +146,5 @@ __all__ = [
     "trigram_slice_config",
     "build_trigram_caram",
     "trigram_lookup",
+    "trigram_lookup_batch",
 ]

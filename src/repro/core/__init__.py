@@ -10,6 +10,7 @@ Public surface:
   vertical arrangements), overflow areas, victim TCAM, request ports.
 """
 
+from repro.core.batch import BatchSearchEngine
 from repro.core.composer import ComposedDatabase, OverflowKind, compose_database
 from repro.core.config import Arrangement, SliceConfig
 from repro.core.index import IndexGenerator
@@ -24,6 +25,7 @@ from repro.core.subsystem import CARAMSubsystem, SliceGroup
 
 __all__ = [
     "Arrangement",
+    "BatchSearchEngine",
     "ComposedDatabase",
     "OverflowKind",
     "compose_database",

@@ -1,0 +1,210 @@
+"""The vectorized batch-lookup engine behind ``search_batch``.
+
+One :class:`BatchSearchEngine` serves both :class:`~repro.core.slice.CARAMSlice`
+and :class:`~repro.core.subsystem.SliceGroup`: the two differ only in how
+logical buckets map to physical rows, and that difference is entirely
+absorbed by the :class:`~repro.memory.mirror.DecodedMirror` they hand in.
+
+A batch lookup proceeds in three vectorized stages:
+
+1. **index generation** — the whole key array is hashed at once
+   (:meth:`~repro.core.index.IndexGenerator.indices_batch`); keys whose
+   don't-care bits touch hash positions are flagged for the scalar path;
+2. **home-row matching** — the home buckets are gathered from the decoded
+   mirror and compared word-wise (Figure 4(b) semantics) in one NumPy
+   expression; the winning slot is priority-encoded and pipelined match
+   passes are accounted exactly like :meth:`MatchProcessor.match_pipelined`;
+3. **probe extension** — only the (rare) keys whose home bucket misses with
+   a nonzero reach field fall back to the scalar ``search``, which walks
+   the probing sequence and performs its own accounting.
+
+The result list is **bit-identical** to calling the scalar ``search`` once
+per key, in key order — same hits, same winning records/rows/slots, same
+``bucket_accesses``, ``multiple_matches``, and the same ``SearchStats``
+counters (AMAL, hit rate, access histogram, match passes).  The only
+observable difference is that the physical
+:class:`~repro.memory.array.ArrayStats` read counters are not advanced by
+the mirror-served accesses (the mirror replaces the row fetches).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import KeyFormatError
+from repro.core.index import IndexGenerator, KeyInput
+from repro.core.key import TernaryKey
+from repro.core.match import priority_encode_batch
+from repro.core.stats import SearchStats
+from repro.memory.mirror import DecodedMirror, keys_to_words
+from repro.utils.bits import mask_of
+
+#: Keys processed per vectorized chunk — bounds the peak size of the
+#: gathered ``(chunk, slots, words)`` intermediates.
+DEFAULT_CHUNK_SIZE = 16384
+
+
+class BatchSearchEngine:
+    """Vectorized lookup of whole key arrays against one decoded mirror.
+
+    Args:
+        index_generator: the hash front-end of the slice/group.
+        mirror_provider: zero-argument callable returning a *synced*
+            :class:`DecodedMirror` (called once per batch, so lazily built
+            mirrors stay lazy).
+        slots_per_bucket: logical slots per bucket ``S`` (slice-local for a
+            slice, slice-count × S for horizontal groups).
+        match_processors: the paper's ``P`` (None = one per slot).
+        key_bits: search-key width ``N``.
+        stats: the :class:`SearchStats` to account into.
+        scalar_search: the scalar ``search(key, search_mask)`` used for
+            probe extension and multi-home keys.
+        on_home_accesses: optional callback receiving the number of
+            mirror-served home-bucket accesses (used by slice groups to
+            advance their physical-row-fetch counter).
+    """
+
+    def __init__(
+        self,
+        index_generator: IndexGenerator,
+        mirror_provider: Callable[[], DecodedMirror],
+        slots_per_bucket: int,
+        match_processors: Optional[int],
+        key_bits: int,
+        stats: SearchStats,
+        scalar_search: Callable[..., object],
+        on_home_accesses: Optional[Callable[[int], None]] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        self._index = index_generator
+        self._mirror_provider = mirror_provider
+        self._slots = slots_per_bucket
+        self._processors = match_processors
+        self._key_bits = key_bits
+        self._full_mask = mask_of(key_bits)
+        self._stats = stats
+        self._scalar_search = scalar_search
+        self._on_home_accesses = on_home_accesses
+        self._chunk_size = max(1, chunk_size)
+
+    def search(self, keys: Sequence[KeyInput], search_mask: int = 0) -> List:
+        """Look up every key; returns one ``SearchResult`` per key, in order."""
+        from repro.core.slice import SearchResult
+
+        if not 0 <= search_mask <= self._full_mask:
+            raise KeyFormatError(
+                f"search mask {search_mask:#x} does not fit in "
+                f"{self._key_bits} bits"
+            )
+        total = len(keys)
+        if total == 0:
+            return []
+
+        # ------------------------------------------------------------------
+        # Stage 0: normalize keys to (value, mask) pairs.
+        # ------------------------------------------------------------------
+        values: List[int] = [0] * total
+        masks: Optional[List[int]] = None
+        for i, key in enumerate(keys):
+            if isinstance(key, TernaryKey):
+                if key.width != self._key_bits:
+                    raise KeyFormatError(
+                        f"search width {key.width} != stored width "
+                        f"{self._key_bits}"
+                    )
+                values[i] = key.value
+                merged = key.mask | search_mask
+                if merged:
+                    if masks is None:
+                        masks = [search_mask] * total
+                    masks[i] = merged
+            else:
+                values[i] = int(key)
+        if masks is None and search_mask:
+            masks = [search_mask] * total
+
+        words = keys_to_words(values, self._key_bits)
+        mask_words = (
+            keys_to_words(masks, self._key_bits) if masks is not None else None
+        )
+
+        # ------------------------------------------------------------------
+        # Stage 1: vectorized index generation.
+        # ------------------------------------------------------------------
+        mirror = self._mirror_provider()
+        homes, needs_scalar = self._index.indices_batch(values, masks, words)
+
+        results: List[Optional[SearchResult]] = [None] * total
+        scalar_keys: List[int] = np.flatnonzero(needs_scalar).tolist()
+        vectorized = np.flatnonzero(~needs_scalar)
+        shared_miss: Optional[SearchResult] = None
+        records = mirror.records
+
+        # ------------------------------------------------------------------
+        # Stage 2: home-row matching, chunked to bound peak memory.
+        # ------------------------------------------------------------------
+        for start in range(0, vectorized.size, self._chunk_size):
+            chunk = vectorized[start : start + self._chunk_size]
+            chunk_homes = homes[chunk]
+            match = mirror.match_rows(
+                chunk_homes,
+                words[chunk],
+                mask_words[chunk] if mask_words is not None else None,
+            )
+            hit, slot, passes, multiple = priority_encode_batch(
+                match, self._processors
+            )
+            # Stage 3 trigger: a home miss with nonzero reach means records
+            # may have spilled along the probe sequence — scalar fallback.
+            probe_needed = ~hit & (mirror.reach[chunk_homes] > 0)
+            resolved = ~probe_needed
+            resolved_count = int(resolved.sum())
+            if resolved_count:
+                self._stats.record_lookup_batch(resolved_count, int(hit.sum()))
+                self._stats.record_match_passes(int(passes[resolved].sum()))
+                if self._on_home_accesses is not None:
+                    self._on_home_accesses(resolved_count)
+
+            hit_positions = np.flatnonzero(hit)
+            if hit_positions.size:
+                for out_i, row_i, slot_i, multi in zip(
+                    chunk[hit_positions].tolist(),
+                    chunk_homes[hit_positions].tolist(),
+                    slot[hit_positions].tolist(),
+                    multiple[hit_positions].tolist(),
+                ):
+                    results[out_i] = SearchResult(
+                        hit=True,
+                        record=records[row_i, slot_i],
+                        row=row_i,
+                        slot=slot_i,
+                        bucket_accesses=1,
+                        multiple_matches=multi,
+                    )
+            miss_positions = np.flatnonzero(resolved & ~hit)
+            if miss_positions.size:
+                if shared_miss is None:
+                    # Plain misses are identical immutable values; one
+                    # instance serves the whole batch.
+                    shared_miss = SearchResult(
+                        hit=False,
+                        record=None,
+                        row=None,
+                        slot=None,
+                        bucket_accesses=1,
+                    )
+                for out_i in chunk[miss_positions].tolist():
+                    results[out_i] = shared_miss
+            scalar_keys.extend(chunk[np.flatnonzero(probe_needed)].tolist())
+
+        # ------------------------------------------------------------------
+        # Stage 3: probe extension / multi-home keys via the scalar path.
+        # ------------------------------------------------------------------
+        for out_i in scalar_keys:
+            results[out_i] = self._scalar_search(keys[out_i], search_mask)
+        return results
+
+
+__all__ = ["BatchSearchEngine", "DEFAULT_CHUNK_SIZE"]

@@ -127,20 +127,30 @@ class BucketLayout:
             for slot in range(self.slots_per_bucket)
         ]
 
+    def slot_valid(self, row_value: int, slot: int) -> bool:
+        """Check one slot's valid bit without decoding the record.
+
+        The valid bit is the MSB of the slot (see
+        :func:`~repro.core.record.encode_record`), so occupancy questions
+        never need the full big-int record decode.
+        """
+        offset = self._slot_offset(slot)
+        shift = self.row_bits - offset - 1
+        return bool((row_value >> shift) & 1)
+
     def find_free_slot(self, row_value: int) -> Optional[int]:
         """Lowest-index invalid slot, or None when the bucket is full."""
         for slot in range(self.slots_per_bucket):
-            valid, _ = self.read_slot(row_value, slot)
-            if not valid:
+            if not self.slot_valid(row_value, slot):
                 return slot
         return None
 
     def occupancy(self, row_value: int) -> int:
-        """Number of valid slots in the row."""
+        """Number of valid slots in the row (valid-bit test only)."""
         return sum(
             1
             for slot in range(self.slots_per_bucket)
-            if self.read_slot(row_value, slot)[0]
+            if self.slot_valid(row_value, slot)
         )
 
     def pack(self, records: List[Record], reach: int = 0) -> int:

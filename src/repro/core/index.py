@@ -22,7 +22,9 @@ is rejected, mirroring the real design constraint.
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.errors import ConfigurationError, KeyFormatError
 from repro.core.key import TernaryKey
@@ -120,6 +122,60 @@ class IndexGenerator:
                 )
             probe_key = TernaryKey(value=key, mask=search_mask, width=width)
         return self.indices_for_stored(probe_key)
+
+    def indices_batch(
+        self,
+        values: Sequence[int],
+        masks: Optional[Sequence[int]] = None,
+        words: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized home-row generation for a whole key array.
+
+        The single-home common case (binary search keys, or don't-care bits
+        that avoid the hash positions) is resolved with one vectorized hash
+        evaluation; keys that need the Section-4 multi-row enumeration —
+        don't-care bits over hash positions, or a hash family that cannot
+        enumerate masked keys — are flagged for the scalar
+        :meth:`indices_for_search` path instead.
+
+        Args:
+            values: search-key values (don't-care bits already zeroed).
+            masks: per-key don't-care masks, or None when the whole batch
+                is binary.
+            words: optional ``(len(values), words)`` packed-key matrix
+                (see :func:`repro.memory.mirror.keys_to_words`), used for
+                keys wider than 64 bits.
+
+        Returns:
+            ``(homes, needs_scalar)``: int64 home row per key (meaningless
+            where ``needs_scalar`` is set) and the scalar-fallback flags.
+        """
+        count = len(values)
+        needs_scalar = np.zeros(count, dtype=bool)
+        if masks is not None:
+            if isinstance(self._hash, BitSelectHash):
+                position_mask = self._hash.position_mask
+                for i, mask in enumerate(masks):
+                    if mask & position_mask:
+                        needs_scalar[i] = True
+            else:
+                for i, mask in enumerate(masks):
+                    if mask:
+                        needs_scalar[i] = True
+        if isinstance(self._hash, BitSelectHash) and words is not None:
+            homes = self._hash.index_words(words)
+        else:
+            try:
+                homes = self._hash.index_many(values)
+            except OverflowError:
+                # Keys wider than the vectorized kernel supports: fall back
+                # to the scalar hash, one key at a time.
+                homes = np.fromiter(
+                    (self._hash(value) for value in values),
+                    dtype=np.int64,
+                    count=count,
+                )
+        return np.asarray(homes, dtype=np.int64), needs_scalar
 
 
 def make_index_generator(hash_function: HashFunction) -> IndexGenerator:

@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import KeyFormatError
 from repro.core.record import Record
 from repro.utils.bits import mask_of
@@ -182,4 +184,43 @@ class MatchProcessor:
         )
 
 
-__all__ = ["MatchProcessor", "MatchResult"]
+def priority_encode_batch(
+    match: np.ndarray, processors: Optional[int] = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized steps 3–4 over a whole batch of match vectors.
+
+    Reproduces :meth:`MatchProcessor.match_pipelined` exactly — including
+    the pipelined-pass count and the fact that ``multiple_matches`` only
+    sees the slots scanned before the pipeline stopped — but over a
+    ``(batch, slots)`` boolean match matrix at NumPy speed.
+
+    Args:
+        match: ``(batch, slots)`` bool match matrix, slot 0 first.
+        processors: the paper's ``P``; None (or ``P >= slots``) means
+            single-pass matching.
+
+    Returns:
+        ``(hit, slot, passes, multiple)`` arrays of shape ``(batch,)``:
+        per-lookup hit flag, priority-encoded winning slot (-1 on miss),
+        pipelined passes executed, and the multiple-match flag over the
+        scanned slots.
+    """
+    batch, slots = match.shape
+    if processors is not None and processors <= 0:
+        raise KeyFormatError(f"processors must be positive: {processors}")
+    hit = match.any(axis=1)
+    first = match.argmax(axis=1)
+    slot = np.where(hit, first, -1)
+    chunk = slots if processors is None or processors >= slots else processors
+    total_passes = -(-slots // chunk)
+    passes = np.where(hit, first // chunk + 1, total_passes).astype(np.int64)
+    # Slots visible to the pipeline: every chunk up to and including the
+    # one that produced the first match (all of them on a miss).
+    scanned = np.minimum(np.where(hit, (first // chunk + 1) * chunk, slots), slots)
+    cumulative = match.cumsum(axis=1)
+    matches_seen = cumulative[np.arange(batch), scanned - 1]
+    multiple = matches_seen > 1
+    return hit, slot, passes, multiple
+
+
+__all__ = ["MatchProcessor", "MatchResult", "priority_encode_batch"]

@@ -27,7 +27,7 @@ on insert — how longest-prefix-match ordering is realized for IP lookup.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import CapacityError, LookupError_
 from repro.core.config import SliceConfig
@@ -38,6 +38,10 @@ from repro.core.probing import LinearProbing, ProbingPolicy
 from repro.core.record import Record
 from repro.core.stats import SearchStats
 from repro.memory.array import MemoryArray
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.batch import BatchSearchEngine
+    from repro.memory.mirror import DecodedMirror
 
 
 @dataclass(frozen=True)
@@ -98,6 +102,8 @@ class CARAMSlice:
         self._memory = MemoryArray(config.rows, config.row_bits, config.timing)
         self._matcher = MatchProcessor(config.record_format.key_bits)
         self._record_count = 0
+        self._mirror: Optional["DecodedMirror"] = None
+        self._batch_engine: Optional["BatchSearchEngine"] = None
         self.stats = SearchStats()
 
     # ------------------------------------------------------------------
@@ -127,13 +133,52 @@ class CARAMSlice:
         return self._record_count / self._config.capacity_records
 
     def records(self) -> Iterator[Tuple[int, int, Record]]:
-        """Yield every stored record as ``(row, slot, record)``."""
-        for row in range(self._config.rows):
-            row_value = self._memory.peek_row(row)
-            for slot in range(self._layout.slots_per_bucket):
-                valid, record = self._layout.read_slot(row_value, slot)
-                if valid:
-                    yield row, slot, record
+        """Yield every stored record as ``(row, slot, record)``, row-major."""
+        yield from self._synced_mirror().iter_valid()
+
+    # ------------------------------------------------------------------
+    # Decoded mirror (the batch-lookup substrate)
+    # ------------------------------------------------------------------
+
+    def _synced_mirror(self) -> "DecodedMirror":
+        """The decoded NumPy mirror of this slice's array, freshly synced.
+
+        Built lazily on first use; afterwards kept consistent incrementally
+        via the array's invalidation notifications, so repeated batch
+        lookups between writes re-decode nothing.
+        """
+        if self._mirror is None:
+            from repro.memory.mirror import DecodedMirror
+
+            self._mirror = DecodedMirror([self._memory], self._layout)
+        self._mirror.sync()
+        return self._mirror
+
+    def search_batch(
+        self, keys: Sequence[KeyInput], search_mask: int = 0
+    ) -> List[SearchResult]:
+        """Vectorized lookup of a whole key array.
+
+        Produces exactly the results (and ``SearchStats`` accounting) of
+        calling :meth:`search` once per key, in order, but resolves the
+        common case — single home row, hit or reach-0 miss — against the
+        decoded mirror in bulk NumPy operations.  Keys that need the
+        Section-4 multi-row probing (don't-care bits over hash positions,
+        or a home miss with nonzero reach) fall back to the scalar path.
+        """
+        if self._batch_engine is None:
+            from repro.core.batch import BatchSearchEngine
+
+            self._batch_engine = BatchSearchEngine(
+                index_generator=self._index,
+                mirror_provider=self._synced_mirror,
+                slots_per_bucket=self._layout.slots_per_bucket,
+                match_processors=self._config.match_processors,
+                key_bits=self._config.record_format.key_bits,
+                stats=self.stats,
+                scalar_search=self.search,
+            )
+        return self._batch_engine.search(keys, search_mask)
 
     # ------------------------------------------------------------------
     # CAM mode: search
@@ -368,18 +413,19 @@ class CARAMSlice:
             All matching ``(row, slot, record)`` triples.  Costs one
             bucket access per row (counted in the memory statistics).
         """
+        import numpy as np
+
         if search_mask is None:
             search_mask = (1 << self._config.record_format.key_bits) - 1
-        matches: List[Tuple[int, int, Record]] = []
-        for row in range(self._config.rows):
-            row_value = self._memory.read_row(row)
-            for slot in range(self._layout.slots_per_bucket):
-                valid, record = self._layout.read_slot(row_value, slot)
-                if valid and self._matcher.match_slot(
-                    valid, record, search_key, search_mask
-                ):
-                    matches.append((row, slot, record))
-        return matches
+        mirror = self._synced_mirror()
+        match = mirror.match_predicate(search_key, search_mask)
+        # The sweep still fetches every row once — same AMAL cost as the
+        # scalar row loop, served from the mirror.
+        self._memory.stats.reads += self._config.rows
+        return [
+            (int(row), int(slot), mirror.records[row, slot])
+            for row, slot in np.argwhere(match)
+        ]
 
     def scan_count(
         self, search_key: int = 0, search_mask: Optional[int] = None
@@ -403,27 +449,26 @@ class CARAMSlice:
             Number of records modified.  Costs one read-modify-write per
             row that contains a match.
         """
+        import numpy as np
+
+        mirror = self._synced_mirror()
+        match = mirror.match_predicate(search_key, search_mask)
+        # One read per row for the evaluation sweep (as in the scalar loop),
+        # plus one write per row that holds a match.
+        self._memory.stats.reads += self._config.rows
         modified = 0
-        for row in range(self._config.rows):
-            row_value = self._memory.read_row(row)
-            dirty = False
-            for slot in range(self._layout.slots_per_bucket):
-                valid, record = self._layout.read_slot(row_value, slot)
-                if valid and self._matcher.match_slot(
-                    valid, record, search_key, search_mask
-                ):
-                    new_record = Record.make(
-                        record.key,
-                        transform(record),
-                        self._config.record_format,
-                    )
-                    row_value = self._layout.write_slot(
-                        row_value, slot, new_record
-                    )
-                    dirty = True
-                    modified += 1
-            if dirty:
-                self._memory.write_row(row, row_value)
+        for row in np.flatnonzero(match.any(axis=1)).tolist():
+            row_value = self._memory.peek_row(row)
+            for slot in np.flatnonzero(match[row]).tolist():
+                record = mirror.records[row, slot]
+                new_record = Record.make(
+                    record.key,
+                    transform(record),
+                    self._config.record_format,
+                )
+                row_value = self._layout.write_slot(row_value, slot, new_record)
+                modified += 1
+            self._memory.write_row(row, row_value)
         return modified
 
     # ------------------------------------------------------------------
@@ -462,17 +507,29 @@ class CARAMSlice:
         return self._memory.read_row(row)
 
     def ram_write(self, row: int, value: int) -> None:
-        """Address-based row write."""
+        """Address-based row write.
+
+        The record count tracks the occupancy delta of the overwritten row,
+        so CAM-mode bookkeeping survives RAM-mode writes.
+        """
+        removed = self._layout.occupancy(self._memory.peek_row(row))
         self._memory.write_row(row, value)
+        self._record_count += self._layout.occupancy(value) - removed
 
     def dma_load(self, rows: List[int], offset: int = 0) -> None:
         """Bulk-load pre-packed rows ("a series of memory copy operations or
         ... an existing DMA mechanism", Section 3.2).
 
-        The record count is recomputed from the loaded image.
+        The record count is updated incrementally from the valid bits of the
+        overwritten and incoming rows — no full-database re-scan.
         """
+        removed = sum(
+            self._layout.occupancy(self._memory.peek_row(offset + i))
+            for i in range(len(rows))
+        )
         self._memory.load(rows, offset)
-        self._record_count = sum(1 for _ in self.records())
+        added = sum(self._layout.occupancy(value) for value in rows)
+        self._record_count += added - removed
 
 
 __all__ = ["CARAMSlice", "SearchResult"]

@@ -37,6 +37,23 @@ class SearchStats:
         """Account pipelined matching steps (P < S configurations)."""
         self.total_match_passes += passes
 
+    def record_lookup_batch(
+        self, count: int, hits: int, accesses_per_lookup: int = 1
+    ) -> None:
+        """Account ``count`` lookups that each touched the same number of
+        buckets — the bulk entry point of the vectorized batch path, which
+        resolves whole key arrays against their home buckets at once.
+
+        Equivalent to ``count`` calls to :meth:`record_lookup` with
+        ``accesses_per_lookup`` accesses, ``hits`` of them hitting.
+        """
+        if count <= 0:
+            return
+        self.lookups += count
+        self.hits += hits
+        self.total_bucket_accesses += count * accesses_per_lookup
+        self.access_histogram[accesses_per_lookup] += count
+
     @property
     def average_match_passes(self) -> float:
         """Mean matching passes per bucket access."""

@@ -25,7 +25,16 @@ technique".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Protocol, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import CapacityError, ConfigurationError, LookupError_
 from repro.core.config import Arrangement, SliceConfig
@@ -40,6 +49,10 @@ from repro.hashing.base import HashFunction
 from repro.memory.array import MemoryArray
 
 from typing import Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.batch import BatchSearchEngine
+    from repro.memory.mirror import DecodedMirror
 
 
 class OverflowStore(Protocol):
@@ -95,6 +108,8 @@ class SliceGroup:
         self._index = IndexGenerator(hash_function, self.bucket_count)
         self._matcher = MatchProcessor(config.record_format.key_bits)
         self._record_count = 0
+        self._mirror: Optional["DecodedMirror"] = None
+        self._batch_engine: Optional["BatchSearchEngine"] = None
         self.stats = SearchStats()
         self.physical_row_fetches = 0
 
@@ -269,6 +284,57 @@ class SliceGroup:
     def __contains__(self, key: KeyInput) -> bool:
         return self.search(key).hit
 
+    # ------------------------------------------------------------------
+    # Batch lookup (decoded mirror over all slices)
+    # ------------------------------------------------------------------
+
+    def _synced_mirror(self) -> "DecodedMirror":
+        """Decoded mirror over the whole group's logical bucket space.
+
+        Horizontal arrangements mirror each row's slices as concatenated
+        slot columns; vertical arrangements concatenate the row spaces —
+        either way logical bucket ``b`` of the mirror is logical bucket
+        ``b`` of the scalar path.
+        """
+        if self._mirror is None:
+            from repro.memory.mirror import DecodedMirror
+
+            self._mirror = DecodedMirror(
+                self._arrays,
+                self._layout,
+                horizontal=self._arrangement is Arrangement.HORIZONTAL,
+            )
+        self._mirror.sync()
+        return self._mirror
+
+    def _count_home_fetches(self, accesses: int) -> None:
+        self.physical_row_fetches += accesses * self.rows_fetched_per_access
+
+    def search_batch(
+        self, keys: Sequence[KeyInput], search_mask: int = 0
+    ) -> List[SearchResult]:
+        """Vectorized lookup of a whole key array across the group.
+
+        Equivalent — results and statistics (including
+        :attr:`physical_row_fetches`) — to calling :meth:`search` per key
+        in order; the home-bucket common case is served by the decoded
+        mirror, fanned across all slices at once.
+        """
+        if self._batch_engine is None:
+            from repro.core.batch import BatchSearchEngine
+
+            self._batch_engine = BatchSearchEngine(
+                index_generator=self._index,
+                mirror_provider=self._synced_mirror,
+                slots_per_bucket=self.slots_per_bucket,
+                match_processors=self._config.match_processors,
+                key_bits=self._config.record_format.key_bits,
+                stats=self.stats,
+                scalar_search=self.search,
+                on_home_accesses=self._count_home_fetches,
+            )
+        return self._batch_engine.search(keys, search_mask)
+
     def insert(self, key: KeyInput, data: int = 0, allow_spill: bool = True) -> int:
         """Insert a record; returns the number of stored copies.
 
@@ -352,17 +418,16 @@ class SliceGroup:
     ) -> List[Tuple[int, Record]]:
         """Massive data evaluation: all records matching a ternary
         predicate, one pass over every bucket (Sections 1 / 3.2)."""
+        import numpy as np
+
         if search_mask is None:
             search_mask = (1 << self._config.record_format.key_bits) - 1
-        matches: List[Tuple[int, Record]] = []
-        for bucket in range(self.bucket_count):
-            records, _ = self._occupants(bucket)
-            for record in records:
-                if self._matcher.match_slot(
-                    True, record, search_key, search_mask
-                ):
-                    matches.append((bucket, record))
-        return matches
+        mirror = self._synced_mirror()
+        match = mirror.match_predicate(search_key, search_mask)
+        return [
+            (int(bucket), mirror.records[bucket, slot])
+            for bucket, slot in np.argwhere(match)
+        ]
 
     def update_where(
         self,
@@ -372,8 +437,15 @@ class SliceGroup:
     ) -> int:
         """Massive modification: rewrite the data payload of every record
         matching the ternary predicate.  Returns the modified count."""
+        import numpy as np
+
+        # The mirror narrows the sweep to buckets that hold a match; the
+        # per-bucket rewrite is the original decode/compact/re-pack logic,
+        # so slot compaction behaves exactly as before.
+        mirror = self._synced_mirror()
+        match = mirror.match_predicate(search_key, search_mask)
         modified = 0
-        for bucket in range(self.bucket_count):
+        for bucket in np.flatnonzero(match.any(axis=1)).tolist():
             records, reach = self._occupants(bucket)
             dirty = False
             for i, record in enumerate(records):
@@ -392,11 +464,9 @@ class SliceGroup:
         return modified
 
     def records(self) -> Iterator[Tuple[int, Record]]:
-        """Yield every stored record as ``(bucket, record)``."""
-        for bucket in range(self.bucket_count):
-            records, _ = self._occupants(bucket)
-            for record in records:
-                yield bucket, record
+        """Yield every stored record as ``(bucket, record)``, bucket-major."""
+        for bucket, _, record in self._synced_mirror().iter_valid():
+            yield bucket, record
 
     def rebuild(self) -> None:
         """Re-insert everything to compact spills and recompute reach.
@@ -558,6 +628,35 @@ class CARAMSubsystem:
                 bucket_accesses=1,
             )
         return result
+
+    def search_batch(
+        self, group_name: str, keys: Sequence[KeyInput], search_mask: int = 0
+    ) -> List[SearchResult]:
+        """Batch counterpart of :meth:`search`: vectorized group lookup,
+        with the overflow store consulted for every CA-RAM miss (the
+        parallel victim-TCAM probe, one access either way)."""
+        group = self.group(group_name)
+        store = self._overflow.get(group_name)
+        results = group.search_batch(keys, search_mask)
+        if store is None:
+            return results
+        for i, result in enumerate(results):
+            if result.hit:
+                continue
+            key = keys[i]
+            overflow_hit = store.search(
+                key.value if isinstance(key, TernaryKey) else key
+            )
+            hit = getattr(overflow_hit, "hit", overflow_hit is not None)
+            if hit:
+                results[i] = SearchResult(
+                    hit=True,
+                    record=getattr(overflow_hit, "record", None),
+                    row=None,
+                    slot=None,
+                    bucket_accesses=1,
+                )
+        return results
 
     def search_port(self, port: str, key: KeyInput, search_mask: int = 0) -> SearchResult:
         """Search through a virtual port binding."""

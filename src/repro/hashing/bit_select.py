@@ -55,6 +55,9 @@ class BitSelectHash(HashFunction):
         self._shifts = np.array(
             [key_width - 1 - p for p in positions], dtype=np.uint64
         )
+        self._position_mask = 0
+        for pos in positions:
+            self._position_mask |= 1 << (key_width - 1 - pos)
 
     @property
     def key_width(self) -> int:
@@ -66,14 +69,42 @@ class BitSelectHash(HashFunction):
         """Selected MSB-first bit positions."""
         return self._positions
 
+    @property
+    def position_mask(self) -> int:
+        """Key-space mask with a 1 at every selected bit position.
+
+        A ternary key whose don't-care mask intersects this mask maps to
+        multiple buckets (Section 4's duplication/probing rule) and must
+        take the scalar multi-row path.
+        """
+        return self._position_mask
+
     def __call__(self, key: int) -> int:
         return select_bits(int(key), self._key_width, self._positions)
 
     def index_many(self, keys: Sequence[int]) -> np.ndarray:
+        if self._key_width > 64:
+            from repro.memory.mirror import keys_to_words
+
+            return self.index_words(keys_to_words(keys, self._key_width))
         arr = np.asarray(keys, dtype=np.uint64)
         index = np.zeros(arr.shape, dtype=np.uint64)
         for shift in self._shifts:
             index = (index << np.uint64(1)) | ((arr >> shift) & np.uint64(1))
+        return index.astype(np.int64)
+
+    def index_words(self, words: np.ndarray) -> np.ndarray:
+        """Vectorized indexing over keys packed as little-endian 64-bit
+        words (the :mod:`repro.memory.mirror` batch representation) — the
+        wide-key path the 128-bit trigram keys need.
+        """
+        index = np.zeros(words.shape[0], dtype=np.uint64)
+        for pos in self._positions:
+            bit = self._key_width - 1 - pos
+            word, shift = divmod(bit, 64)
+            index = (index << np.uint64(1)) | (
+                (words[:, word] >> np.uint64(shift)) & np.uint64(1)
+            )
         return index.astype(np.int64)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -4,6 +4,7 @@ model used to cost the software search baselines."""
 from repro.memory.array import MemoryArray
 from repro.memory.bank import BankedMemory
 from repro.memory.cache import CacheSimulator, CacheStats
+from repro.memory.mirror import DecodedMirror, keys_to_words
 from repro.memory.timing import (
     DRAM_TIMING,
     SRAM_TIMING,
@@ -14,6 +15,8 @@ from repro.memory.timing import (
 __all__ = [
     "MemoryArray",
     "BankedMemory",
+    "DecodedMirror",
+    "keys_to_words",
     "CacheSimulator",
     "CacheStats",
     "MemoryTechnology",

@@ -16,7 +16,7 @@ in calling code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Callable, List
 
 from repro.errors import ConfigurationError, RamModeError
 from repro.memory.timing import MemoryTiming, SRAM_TIMING
@@ -63,7 +63,25 @@ class MemoryArray:
         self._row_bits = row_bits
         self._timing = timing
         self._data: List[int] = [0] * rows
+        self._invalidation_listeners: List[Callable[[int, int], None]] = []
         self.stats = ArrayStats()
+
+    # ------------------------------------------------------------------
+    # Content-change notification (decoded-mirror invalidation)
+    # ------------------------------------------------------------------
+
+    def subscribe_invalidation(self, listener: Callable[[int, int], None]) -> None:
+        """Register ``listener(start_row, row_count)`` to be called whenever
+        row content changes (write, bulk load, fill).
+
+        Decoded mirrors (:mod:`repro.memory.mirror`) subscribe here so they
+        can re-decode only the rows that actually changed.
+        """
+        self._invalidation_listeners.append(listener)
+
+    def _invalidate(self, start_row: int, row_count: int) -> None:
+        for listener in self._invalidation_listeners:
+            listener(start_row, row_count)
 
     # ------------------------------------------------------------------
     # Geometry
@@ -112,6 +130,7 @@ class MemoryArray:
             )
         self.stats.writes += 1
         self._data[row] = value
+        self._invalidate(row, 1)
 
     def read_field(self, row: int, msb_offset: int, length: int) -> int:
         """Read ``length`` bits of a row starting ``msb_offset`` from the MSB.
@@ -143,6 +162,7 @@ class MemoryArray:
         if value < 0 or value > mask_of(self._row_bits):
             raise RamModeError(f"value does not fit in a {self._row_bits}-bit row")
         self._data = [value] * self._rows
+        self._invalidate(0, self._rows)
 
     def snapshot(self) -> List[int]:
         """Return a copy of all rows (for save/restore and DMA-style copies)."""
@@ -157,11 +177,15 @@ class MemoryArray:
                 f"into a {self._rows}-row array"
             )
         limit = mask_of(self._row_bits)
+        # Validate the whole image before mutating anything, so a bad row
+        # cannot leave the array partially loaded.
         for i, value in enumerate(rows):
             if value < 0 or value > limit:
                 raise RamModeError(f"row {offset + i} value does not fit")
+        for i, value in enumerate(rows):
             self._data[offset + i] = value
         self.stats.writes += len(rows)
+        self._invalidate(offset, len(rows))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

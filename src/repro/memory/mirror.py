@@ -1,0 +1,312 @@
+"""Decoded NumPy mirror of one or more CA-RAM memory arrays.
+
+The behavioral model stores rows as arbitrary-precision Python integers,
+which keeps sub-field extraction exact for any row width — but forces every
+search to re-decode every slot of the fetched row through big-int bit
+slicing.  A :class:`DecodedMirror` maintains the *decoded* view of the
+array(s) as dense NumPy matrices — per logical bucket: valid bits, stored
+key values, stored don't-care masks, the auxiliary reach field, and the
+decoded :class:`~repro.core.record.Record` objects — so steady-state batch
+lookups never touch Python-int bit extraction.
+
+The mirror stays coherent through *dirty-row invalidation*: it subscribes to
+:meth:`~repro.memory.array.MemoryArray.subscribe_invalidation`, and every
+``write_row`` / ``load`` / ``fill`` marks the affected rows dirty.  A
+:meth:`DecodedMirror.sync` before each batch operation re-decodes only the
+dirty rows, so a read-heavy workload pays the decode cost once per mutation,
+not once per lookup.
+
+Keys wider than 64 bits (e.g. the trigram study's 128-bit keys) are held as
+little-endian 64-bit *word* columns; the ternary comparison is an exact
+word-wise rendering of Figure 4(b): a slot matches when, in every word,
+``(stored ^ search) & ~(stored_mask | search_mask)`` is zero over the key's
+width.
+
+Logical-bucket composition mirrors :class:`~repro.core.subsystem.SliceGroup`:
+
+* one array, or several arranged VERTICALLY — bucket ``b`` is row
+  ``b % rows`` of array ``b // rows``; slot axis is one slice wide;
+* several arranged HORIZONTALLY — bucket ``b`` is row ``b`` of *every*
+  array, slots concatenated in slice order (slice 0 first, matching the
+  match-priority order of the scalar path).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, KeyFormatError
+from repro.utils.bits import mask_of
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.bucket import BucketLayout
+    from repro.memory.array import MemoryArray
+
+#: Width of one mirror storage word.
+KEY_WORD_BITS = 64
+
+_WORD_MASK = (1 << KEY_WORD_BITS) - 1
+
+
+def words_for_bits(bits: int) -> int:
+    """Number of 64-bit words needed to hold a ``bits``-wide key."""
+    if bits <= 0:
+        raise ConfigurationError(f"bits must be positive: {bits}")
+    return -(-bits // KEY_WORD_BITS)
+
+
+def int_to_words(value: int, word_count: int) -> List[int]:
+    """Split an unsigned integer into ``word_count`` little-endian words."""
+    return [
+        (value >> (KEY_WORD_BITS * w)) & _WORD_MASK for w in range(word_count)
+    ]
+
+
+def keys_to_words(values: Sequence[int], key_bits: int) -> np.ndarray:
+    """Pack integer keys into a ``(len(values), words)`` uint64 matrix.
+
+    Little-endian word order (word 0 holds the key's low 64 bits).  Raises
+    :class:`~repro.errors.KeyFormatError` when any key does not fit in
+    ``key_bits`` bits — the same contract the scalar match processor
+    enforces per key.
+    """
+    n = len(values)
+    word_count = words_for_bits(key_bits)
+    full = mask_of(key_bits)
+    if word_count == 1:
+        try:
+            arr = np.array(values, dtype=np.uint64)
+        except (OverflowError, TypeError) as exc:
+            raise KeyFormatError(
+                f"search key does not fit in {key_bits} bits: {exc}"
+            ) from None
+        if n and int(arr.max()) > full:
+            bad = int(arr.max())
+            raise KeyFormatError(
+                f"search key {bad:#x} does not fit in {key_bits} bits"
+            )
+        return arr.reshape(n, 1)
+    nbytes = word_count * (KEY_WORD_BITS // 8)
+    buf = bytearray(n * nbytes)
+    for i, value in enumerate(values):
+        value = int(value)
+        if not 0 <= value <= full:
+            raise KeyFormatError(
+                f"search key {value:#x} does not fit in {key_bits} bits"
+            )
+        buf[i * nbytes : (i + 1) * nbytes] = value.to_bytes(nbytes, "little")
+    return np.frombuffer(bytes(buf), dtype="<u8").reshape(n, word_count)
+
+
+class DecodedMirror:
+    """Incrementally-maintained decoded view of CA-RAM array content.
+
+    Args:
+        arrays: the physical :class:`~repro.memory.array.MemoryArray` list
+            (one for a single slice).  All must share the same geometry.
+        layout: the :class:`~repro.core.bucket.BucketLayout` that gives the
+            rows their bucket/record structure.
+        horizontal: True when the arrays form wider buckets (same row index
+            across all arrays); False for vertical row-space concatenation.
+
+    Attributes (all kept in sync by :meth:`sync`):
+        valid: ``(buckets, slots)`` bool — slot occupancy.
+        key_words: ``(buckets, slots, words)`` uint64 — stored key values.
+        mask_words: ``(buckets, slots, words)`` uint64 — stored don't-care
+            masks (zero for binary records).
+        reach: ``(buckets,)`` int64 — the auxiliary spill-reach field.
+        records: ``(buckets, slots)`` object — decoded ``Record`` instances
+            (``None`` in invalid slots), used for winner extraction.
+    """
+
+    def __init__(
+        self,
+        arrays: Sequence["MemoryArray"],
+        layout: "BucketLayout",
+        horizontal: bool = False,
+    ) -> None:
+        if not arrays:
+            raise ConfigurationError("at least one memory array is required")
+        rows = arrays[0].rows
+        for array in arrays:
+            if array.rows != rows or array.row_bits != arrays[0].row_bits:
+                raise ConfigurationError(
+                    "all mirrored arrays must share the same geometry"
+                )
+        self._arrays = list(arrays)
+        self._layout = layout
+        self._horizontal = horizontal
+        self._rows = rows
+        self._slice_slots = layout.slots_per_bucket
+        if horizontal:
+            self.buckets = rows
+            self.slots = self._slice_slots * len(self._arrays)
+        else:
+            self.buckets = rows * len(self._arrays)
+            self.slots = self._slice_slots
+        key_bits = layout.record_format.key_bits
+        self._key_bits = key_bits
+        self._word_count = words_for_bits(key_bits)
+        shape = (self.buckets, self.slots, self._word_count)
+        self.valid = np.zeros((self.buckets, self.slots), dtype=bool)
+        self.key_words = np.zeros(shape, dtype=np.uint64)
+        self.mask_words = np.zeros(shape, dtype=np.uint64)
+        self.reach = np.zeros(self.buckets, dtype=np.int64)
+        self.records = np.empty((self.buckets, self.slots), dtype=object)
+        self.width_words = np.array(
+            int_to_words(mask_of(key_bits), self._word_count), dtype=np.uint64
+        )
+        self._dirty = [np.ones(rows, dtype=bool) for _ in self._arrays]
+        self._any_dirty = True
+        self.sync_count = 0
+        self.rows_decoded = 0
+        for slice_id, array in enumerate(self._arrays):
+            array.subscribe_invalidation(self._listener_for(slice_id))
+
+    # ------------------------------------------------------------------
+    # Invalidation / synchronization
+    # ------------------------------------------------------------------
+
+    def _listener_for(self, slice_id: int) -> Callable[[int, int], None]:
+        dirty = self._dirty[slice_id]
+
+        def invalidate(start_row: int, row_count: int) -> None:
+            dirty[start_row : start_row + row_count] = True
+            self._any_dirty = True
+
+        return invalidate
+
+    @property
+    def key_bits(self) -> int:
+        return self._key_bits
+
+    @property
+    def word_count(self) -> int:
+        return self._word_count
+
+    @property
+    def dirty_row_count(self) -> int:
+        """Rows waiting to be re-decoded on the next :meth:`sync`."""
+        return int(sum(int(d.sum()) for d in self._dirty))
+
+    def sync(self) -> int:
+        """Re-decode every dirty row; returns the number of rows decoded."""
+        if not self._any_dirty:
+            return 0
+        layout = self._layout
+        slice_slots = self._slice_slots
+        decoded = 0
+        for slice_id, array in enumerate(self._arrays):
+            dirty = self._dirty[slice_id]
+            dirty_rows = np.flatnonzero(dirty)
+            if not dirty_rows.size:
+                continue
+            if self._horizontal:
+                slot_base = slice_id * slice_slots
+            else:
+                slot_base = 0
+            for row in dirty_rows.tolist():
+                row_value = array.peek_row(row)
+                if self._horizontal:
+                    bucket = row
+                else:
+                    bucket = slice_id * self._rows + row
+                # The logical bucket's reach lives in its first physical
+                # row — slice 0 for horizontal arrangements.
+                if not self._horizontal or slice_id == 0:
+                    self.reach[bucket] = layout.read_aux(row_value)
+                for slot in range(slice_slots):
+                    column = slot_base + slot
+                    slot_valid, record = layout.read_slot(row_value, slot)
+                    self.valid[bucket, column] = slot_valid
+                    if slot_valid:
+                        self.records[bucket, column] = record
+                        self.key_words[bucket, column] = int_to_words(
+                            record.key.value, self._word_count
+                        )
+                        self.mask_words[bucket, column] = int_to_words(
+                            record.key.mask, self._word_count
+                        )
+                    else:
+                        self.records[bucket, column] = None
+                        self.key_words[bucket, column] = 0
+                        self.mask_words[bucket, column] = 0
+                decoded += 1
+            dirty[:] = False
+        self._any_dirty = False
+        self.sync_count += 1
+        self.rows_decoded += decoded
+        return decoded
+
+    # ------------------------------------------------------------------
+    # Vectorized ternary matching (Figure 4(b), word-wise)
+    # ------------------------------------------------------------------
+
+    def match_rows(
+        self,
+        bucket_ids: np.ndarray,
+        query_words: np.ndarray,
+        query_mask_words: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Match a batch of queries against their (gathered) home buckets.
+
+        Args:
+            bucket_ids: ``(B,)`` bucket index per query.
+            query_words: ``(B, words)`` packed search keys.
+            query_mask_words: ``(B, words)`` packed search-key don't-care
+                masks, or None for all-binary searches.
+
+        Returns:
+            ``(B, slots)`` bool match matrix, slot 0 first.
+        """
+        stored = self.key_words[bucket_ids]
+        stored_mask = self.mask_words[bucket_ids]
+        if query_mask_words is None:
+            care = ~stored_mask & self.width_words
+        else:
+            care = ~(stored_mask | query_mask_words[:, None, :]) & self.width_words
+        diff = (stored ^ query_words[:, None, :]) & care
+        return ~diff.any(axis=2) & self.valid[bucket_ids]
+
+    def match_all(
+        self, query_words: np.ndarray, query_mask_words: np.ndarray
+    ) -> np.ndarray:
+        """Match one ternary predicate against every bucket.
+
+        Args:
+            query_words / query_mask_words: ``(words,)`` packed predicate.
+
+        Returns:
+            ``(buckets, slots)`` bool match matrix.
+        """
+        care = ~(self.mask_words | query_mask_words) & self.width_words
+        diff = (self.key_words ^ query_words) & care
+        return ~diff.any(axis=2) & self.valid
+
+    def match_predicate(self, search_key: int, search_mask: int) -> np.ndarray:
+        """Integer-predicate convenience wrapper around :meth:`match_all`."""
+        full = mask_of(self._key_bits)
+        query = np.array(
+            int_to_words(search_key & full, self._word_count), dtype=np.uint64
+        )
+        query_mask = np.array(
+            int_to_words(search_mask & full, self._word_count), dtype=np.uint64
+        )
+        return self.match_all(query, query_mask)
+
+    def iter_valid(self):
+        """Yield ``(bucket, slot, record)`` for every valid slot, row-major
+        (bucket ascending, slot ascending — the scalar iteration order)."""
+        for bucket, slot in np.argwhere(self.valid):
+            yield int(bucket), int(slot), self.records[bucket, slot]
+
+
+__all__ = [
+    "DecodedMirror",
+    "KEY_WORD_BITS",
+    "words_for_bits",
+    "int_to_words",
+    "keys_to_words",
+]

@@ -1,0 +1,204 @@
+"""Unit tests for the decoded NumPy mirror and its invalidation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.bucket import BucketLayout
+from repro.core.key import TernaryKey
+from repro.core.record import Record, RecordFormat
+from repro.errors import KeyFormatError
+from repro.memory.array import MemoryArray
+from repro.memory.mirror import (
+    DecodedMirror,
+    int_to_words,
+    keys_to_words,
+    words_for_bits,
+)
+
+FMT = RecordFormat(key_bits=16, data_bits=8, ternary=True)
+LAYOUT = BucketLayout(row_bits=8 + 4 * FMT.slot_bits, record_format=FMT)
+ROWS = 8
+
+
+def make_array():
+    return MemoryArray(ROWS, LAYOUT.row_bits)
+
+
+def pack(records, reach=0):
+    return LAYOUT.pack(records, reach)
+
+
+def record(value, mask=0, data=0):
+    return Record.make(
+        TernaryKey(value=value, mask=mask, width=16) if mask else value,
+        data,
+        FMT,
+    )
+
+
+class TestWordPacking:
+    def test_words_for_bits(self):
+        assert words_for_bits(1) == 1
+        assert words_for_bits(64) == 1
+        assert words_for_bits(65) == 2
+        assert words_for_bits(128) == 2
+
+    def test_int_to_words_little_endian(self):
+        value = (0xABCD << 64) | 0x1234
+        assert int_to_words(value, 2) == [0x1234, 0xABCD]
+
+    def test_narrow_keys(self):
+        words = keys_to_words([0, 1, 0xFFFF], 16)
+        assert words.shape == (3, 1)
+        assert words.dtype == np.uint64
+        assert list(words[:, 0]) == [0, 1, 0xFFFF]
+
+    def test_wide_keys(self):
+        wide = (0xDEAD << 64) | 0xBEEF
+        words = keys_to_words([wide, 1], 128)
+        assert words.shape == (2, 2)
+        assert int(words[0, 0]) == 0xBEEF
+        assert int(words[0, 1]) == 0xDEAD
+        assert int(words[1, 0]) == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(KeyFormatError):
+            keys_to_words([1 << 16], 16)
+        with pytest.raises(KeyFormatError):
+            keys_to_words([-1], 16)
+        with pytest.raises(KeyFormatError):
+            keys_to_words([1 << 128], 128)
+
+
+class TestSyncAndInvalidation:
+    def test_initial_sync_decodes_everything(self):
+        array = make_array()
+        array.write_row(2, pack([record(0x42, data=7)], reach=3))
+        mirror = DecodedMirror([array], LAYOUT)
+        assert mirror.sync() == ROWS
+        assert mirror.valid[2, 0]
+        assert not mirror.valid[2, 1]
+        assert int(mirror.key_words[2, 0, 0]) == 0x42
+        assert int(mirror.reach[2]) == 3
+        assert mirror.records[2, 0].data == 7
+
+    def test_write_row_marks_only_that_row_dirty(self):
+        array = make_array()
+        mirror = DecodedMirror([array], LAYOUT)
+        mirror.sync()
+        array.write_row(5, pack([record(1)]))
+        assert mirror.dirty_row_count == 1
+        assert mirror.sync() == 1
+        assert mirror.valid[5, 0]
+        assert mirror.sync() == 0
+
+    def test_load_and_fill_invalidate(self):
+        array = make_array()
+        mirror = DecodedMirror([array], LAYOUT)
+        mirror.sync()
+        array.load([pack([record(9)]), pack([record(8)])], offset=3)
+        assert mirror.dirty_row_count == 2
+        mirror.sync()
+        assert mirror.valid[3, 0] and mirror.valid[4, 0]
+        array.fill(0)
+        assert mirror.dirty_row_count == ROWS
+        mirror.sync()
+        assert not mirror.valid.any()
+
+    def test_stale_reads_without_sync(self):
+        array = make_array()
+        mirror = DecodedMirror([array], LAYOUT)
+        mirror.sync()
+        array.write_row(0, pack([record(1)]))
+        assert not mirror.valid[0, 0]  # not synced yet
+        mirror.sync()
+        assert mirror.valid[0, 0]
+
+
+class TestComposition:
+    def test_vertical_concatenates_row_spaces(self):
+        arrays = [make_array(), make_array()]
+        arrays[1].write_row(2, pack([record(0x77)], reach=1))
+        mirror = DecodedMirror(arrays, LAYOUT, horizontal=False)
+        mirror.sync()
+        assert mirror.buckets == 2 * ROWS
+        bucket = ROWS + 2
+        assert mirror.valid[bucket, 0]
+        assert int(mirror.reach[bucket]) == 1
+
+    def test_horizontal_concatenates_slots(self):
+        arrays = [make_array(), make_array()]
+        arrays[0].write_row(4, pack([record(0x11)], reach=2))
+        arrays[1].write_row(4, pack([record(0x22)]))
+        mirror = DecodedMirror(arrays, LAYOUT, horizontal=True)
+        mirror.sync()
+        assert mirror.buckets == ROWS
+        assert mirror.slots == 2 * LAYOUT.slots_per_bucket
+        assert mirror.records[4, 0].key.value == 0x11
+        assert mirror.records[4, LAYOUT.slots_per_bucket].key.value == 0x22
+        # Reach of the logical bucket comes from slice 0 only.
+        assert int(mirror.reach[4]) == 2
+
+
+class TestMatching:
+    def test_match_rows_binary(self):
+        array = make_array()
+        array.write_row(1, pack([record(0xAA), record(0xBB)]))
+        mirror = DecodedMirror([array], LAYOUT)
+        mirror.sync()
+        match = mirror.match_rows(
+            np.array([1, 1, 0]), keys_to_words([0xBB, 0xCC, 0xAA], 16)
+        )
+        assert match.shape == (3, LAYOUT.slots_per_bucket)
+        assert list(match[0][:2]) == [False, True]
+        assert not match[1].any()
+        assert not match[2].any()  # row 0 is empty
+
+    def test_match_respects_stored_masks(self):
+        array = make_array()
+        # Stored 0b101X: matches 0b1010 and 0b1011.
+        array.write_row(0, pack([record(0b1010, mask=0b1)]))
+        mirror = DecodedMirror([array], LAYOUT)
+        mirror.sync()
+        match = mirror.match_rows(
+            np.array([0, 0, 0]), keys_to_words([0b1010, 0b1011, 0b1110], 16)
+        )
+        assert list(match[:, 0]) == [True, True, False]
+
+    def test_match_respects_query_masks(self):
+        array = make_array()
+        array.write_row(0, pack([record(0b1100)]))
+        mirror = DecodedMirror([array], LAYOUT)
+        mirror.sync()
+        match = mirror.match_rows(
+            np.array([0, 0]),
+            keys_to_words([0b0100, 0b0100], 16),
+            query_mask_words=keys_to_words([0b1000, 0], 16),
+        )
+        assert bool(match[0, 0]) and not bool(match[1, 0])
+
+    def test_match_predicate_full_wildcard(self):
+        array = make_array()
+        array.write_row(3, pack([record(5), record(6)]))
+        mirror = DecodedMirror([array], LAYOUT)
+        mirror.sync()
+        match = mirror.match_predicate(0, (1 << 16) - 1)
+        assert match.sum() == 2
+        triples = list(mirror.iter_valid())
+        assert [(b, s) for b, s, _ in triples] == [(3, 0), (3, 1)]
+
+
+class TestWideKeyMirror:
+    def test_128_bit_keys_round_trip(self):
+        fmt = RecordFormat(key_bits=128, data_bits=8)
+        layout = BucketLayout(row_bits=8 + 2 * fmt.slot_bits, record_format=fmt)
+        array = MemoryArray(4, layout.row_bits)
+        key = (0xFACE << 100) | 0xCAFE
+        array.write_row(2, layout.pack([Record.make(key, 3, fmt)]))
+        mirror = DecodedMirror([array], layout)
+        mirror.sync()
+        assert mirror.word_count == 2
+        match = mirror.match_rows(
+            np.array([2, 2]), keys_to_words([key, key + 1], 128)
+        )
+        assert bool(match[0, 0]) and not bool(match[1, 0])
