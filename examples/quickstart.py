@@ -7,7 +7,8 @@ Run with::
 Walks through the core API surface:
 
 1. define a record format and slice geometry (Section 3.1 parameters);
-2. insert records and look them up (single bucket access + parallel match);
+2. bulk-load records and look them up (single bucket access + parallel
+   match), including a vectorized batch lookup;
 3. ternary keys: stored don't-care bits and masked searches;
 4. overflow behavior: the auxiliary reach field and extended searches;
 5. RAM mode: the same array as plain addressable memory.
@@ -34,11 +35,13 @@ def main() -> None:
     caram = CARAMSlice(config, index_gen)
 
     # ------------------------------------------------------------------
-    # 2. CAM mode: insert and search.
+    # 2. CAM mode: bulk-load and search.
     # ------------------------------------------------------------------
+    # bulk_load builds the whole database in one vectorized pass — the
+    # same memory image, bit for bit, as inserting record by record (use
+    # insert() for incremental updates afterwards).
     inventory = {0xBEEF: 42, 0xCAFE: 7, 0xF00D: 99}
-    for key, data in inventory.items():
-        caram.insert(key, data)
+    caram.bulk_load(inventory.items())
 
     for key, data in inventory.items():
         result = caram.search(key)
@@ -48,6 +51,11 @@ def main() -> None:
 
     missing = caram.search(0x1234)
     print(f"search 0x1234: hit={missing.hit}")
+
+    # Whole query streams go through search_batch, which resolves them
+    # against a decoded NumPy mirror with identical results and stats.
+    batch = caram.search_batch(list(inventory) + [0x1234])
+    print(f"batch lookup hits: {[r.hit for r in batch]}")
 
     # ------------------------------------------------------------------
     # 3. Ternary searching (don't-care bits on either side).

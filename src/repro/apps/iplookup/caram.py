@@ -72,7 +72,9 @@ def build_ip_caram(
 ) -> SliceGroup:
     """Build and load a behavioral CA-RAM for a routing table.
 
-    Prefixes are inserted longest-first.  Raises
+    Prefixes are inserted longest-first through the vectorized
+    :meth:`~repro.core.subsystem.SliceGroup.bulk_load` pipeline, producing
+    the same memory image bit for bit as sequential inserts.  Raises
     :class:`~repro.errors.CapacityError` when the table does not fit the
     design (choose a larger design or scale the table down).
     """
@@ -85,8 +87,9 @@ def build_ip_caram(
         name=f"ip-{design.name}",
     )
     pairs = sorted(prefixes, key=lambda item: (-item[0].length, item[0].value))
-    for prefix, next_hop in pairs:
-        group.insert(prefix.to_ternary_key(), next_hop)
+    group.bulk_load(
+        (prefix.to_ternary_key(), next_hop) for prefix, next_hop in pairs
+    )
     return group
 
 

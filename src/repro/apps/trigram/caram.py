@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.apps.trigram.designs import (
     KEYS_PER_ROW,
     TRIGRAM_KEY_BITS,
@@ -23,7 +25,8 @@ from repro.core.record import RecordFormat
 from repro.core.subsystem import SliceGroup
 from repro.errors import KeyFormatError
 from repro.hashing.base import HashFunction
-from repro.hashing.djb import djb2_bytes
+from repro.hashing.djb import djb2_bytes, djb2_matrix
+from repro.memory.mirror import keys_to_words
 
 BytesLike = Union[bytes, bytearray, str]
 
@@ -56,6 +59,55 @@ class StringKeyCodec:
         raw = int(value).to_bytes(_KEY_BYTES, "big")
         return raw.rstrip(b"\x00")
 
+    @staticmethod
+    def encode_batch(keys: Sequence[BytesLike]) -> List[int]:
+        """Vectorized :meth:`encode` of a whole string array.
+
+        Builds one zero-padded byte matrix for all keys and packs it into
+        big-endian integers, with the same validation as the scalar path:
+        over-long keys and embedded NUL bytes raise
+        :class:`~repro.errors.KeyFormatError`, non-ASCII text raises
+        ``UnicodeEncodeError``.  One divergence: *trailing* NUL bytes fold
+        into the padding here (NumPy's fixed-width byte storage cannot
+        distinguish them), where the scalar encoder rejects them.
+        """
+        count = len(keys)
+        if count == 0:
+            return []
+        arr = np.asarray(list(keys), dtype=np.bytes_)
+        width = arr.dtype.itemsize
+        if width == 0:
+            return [0] * count
+        matrix = np.frombuffer(arr.tobytes(), dtype=np.uint8).reshape(
+            count, width
+        )
+        if width > _KEY_BYTES:
+            overflow = matrix[:, _KEY_BYTES:].any(axis=1)
+            if overflow.any():
+                length = int(
+                    (matrix[int(np.argmax(overflow))] != 0).nonzero()[0][-1]
+                    + 1
+                )
+                raise KeyFormatError(
+                    f"string of {length} bytes exceeds the "
+                    f"{_KEY_BYTES}-byte key"
+                )
+            matrix = matrix[:, :_KEY_BYTES]
+        elif width < _KEY_BYTES:
+            padded = np.zeros((count, _KEY_BYTES), dtype=np.uint8)
+            padded[:, :width] = matrix
+            matrix = padded
+        # An embedded NUL shows up as a zero byte followed by a nonzero
+        # byte; trailing zeros are the padding.
+        nonzero = matrix != 0
+        if ((~nonzero[:, :-1]) & nonzero[:, 1:]).any():
+            raise KeyFormatError("string keys must not contain NUL bytes")
+        data = matrix.tobytes()
+        return [
+            int.from_bytes(data[i * _KEY_BYTES : (i + 1) * _KEY_BYTES], "big")
+            for i in range(count)
+        ]
+
 
 class PackedStringDJBHash(HashFunction):
     """DJB hash over integer-packed string keys.
@@ -67,6 +119,31 @@ class PackedStringDJBHash(HashFunction):
 
     def __call__(self, key: int) -> int:
         return djb2_bytes(StringKeyCodec.decode(int(key))) % self.bucket_count
+
+    def index_many(self, keys: Sequence[int]) -> np.ndarray:
+        """Vectorized bucket mapping of packed 128-bit keys.
+
+        Unpacks all keys into one big-endian byte matrix, recovers each
+        string's length from its trailing padding, and runs the columnwise
+        DJB kernel — row for row equal to the scalar ``__call__``.
+        """
+        if len(keys) == 0:
+            return np.empty(0, dtype=np.int64)
+        words = keys_to_words(list(keys), TRIGRAM_KEY_BITS)
+        matrix = (
+            words[:, ::-1].astype(">u8").view(np.uint8).reshape(-1, _KEY_BYTES)
+        )
+        nonzero = matrix != 0
+        lengths = np.where(
+            nonzero.any(axis=1),
+            _KEY_BYTES - nonzero[:, ::-1].argmax(axis=1),
+            0,
+        )
+        packed = np.zeros((matrix.shape[0], _KEY_BYTES + 1), dtype=np.uint8)
+        packed[:, :_KEY_BYTES] = matrix
+        packed[:, _KEY_BYTES] = lengths
+        hashes = djb2_matrix(packed)
+        return (hashes % np.uint64(self.bucket_count)).astype(np.int64)
 
     def rebucketed(self, bucket_count: int) -> "PackedStringDJBHash":
         return PackedStringDJBHash(bucket_count)
@@ -112,8 +189,9 @@ def build_trigram_caram(
         hash_function=PackedStringDJBHash(design.bucket_count),
         name=f"trigram-{design.name}",
     )
-    for text, probability in entries:
-        group.insert(StringKeyCodec.encode(text), probability)
+    pairs = list(entries)
+    keys = StringKeyCodec.encode_batch([text for text, _ in pairs])
+    group.bulk_load(zip(keys, (probability for _, probability in pairs)))
     return group
 
 
@@ -130,9 +208,11 @@ def trigram_lookup_batch(
 
     The 128-bit packed keys take the wide-key (multi-word) path of the
     decoded mirror; results and statistics match per-string
-    :func:`trigram_lookup` calls.
+    :func:`trigram_lookup` calls.  Keys are packed through the vectorized
+    :meth:`StringKeyCodec.encode_batch` rather than one scalar encode per
+    string.
     """
-    keys = [StringKeyCodec.encode(text) for text in texts]
+    keys = StringKeyCodec.encode_batch(list(texts))
     return [
         result.data if result.hit else None
         for result in group.search_batch(keys)

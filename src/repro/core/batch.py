@@ -14,17 +14,23 @@ A batch lookup proceeds in three vectorized stages:
    mirror and compared word-wise (Figure 4(b) semantics) in one NumPy
    expression; the winning slot is priority-encoded and pipelined match
    passes are accounted exactly like :meth:`MatchProcessor.match_pipelined`;
-3. **probe extension** — only the (rare) keys whose home bucket misses with
-   a nonzero reach field fall back to the scalar ``search``, which walks
-   the probing sequence and performs its own accounting.
+3. **probe walk** — keys whose home bucket misses with a nonzero reach
+   field iterate the probe sequence *as arrays*: every attempt level probes
+   all still-unresolved keys at once against the mirror, so the extended
+   searches that multiply at high load factors stay vectorized.  Only keys
+   needing the Section-4 multi-bucket enumeration (don't-care bits over
+   hash positions) fall back to one scalar ``search`` each, counted in
+   :attr:`BatchSearchEngine.scalar_fallbacks`.
 
 The result list is **bit-identical** to calling the scalar ``search`` once
 per key, in key order — same hits, same winning records/rows/slots, same
 ``bucket_accesses``, ``multiple_matches``, and the same ``SearchStats``
-counters (AMAL, hit rate, access histogram, match passes).  The only
-observable difference is that the physical
-:class:`~repro.memory.array.ArrayStats` read counters are not advanced by
-the mirror-served accesses (the mirror replaces the row fetches).
+counters (AMAL, hit rate, access histogram, match passes).  By default the
+physical :class:`~repro.memory.array.ArrayStats` read counters are not
+advanced by mirror-served accesses (the mirror replaces the row fetches);
+slices and groups built with ``account_reads=True`` route every
+mirror-served access through an ``access_sink`` that charges the physical
+counters too, restoring exact parity with the scalar path.
 """
 
 from __future__ import annotations
@@ -37,13 +43,37 @@ from repro.errors import KeyFormatError
 from repro.core.index import IndexGenerator, KeyInput
 from repro.core.key import TernaryKey
 from repro.core.match import priority_encode_batch
+from repro.core.probing import ProbingPolicy
 from repro.core.stats import SearchStats
-from repro.memory.mirror import DecodedMirror, keys_to_words
+from repro.memory.mirror import DecodedMirror, keys_to_words, words_for_bits
 from repro.utils.bits import mask_of
 
-#: Keys processed per vectorized chunk — bounds the peak size of the
-#: gathered ``(chunk, slots, words)`` intermediates.
+#: Upper bound on keys processed per vectorized chunk.
 DEFAULT_CHUNK_SIZE = 16384
+
+#: Lower bound — below this the per-chunk Python overhead dominates.
+MIN_CHUNK_SIZE = 256
+
+#: Element budget for the gathered ``(chunk, slots, words)`` intermediates;
+#: the adaptive default keeps peak memory flat as rows get wider.
+_CHUNK_ELEMENT_BUDGET = 1 << 19
+
+
+def default_chunk_size(slots_per_bucket: int, word_count: int) -> int:
+    """Chunk size scaled to the row geometry.
+
+    Narrow-key configurations keep the full :data:`DEFAULT_CHUNK_SIZE`;
+    wide rows (e.g. the trigram study's 384-slot x 2-word horizontal
+    buckets) shrink the chunk so the gathered intermediates stay within a
+    fixed element budget instead of growing with ``S x W``.
+    """
+    per_key = max(1, slots_per_bucket * word_count)
+    return int(
+        min(
+            DEFAULT_CHUNK_SIZE,
+            max(MIN_CHUNK_SIZE, _CHUNK_ELEMENT_BUDGET // per_key),
+        )
+    )
 
 
 class BatchSearchEngine:
@@ -60,10 +90,15 @@ class BatchSearchEngine:
         key_bits: search-key width ``N``.
         stats: the :class:`SearchStats` to account into.
         scalar_search: the scalar ``search(key, search_mask)`` used for
-            probe extension and multi-home keys.
-        on_home_accesses: optional callback receiving the number of
-            mirror-served home-bucket accesses (used by slice groups to
-            advance their physical-row-fetch counter).
+            multi-home ternary keys.
+        probing: the overflow policy driving the vectorized probe walk.
+        access_sink: optional callback receiving the bucket-id array of
+            every batch of mirror-served accesses (home fetches and probe
+            extensions alike); slice groups use it to advance
+            ``physical_row_fetches``, and ``account_reads`` modes use it
+            to charge the physical read counters.
+        chunk_size: keys per vectorized chunk; None picks
+            :func:`default_chunk_size` from the row geometry.
     """
 
     def __init__(
@@ -75,8 +110,9 @@ class BatchSearchEngine:
         key_bits: int,
         stats: SearchStats,
         scalar_search: Callable[..., object],
-        on_home_accesses: Optional[Callable[[int], None]] = None,
-        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        probing: ProbingPolicy,
+        access_sink: Optional[Callable[[np.ndarray], None]] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
         self._index = index_generator
         self._mirror_provider = mirror_provider
@@ -86,8 +122,22 @@ class BatchSearchEngine:
         self._full_mask = mask_of(key_bits)
         self._stats = stats
         self._scalar_search = scalar_search
-        self._on_home_accesses = on_home_accesses
+        self._probing = probing
+        self._access_sink = access_sink
+        if chunk_size is None:
+            chunk_size = default_chunk_size(
+                slots_per_bucket, words_for_bits(key_bits)
+            )
         self._chunk_size = max(1, chunk_size)
+        #: Cumulative count of keys routed through the scalar ``search``
+        #: (multi-home ternary keys only).
+        self.scalar_fallbacks = 0
+        #: Cumulative count of keys resolved by the vectorized probe walk.
+        self.probe_walk_keys = 0
+
+    @property
+    def chunk_size(self) -> int:
+        return self._chunk_size
 
     def search(self, keys: Sequence[KeyInput], search_mask: int = 0) -> List:
         """Look up every key; returns one ``SearchResult`` per key, in order."""
@@ -156,16 +206,18 @@ class BatchSearchEngine:
             hit, slot, passes, multiple = priority_encode_batch(
                 match, self._processors
             )
+            # Every chunk key fetched its home bucket — the probe walk only
+            # adds the extension accesses on top.
+            self._stats.record_match_passes(int(passes.sum()))
+            if self._access_sink is not None:
+                self._access_sink(chunk_homes)
             # Stage 3 trigger: a home miss with nonzero reach means records
-            # may have spilled along the probe sequence — scalar fallback.
+            # may have spilled along the probe sequence.
             probe_needed = ~hit & (mirror.reach[chunk_homes] > 0)
             resolved = ~probe_needed
             resolved_count = int(resolved.sum())
             if resolved_count:
                 self._stats.record_lookup_batch(resolved_count, int(hit.sum()))
-                self._stats.record_match_passes(int(passes[resolved].sum()))
-                if self._on_home_accesses is not None:
-                    self._on_home_accesses(resolved_count)
 
             hit_positions = np.flatnonzero(hit)
             if hit_positions.size:
@@ -197,14 +249,127 @@ class BatchSearchEngine:
                     )
                 for out_i in chunk[miss_positions].tolist():
                     results[out_i] = shared_miss
-            scalar_keys.extend(chunk[np.flatnonzero(probe_needed)].tolist())
+
+            # ----------------------------------------------------------
+            # Stage 3: vectorized probe walk over this chunk's spills.
+            # ----------------------------------------------------------
+            pending = chunk[np.flatnonzero(probe_needed)]
+            if pending.size:
+                self._probe_walk(
+                    mirror,
+                    SearchResult,
+                    results,
+                    pending,
+                    homes[pending],
+                    words[pending],
+                    mask_words[pending] if mask_words is not None else None,
+                    values,
+                )
 
         # ------------------------------------------------------------------
-        # Stage 3: probe extension / multi-home keys via the scalar path.
+        # Scalar fallback: only multi-home ternary keys remain.
         # ------------------------------------------------------------------
+        self.scalar_fallbacks += len(scalar_keys)
         for out_i in scalar_keys:
             results[out_i] = self._scalar_search(keys[out_i], search_mask)
         return results
 
+    def _probe_walk(
+        self,
+        mirror: DecodedMirror,
+        SearchResult,
+        results: List,
+        key_idx: np.ndarray,
+        homes: np.ndarray,
+        query_words: np.ndarray,
+        query_mask_words: Optional[np.ndarray],
+        values: Sequence[int],
+    ) -> None:
+        """Resolve home-miss/nonzero-reach keys attempt level by level.
 
-__all__ = ["BatchSearchEngine", "DEFAULT_CHUNK_SIZE"]
+        Each iteration probes *all* still-unresolved keys at their next
+        probe row in one gathered mirror match — the array-ops analogue of
+        the scalar extended search, with identical per-key access counts
+        (home fetch + attempts walked) and match-pass accounting.
+        """
+        reach = mirror.reach[homes]
+        buckets = mirror.buckets
+        records = mirror.records
+        generic_probe = (
+            type(self._probing).probe_batch is ProbingPolicy.probe_batch
+        )
+        self.probe_walk_keys += int(key_idx.size)
+        alive = np.arange(key_idx.size)
+        attempt = 0
+        miss_cache = {}
+        while alive.size:
+            attempt += 1
+            homes_alive = homes[alive]
+            if generic_probe:
+                # Key-dependent policies (double hashing) need the original
+                # key values; vectorized policies ignore them.
+                keys_arg = [values[i] for i in key_idx[alive].tolist()]
+                rows = self._probing.probe_batch(
+                    homes_alive, attempt, buckets, keys_arg
+                )
+            else:
+                rows = self._probing.probe_batch(homes_alive, attempt, buckets)
+            match = mirror.match_rows(
+                rows,
+                query_words[alive],
+                query_mask_words[alive]
+                if query_mask_words is not None
+                else None,
+            )
+            hit, slot, passes, multiple = priority_encode_batch(
+                match, self._processors
+            )
+            self._stats.record_match_passes(int(passes.sum()))
+            if self._access_sink is not None:
+                self._access_sink(rows)
+            accesses = attempt + 1  # the home fetch plus this walk
+            hit_positions = np.flatnonzero(hit)
+            if hit_positions.size:
+                for a_i, row_i, slot_i, multi in zip(
+                    alive[hit_positions].tolist(),
+                    rows[hit_positions].tolist(),
+                    slot[hit_positions].tolist(),
+                    multiple[hit_positions].tolist(),
+                ):
+                    results[int(key_idx[a_i])] = SearchResult(
+                        hit=True,
+                        record=records[row_i, slot_i],
+                        row=row_i,
+                        slot=slot_i,
+                        bucket_accesses=accesses,
+                        multiple_matches=multi,
+                    )
+            exhausted = ~hit & (reach[alive] == attempt)
+            miss_positions = np.flatnonzero(exhausted)
+            if miss_positions.size:
+                miss = miss_cache.get(accesses)
+                if miss is None:
+                    miss = SearchResult(
+                        hit=False,
+                        record=None,
+                        row=None,
+                        slot=None,
+                        bucket_accesses=accesses,
+                    )
+                    miss_cache[accesses] = miss
+                for a_i in alive[miss_positions].tolist():
+                    results[int(key_idx[a_i])] = miss
+            done = int(hit_positions.size + miss_positions.size)
+            if done:
+                self._stats.record_lookup_batch(
+                    done, int(hit_positions.size), accesses
+                )
+            alive = alive[~hit & (reach[alive] > attempt)]
+
+
+__all__ = [
+    "BatchSearchEngine",
+    "DEFAULT_CHUNK_SIZE",
+    "MIN_CHUNK_SIZE",
+    "default_chunk_size",
+]

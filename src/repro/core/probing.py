@@ -12,6 +12,9 @@ to the next row to try; attempt 0 is always the home row itself.
 from __future__ import annotations
 
 import abc
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.hashing.base import HashFunction
@@ -23,6 +26,30 @@ class ProbingPolicy(abc.ABC):
     @abc.abstractmethod
     def probe(self, home_row: int, attempt: int, rows: int, key: object) -> int:
         """Row to inspect on the given attempt (attempt 0 = home row)."""
+
+    def probe_batch(
+        self,
+        home_rows: np.ndarray,
+        attempt: int,
+        rows: int,
+        keys: Optional[Sequence[object]] = None,
+    ) -> np.ndarray:
+        """Row to inspect per home for one shared attempt level.
+
+        The generic implementation loops over :meth:`probe`; key-independent
+        policies override it with a closed-form array expression.  ``keys``
+        is required only by key-dependent policies (e.g. double hashing).
+        """
+        if keys is None:
+            keys = [None] * len(home_rows)
+        return np.fromiter(
+            (
+                self.probe(int(home), attempt, rows, key)
+                for home, key in zip(home_rows.tolist(), keys)
+            ),
+            dtype=np.int64,
+            count=len(home_rows),
+        )
 
     def max_attempts(self, rows: int) -> int:
         """Upper bound on distinct rows the sequence can visit."""
@@ -36,6 +63,17 @@ class LinearProbing(ProbingPolicy):
         if attempt < 0:
             raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
         return (home_row + attempt) % rows
+
+    def probe_batch(
+        self,
+        home_rows: np.ndarray,
+        attempt: int,
+        rows: int,
+        keys: Optional[Sequence[object]] = None,
+    ) -> np.ndarray:
+        if attempt < 0:
+            raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
+        return (np.asarray(home_rows, dtype=np.int64) + attempt) % rows
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "LinearProbing()"
@@ -75,6 +113,18 @@ class QuadraticProbing(ProbingPolicy):
         if attempt < 0:
             raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
         return (home_row + attempt * (attempt + 1) // 2) % rows
+
+    def probe_batch(
+        self,
+        home_rows: np.ndarray,
+        attempt: int,
+        rows: int,
+        keys: Optional[Sequence[object]] = None,
+    ) -> np.ndarray:
+        if attempt < 0:
+            raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
+        step = attempt * (attempt + 1) // 2
+        return (np.asarray(home_rows, dtype=np.int64) + step) % rows
 
 
 __all__ = ["ProbingPolicy", "LinearProbing", "DoubleHashing", "QuadraticProbing"]

@@ -27,9 +27,18 @@ on insert — how longest-prefix-match ordering is realized for IP lookup.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.errors import CapacityError, LookupError_
+from repro.errors import CapacityError, ConfigurationError, LookupError_
 from repro.core.config import SliceConfig
 from repro.core.index import IndexGenerator, KeyInput
 from repro.core.key import TernaryKey
@@ -80,6 +89,12 @@ class CARAMSlice:
         slot_priority: optional record-priority function; when given, bucket
             slots are kept sorted descending so the priority encoder returns
             the highest-priority match (LPM ordering).
+        account_reads: when True, batch lookups served from the decoded
+            mirror also charge the physical :class:`ArrayStats` read
+            counters, restoring exact counter parity with the scalar path.
+        batch_chunk_size: keys per vectorized batch-lookup chunk; None
+            derives a default from the row geometry
+            (:func:`repro.core.batch.default_chunk_size`).
     """
 
     def __init__(
@@ -88,6 +103,8 @@ class CARAMSlice:
         index_generator: IndexGenerator,
         probing: Optional[ProbingPolicy] = None,
         slot_priority: Optional[Callable[[Record], float]] = None,
+        account_reads: bool = False,
+        batch_chunk_size: Optional[int] = None,
     ) -> None:
         if index_generator.rows != config.rows:
             raise CapacityError(
@@ -104,6 +121,8 @@ class CARAMSlice:
         self._record_count = 0
         self._mirror: Optional["DecodedMirror"] = None
         self._batch_engine: Optional["BatchSearchEngine"] = None
+        self._batch_chunk_size = batch_chunk_size
+        self.account_reads = account_reads
         self.stats = SearchStats()
 
     # ------------------------------------------------------------------
@@ -154,17 +173,32 @@ class CARAMSlice:
         self._mirror.sync()
         return self._mirror
 
+    def _mirror_access_sink(self, buckets) -> None:
+        """Account a batch of mirror-served bucket fetches.
+
+        Only charges the physical read counters when this slice opted into
+        ``account_reads``; AMAL accounting lives in ``SearchStats`` either
+        way.
+        """
+        if self.account_reads:
+            self._memory.charge_reads(len(buckets))
+
+    @property
+    def batch_engine(self) -> Optional["BatchSearchEngine"]:
+        """The lazily-built batch engine (None before the first batch)."""
+        return self._batch_engine
+
     def search_batch(
         self, keys: Sequence[KeyInput], search_mask: int = 0
     ) -> List[SearchResult]:
         """Vectorized lookup of a whole key array.
 
         Produces exactly the results (and ``SearchStats`` accounting) of
-        calling :meth:`search` once per key, in order, but resolves the
-        common case — single home row, hit or reach-0 miss — against the
-        decoded mirror in bulk NumPy operations.  Keys that need the
-        Section-4 multi-row probing (don't-care bits over hash positions,
-        or a home miss with nonzero reach) fall back to the scalar path.
+        calling :meth:`search` once per key, in order, but resolves both the
+        common case — single home row, hit or reach-0 miss — and the
+        extended probe walk against the decoded mirror in bulk NumPy
+        operations.  Only keys needing the Section-4 multi-row enumeration
+        (don't-care bits over hash positions) fall back to the scalar path.
         """
         if self._batch_engine is None:
             from repro.core.batch import BatchSearchEngine
@@ -177,6 +211,9 @@ class CARAMSlice:
                 key_bits=self._config.record_format.key_bits,
                 stats=self.stats,
                 scalar_search=self.search,
+                probing=self._probing,
+                access_sink=self._mirror_access_sink,
+                chunk_size=self._batch_chunk_size,
             )
         return self._batch_engine.search(keys, search_mask)
 
@@ -327,6 +364,67 @@ class CARAMSlice:
             self._place_copy(home, record)
         self.stats.record_insert(len(homes))
         return len(homes)
+
+    def bulk_load(self, records: Iterable[Tuple[KeyInput, int]]) -> int:
+        """Insert many ``(key, data)`` pairs at once; returns stored copies.
+
+        Semantically identical to calling :meth:`insert` per pair in order —
+        same final memory image bit for bit, same record count, same
+        ``SearchStats`` — but built as one vectorized pipeline: batch
+        hashing, the :func:`~repro.hashing.analysis.simulate_linear_probing`
+        spill model for placement, one vectorized row-encoding pass, and a
+        single DMA-style install (Section 3.2's bulk construction).
+
+        The fast path requires an empty slice, linear probing, and a reach
+        field of at most 64 bits; otherwise the pairs are inserted
+        sequentially (same result, scalar speed).  Unlike the sequential
+        loop, the fast path is all-or-nothing: a
+        :class:`~repro.errors.CapacityError` is raised before any row is
+        written, leaving the slice untouched.
+        """
+        pairs = list(records)
+        if not pairs:
+            return 0
+        fast = (
+            self._record_count == 0
+            and type(self._probing) is LinearProbing
+            and self._layout.aux_bits <= 64
+        )
+        if not fast:
+            return sum(self.insert(key, data) for key, data in pairs)
+        from repro.core.bulk import build_bulk_image
+        from repro.memory.mirror import DecodedMirror
+
+        max_reach = self._layout.max_reach if self._layout.aux_bits else 0
+        image = build_bulk_image(
+            pairs,
+            record_format=self._config.record_format,
+            layout=self._layout,
+            index_generator=self._index,
+            bucket_count=self._config.rows,
+            slots_per_bucket=self._layout.slots_per_bucket,
+            reach_limit=min(max_reach, self._config.rows - 1),
+            slot_priority=self._slot_priority,
+            slice_count=1,
+            rows_per_slice=self._config.rows,
+            horizontal=False,
+        )
+        self.dma_load(
+            image.array_rows[0], record_count=image.plan.copy_count
+        )
+        self.stats.record_insert_batch(
+            image.plan.record_count, image.plan.copy_count
+        )
+        if self._mirror is None:
+            self._mirror = DecodedMirror([self._memory], self._layout)
+        self._mirror.install(
+            image.mirror_valid,
+            image.mirror_key_words,
+            image.mirror_mask_words,
+            image.mirror_reach,
+            image.mirror_records,
+        )
+        return image.plan.copy_count
 
     def _place_copy(self, home: int, record: Record) -> None:
         max_reach = self._layout.max_reach if self._layout.aux_bits else 0
@@ -516,13 +614,30 @@ class CARAMSlice:
         self._memory.write_row(row, value)
         self._record_count += self._layout.occupancy(value) - removed
 
-    def dma_load(self, rows: List[int], offset: int = 0) -> None:
+    def dma_load(
+        self,
+        rows: List[int],
+        offset: int = 0,
+        record_count: Optional[int] = None,
+    ) -> None:
         """Bulk-load pre-packed rows ("a series of memory copy operations or
         ... an existing DMA mechanism", Section 3.2).
 
         The record count is updated incrementally from the valid bits of the
-        overwritten and incoming rows — no full-database re-scan.
+        overwritten and incoming rows — no full-database re-scan.  A caller
+        that already knows the incoming image's occupant count (the bulk
+        builder) may pass ``record_count`` to skip the per-row occupancy
+        scans; this shortcut requires a full-array load so the displaced
+        count is exactly the current record count.
         """
+        if record_count is not None:
+            if offset != 0 or len(rows) != self._config.rows:
+                raise ConfigurationError(
+                    "record_count shortcut requires a full-array load"
+                )
+            self._memory.load(rows, offset)
+            self._record_count = record_count
+            return
         removed = sum(
             self._layout.occupancy(self._memory.peek_row(offset + i))
             for i in range(len(rows))

@@ -66,6 +66,17 @@ class SearchStats:
         self.inserts += 1
         self.insert_probe_total += probes
 
+    def record_insert_batch(self, count: int, probes: int) -> None:
+        """Account ``count`` inserts that probed ``probes`` buckets in total.
+
+        The bulk-build entry point: equivalent to ``count`` calls to
+        :meth:`record_insert` whose probe counts sum to ``probes``.
+        """
+        if count <= 0:
+            return
+        self.inserts += count
+        self.insert_probe_total += probes
+
     def record_delete(self) -> None:
         self.deletes += 1
 

@@ -75,6 +75,13 @@ class SliceGroup:
         probing: overflow policy over the *bucket* space.
         slot_priority: optional priority function for sorted buckets (LPM).
         name: label used in subsystem routing and reports.
+        account_reads: when True, batch lookups served from the decoded
+            mirror also charge each slice's physical :class:`ArrayStats`
+            read counters, restoring exact parity with the scalar path.
+        batch_chunk_size: keys per vectorized batch-lookup chunk; None
+            derives a width-aware default
+            (:func:`repro.core.batch.default_chunk_size`), which shrinks
+            the chunk for wide-bucket groups like the trigram study.
     """
 
     def __init__(
@@ -86,6 +93,8 @@ class SliceGroup:
         probing: Optional[ProbingPolicy] = None,
         slot_priority: Optional[Callable[[Record], float]] = None,
         name: str = "db",
+        account_reads: bool = False,
+        batch_chunk_size: Optional[int] = None,
     ) -> None:
         if slice_count <= 0:
             raise ConfigurationError(f"slice_count must be positive: {slice_count}")
@@ -110,6 +119,8 @@ class SliceGroup:
         self._record_count = 0
         self._mirror: Optional["DecodedMirror"] = None
         self._batch_engine: Optional["BatchSearchEngine"] = None
+        self._batch_chunk_size = batch_chunk_size
+        self.account_reads = account_reads
         self.stats = SearchStats()
         self.physical_row_fetches = 0
 
@@ -307,8 +318,37 @@ class SliceGroup:
         self._mirror.sync()
         return self._mirror
 
-    def _count_home_fetches(self, accesses: int) -> None:
-        self.physical_row_fetches += accesses * self.rows_fetched_per_access
+    def _mirror_access_sink(self, buckets) -> None:
+        """Account a batch of mirror-served logical bucket fetches.
+
+        Always advances :attr:`physical_row_fetches` (one logical access is
+        ``rows_fetched_per_access`` physical fetches); with
+        ``account_reads`` it also charges the per-slice read counters —
+        horizontal groups fetch every slice per bucket, vertical groups
+        fetch only the slice owning each bucket.
+        """
+        import numpy as np
+
+        count = len(buckets)
+        self.physical_row_fetches += count * self.rows_fetched_per_access
+        if not self.account_reads:
+            return
+        if self._arrangement is Arrangement.HORIZONTAL:
+            for array in self._arrays:
+                array.charge_reads(count)
+        else:
+            per_slice = np.bincount(
+                np.asarray(buckets, dtype=np.int64) // self._config.rows,
+                minlength=self._count,
+            )
+            for array, reads in zip(self._arrays, per_slice.tolist()):
+                if reads:
+                    array.charge_reads(int(reads))
+
+    @property
+    def batch_engine(self) -> Optional["BatchSearchEngine"]:
+        """The lazily-built batch engine (None before the first batch)."""
+        return self._batch_engine
 
     def search_batch(
         self, keys: Sequence[KeyInput], search_mask: int = 0
@@ -317,8 +357,9 @@ class SliceGroup:
 
         Equivalent — results and statistics (including
         :attr:`physical_row_fetches`) — to calling :meth:`search` per key
-        in order; the home-bucket common case is served by the decoded
-        mirror, fanned across all slices at once.
+        in order; both the home-bucket common case and the extended probe
+        walk are served by the decoded mirror, fanned across all slices at
+        once.
         """
         if self._batch_engine is None:
             from repro.core.batch import BatchSearchEngine
@@ -331,9 +372,100 @@ class SliceGroup:
                 key_bits=self._config.record_format.key_bits,
                 stats=self.stats,
                 scalar_search=self.search,
-                on_home_accesses=self._count_home_fetches,
+                probing=self._probing,
+                access_sink=self._mirror_access_sink,
+                chunk_size=self._batch_chunk_size,
             )
         return self._batch_engine.search(keys, search_mask)
+
+    def bulk_load(self, records) -> int:
+        """Insert many ``(key, data)`` pairs at once; returns stored copies.
+
+        Semantically identical to calling :meth:`insert` per pair in order —
+        same final per-slice memory images bit for bit, same record count,
+        same ``SearchStats`` — but built as one vectorized pipeline
+        (Section 3.2's DMA-style database construction).  The fast path
+        requires an empty group, linear probing, and a reach field of at
+        most 64 bits; otherwise the pairs are inserted sequentially.
+        Unlike the sequential loop, the fast path is all-or-nothing: a
+        :class:`~repro.errors.CapacityError` is raised before any row is
+        written, leaving the group untouched.
+        """
+        pairs = list(records)
+        if not pairs:
+            return 0
+        fast = (
+            self._record_count == 0
+            and type(self._probing) is LinearProbing
+            and self._layout.aux_bits <= 64
+        )
+        if not fast:
+            return sum(self.insert(key, data) for key, data in pairs)
+        from repro.core.bulk import build_bulk_image
+        from repro.memory.mirror import DecodedMirror
+
+        max_reach = self._layout.max_reach if self._layout.aux_bits else 0
+        horizontal = self._arrangement is Arrangement.HORIZONTAL
+        image = build_bulk_image(
+            pairs,
+            record_format=self._config.record_format,
+            layout=self._layout,
+            index_generator=self._index,
+            bucket_count=self.bucket_count,
+            slots_per_bucket=self.slots_per_bucket,
+            reach_limit=min(max_reach, self.bucket_count - 1),
+            slot_priority=self._slot_priority,
+            slice_count=self._count,
+            rows_per_slice=self._config.rows,
+            horizontal=horizontal,
+        )
+        self.dma_load(image.array_rows, record_count=image.plan.copy_count)
+        self.stats.record_insert_batch(
+            image.plan.record_count, image.plan.copy_count
+        )
+        if self._mirror is None:
+            self._mirror = DecodedMirror(
+                self._arrays, self._layout, horizontal=horizontal
+            )
+        self._mirror.install(
+            image.mirror_valid,
+            image.mirror_key_words,
+            image.mirror_mask_words,
+            image.mirror_reach,
+            image.mirror_records,
+        )
+        return image.plan.copy_count
+
+    def dma_load(
+        self,
+        slice_rows: Sequence[List[int]],
+        record_count: Optional[int] = None,
+    ) -> None:
+        """DMA-install one full pre-packed row image per slice.
+
+        Every slice image must cover its whole array (the group analogue of
+        :meth:`CARAMSlice.dma_load` at offset 0).  ``record_count`` is the
+        incoming occupant total; when omitted it is recovered by scanning
+        the images' valid bits.
+        """
+        if len(slice_rows) != self._count:
+            raise ConfigurationError(
+                f"expected {self._count} slice images, got {len(slice_rows)}"
+            )
+        for rows in slice_rows:
+            if len(rows) != self._config.rows:
+                raise ConfigurationError(
+                    "each slice image must cover the full array"
+                )
+        if record_count is None:
+            record_count = sum(
+                self._layout.occupancy(value)
+                for rows in slice_rows
+                for value in rows
+            )
+        for array, rows in zip(self._arrays, slice_rows):
+            array.load(list(rows), 0)
+        self._record_count = record_count
 
     def insert(self, key: KeyInput, data: int = 0, allow_spill: bool = True) -> int:
         """Insert a record; returns the number of stored copies.
@@ -597,6 +729,21 @@ class CARAMSubsystem:
         except CapacityError:
             store.insert(key, data)
             return 1
+
+    def bulk_load(self, group_name: str, records) -> int:
+        """Bulk counterpart of :meth:`insert` for a whole record set.
+
+        Without an overflow store this is the group's vectorized
+        :meth:`SliceGroup.bulk_load`.  With one, overflow diversion is
+        per-record state-dependent, so the pairs are inserted sequentially
+        through :meth:`insert` (same result, scalar speed).
+        """
+        group = self.group(group_name)
+        if self._overflow.get(group_name) is None:
+            return group.bulk_load(records)
+        return sum(
+            self.insert(group_name, key, data) for key, data in records
+        )
 
     def search(self, group_name: str, key: KeyInput, search_mask: int = 0) -> SearchResult:
         """Search a group and its overflow store in parallel.

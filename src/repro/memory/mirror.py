@@ -100,6 +100,65 @@ def keys_to_words(values: Sequence[int], key_bits: int) -> np.ndarray:
     return np.frombuffer(bytes(buf), dtype="<u8").reshape(n, word_count)
 
 
+# ----------------------------------------------------------------------
+# Encode direction: decoded matrices -> row bit patterns
+# ----------------------------------------------------------------------
+#
+# The decode direction above (rows -> word matrices) serves batch lookups;
+# the bulk-build pipeline needs the opposite: turn whole columns of field
+# values into MSB-first row bit patterns without per-record big-int
+# splicing.  Both codecs below are pure reshapes/bit-unpacks — O(1) NumPy
+# calls over the full matrix.
+
+
+def words_to_bits(words: np.ndarray, bits: int) -> np.ndarray:
+    """Unpack a little-endian uint64 word matrix into MSB-first bit columns.
+
+    Args:
+        words: ``(n, W)`` uint64 matrix (word 0 = low 64 bits), as produced
+            by :func:`keys_to_words`.
+        bits: field width; only the low ``bits`` of each value are kept.
+
+    Returns:
+        ``(n, bits)`` bool matrix, column 0 holding each value's MSB — the
+        bit order :func:`~repro.core.record.encode_record` serializes.
+    """
+    if words.ndim != 2:
+        raise ConfigurationError("words must be a (n, W) matrix")
+    n, word_count = words.shape
+    if bits > word_count * KEY_WORD_BITS:
+        raise ConfigurationError(
+            f"{bits} bits exceed the {word_count}-word storage"
+        )
+    # Reverse to big-endian word order, then view each word's bytes MSB
+    # first, so unpackbits yields one MSB-first bit row per value.
+    big_endian = words[:, ::-1].astype(">u8")
+    byte_rows = big_endian.view(np.uint8).reshape(n, word_count * 8)
+    bit_rows = np.unpackbits(byte_rows, axis=1)
+    return bit_rows[:, word_count * KEY_WORD_BITS - bits :].astype(bool)
+
+
+def rows_from_bits(bit_matrix: np.ndarray, row_bits: int) -> List[int]:
+    """Pack an MSB-first bit matrix into one Python integer per row.
+
+    The inverse of the per-row decode: column ``j`` carries weight
+    ``2**(row_bits - 1 - j)``, matching the MSB-first row convention of
+    :class:`~repro.memory.array.MemoryArray`.
+    """
+    if bit_matrix.ndim != 2 or bit_matrix.shape[1] != row_bits:
+        raise ConfigurationError(
+            f"bit matrix must be (n, {row_bits}), got {bit_matrix.shape}"
+        )
+    packed = np.packbits(bit_matrix, axis=1)
+    pad = (-row_bits) % 8  # packbits zero-fills the low bits of the last byte
+    nbytes = packed.shape[1]
+    data = packed.tobytes()
+    return [
+        int.from_bytes(data[i * nbytes : (i + 1) * nbytes], "big") >> pad
+        for i in range(bit_matrix.shape[0])
+    ]
+
+
 class DecodedMirror:
     """Incrementally-maintained decoded view of CA-RAM array content.
 
@@ -240,6 +299,45 @@ class DecodedMirror:
         self.rows_decoded += decoded
         return decoded
 
+    def install(
+        self,
+        valid: np.ndarray,
+        key_words: np.ndarray,
+        mask_words: np.ndarray,
+        reach: np.ndarray,
+        records: np.ndarray,
+    ) -> None:
+        """Adopt a complete decoded image wholesale (encode direction).
+
+        The bulk-build pipeline already holds the decoded view it is about
+        to serialize into the arrays; installing it here skips the O(rows x
+        slots) big-int re-decode the invalidation listeners would otherwise
+        schedule.  All dirty flags are cleared — the caller vouches that the
+        image matches the array content it just loaded.
+        """
+        expected = (self.buckets, self.slots)
+        if valid.shape != expected or records.shape != expected:
+            raise ConfigurationError(
+                f"decoded image shape {valid.shape} != {expected}"
+            )
+        if key_words.shape != self.key_words.shape:
+            raise ConfigurationError(
+                f"key-word shape {key_words.shape} != {self.key_words.shape}"
+            )
+        if reach.shape != (self.buckets,):
+            raise ConfigurationError(
+                f"reach shape {reach.shape} != ({self.buckets},)"
+            )
+        self.valid[...] = valid
+        self.key_words[...] = key_words
+        self.mask_words[...] = mask_words
+        self.reach[...] = reach
+        self.records[...] = records
+        for dirty in self._dirty:
+            dirty[:] = False
+        self._any_dirty = False
+        self.sync_count += 1
+
     # ------------------------------------------------------------------
     # Vectorized ternary matching (Figure 4(b), word-wise)
     # ------------------------------------------------------------------
@@ -309,4 +407,6 @@ __all__ = [
     "words_for_bits",
     "int_to_words",
     "keys_to_words",
+    "words_to_bits",
+    "rows_from_bits",
 ]

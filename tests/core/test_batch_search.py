@@ -59,6 +59,7 @@ def make_slice(
     match_processors=None,
     ternary=False,
     bit_select=True,
+    **slice_kwargs,
 ):
     fmt = RecordFormat(key_bits=KEY_BITS, data_bits=8, ternary=ternary)
     aux_bits = 8
@@ -75,7 +76,9 @@ def make_slice(
         )
     else:
         hash_function = ModuloHash(config.rows)
-    return CARAMSlice(config, IndexGenerator(hash_function, config.rows))
+    return CARAMSlice(
+        config, IndexGenerator(hash_function, config.rows), **slice_kwargs
+    )
 
 
 def mixed_queries(rng, stored_keys, count):
@@ -241,7 +244,7 @@ class TestMirrorInvalidation:
         assert 0 < mirror.rows_decoded - decoded_after_build < slice_.config.rows
 
 
-def make_group(arrangement, slice_count=2, match_processors=3):
+def make_group(arrangement, slice_count=2, match_processors=3, **group_kwargs):
     fmt = RecordFormat(key_bits=KEY_BITS, data_bits=8)
     config = SliceConfig(
         index_bits=4,
@@ -261,6 +264,7 @@ def make_group(arrangement, slice_count=2, match_processors=3):
         arrangement=arrangement,
         hash_function=ModuloHash(buckets),
         name="batch-test",
+        **group_kwargs,
     )
 
 
@@ -297,6 +301,149 @@ class TestGroupDifferential:
         queries = keys + [3 + 16 * 99, 7]
         results = assert_differential(group, queries, check_fetches=True)
         assert any(r.bucket_accesses > 1 for r in results)
+
+
+def fill_to(store, rng, load_factor):
+    """Insert random keys until the store reaches the target load factor."""
+    stored = []
+    capacity = getattr(store, "capacity_records", None)
+    if capacity is None:
+        capacity = store.config.capacity_records
+    target = int(capacity * load_factor)
+    while len(stored) < target:
+        key = rng.randrange(1 << KEY_BITS)
+        try:
+            store.insert(key, key & 0xFF)
+            stored.append(key)
+        except Exception:
+            break
+    return stored
+
+
+class TestProbeWalkVectorized:
+    @pytest.mark.parametrize("processors", [None, 2])
+    def test_high_load_walk_never_goes_scalar(self, processors):
+        """At alpha=0.9 with uniform misses, every binary key resolves in
+        the vectorized walk — zero scalar fallbacks."""
+        rng = random.Random(77)
+        slice_ = make_slice(
+            index_bits=3, slots=4, match_processors=processors,
+            bit_select=False,
+        )
+        stored = fill_to(slice_, rng, 0.9)
+        assert slice_.load_factor >= 0.85
+        results = assert_differential(slice_, mixed_queries(rng, stored, 400))
+        engine = slice_.batch_engine
+        assert engine.scalar_fallbacks == 0
+        assert engine.probe_walk_keys > 0
+        assert any(r.bucket_accesses > 1 for r in results)
+
+    @pytest.mark.parametrize(
+        "arrangement", [Arrangement.VERTICAL, Arrangement.HORIZONTAL]
+    )
+    def test_group_walk_never_goes_scalar(self, arrangement):
+        rng = random.Random(78)
+        group = make_group(arrangement)
+        stored = fill_to(group, rng, 0.9)
+        assert_differential(
+            group, mixed_queries(rng, stored, 400), check_fetches=True
+        )
+        assert group.batch_engine.scalar_fallbacks == 0
+        assert group.batch_engine.probe_walk_keys > 0
+
+    def test_only_multi_home_keys_fall_back(self):
+        """Ternary queries masked over hash bits are the one scalar case."""
+        rng = random.Random(79)
+        slice_ = make_slice(index_bits=4, slots=4, ternary=True)
+        hash_mask = slice_.index_generator.hash_function.position_mask
+        stored = fill_to(slice_, rng, 0.5)
+        in_hash = hash_mask & -hash_mask
+        queries = mixed_queries(rng, stored, 60)
+        multi = [
+            TernaryKey(value=rng.randrange(1 << KEY_BITS), mask=in_hash,
+                       width=KEY_BITS)
+            for _ in range(5)
+        ]
+        assert_differential(slice_, queries + multi)
+        assert slice_.batch_engine.scalar_fallbacks == len(multi)
+
+
+class TestAccountReads:
+    def test_slice_read_counter_parity(self):
+        rng = random.Random(91)
+        slice_ = make_slice(
+            index_bits=3, slots=2, bit_select=False, account_reads=True
+        )
+        stored = fill_to(slice_, rng, 0.9)
+        queries = mixed_queries(rng, stored, 200)
+
+        slice_.stats.reset()
+        slice_.memory.stats.reset()
+        scalar = [slice_.search(q) for q in queries]
+        scalar_reads = slice_.memory.stats.reads
+
+        slice_.stats.reset()
+        slice_.memory.stats.reset()
+        batch = slice_.search_batch(queries)
+        assert batch == scalar
+        assert slice_.memory.stats.reads == scalar_reads
+
+    def test_slice_mirror_reads_uncounted_by_default(self):
+        slice_ = make_slice(index_bits=3, slots=2, bit_select=False)
+        slice_.insert(5, 1)
+        slice_.memory.stats.reset()
+        slice_.search_batch([5, 6])
+        assert slice_.memory.stats.reads == 0
+
+    @pytest.mark.parametrize(
+        "arrangement", [Arrangement.VERTICAL, Arrangement.HORIZONTAL]
+    )
+    def test_group_read_counter_parity(self, arrangement):
+        rng = random.Random(92)
+        group = make_group(arrangement, account_reads=True)
+        stored = fill_to(group, rng, 0.9)
+        queries = mixed_queries(rng, stored, 300)
+
+        group.stats.reset()
+        for array in group._arrays:
+            array.stats.reset()
+        scalar = [group.search(q) for q in queries]
+        scalar_reads = [array.stats.reads for array in group._arrays]
+
+        group.stats.reset()
+        for array in group._arrays:
+            array.stats.reset()
+        batch = group.search_batch(queries)
+        assert batch == scalar
+        assert [a.stats.reads for a in group._arrays] == scalar_reads
+
+
+class TestChunkSize:
+    def test_small_chunks_differential(self):
+        """A chunk size forcing many chunks must not change anything."""
+        rng = random.Random(93)
+        slice_ = make_slice(
+            index_bits=3, slots=2, bit_select=False, batch_chunk_size=16
+        )
+        stored = fill_to(slice_, rng, 0.9)
+        slice_.search_batch([stored[0]])
+        assert slice_.batch_engine.chunk_size == 16
+        assert_differential(slice_, mixed_queries(rng, stored, 200))
+
+    def test_default_chunk_scales_with_row_width(self):
+        from repro.core.batch import (
+            DEFAULT_CHUNK_SIZE,
+            MIN_CHUNK_SIZE,
+            default_chunk_size,
+        )
+
+        # Narrow geometries keep the legacy chunk size.
+        assert default_chunk_size(4, 1) == DEFAULT_CHUNK_SIZE
+        # The trigram study's horizontal bucket: 384 slots x 2 words.
+        wide = default_chunk_size(384, 2)
+        assert MIN_CHUNK_SIZE <= wide < DEFAULT_CHUNK_SIZE
+        # Degenerate widths clamp at the floor.
+        assert default_chunk_size(1 << 20, 4) == MIN_CHUNK_SIZE
 
 
 class TestSubsystemBatch:
