@@ -18,16 +18,18 @@ or through pytest (asserts the >=10x speedup)::
 
 import json
 import time
-from pathlib import Path
 
+from harness import finalize, result_path
 from repro.core.config import SliceConfig
 from repro.core.index import IndexGenerator
 from repro.core.record import RecordFormat
 from repro.core.slice import CARAMSlice
 from repro.hashing.bit_select import BitSelectHash
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiling import enabled_profiler
 from repro.utils.rng import make_rng
 
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_batch_lookup.json"
+RESULT_PATH = result_path("batch_lookup")
 
 INDEX_BITS = 10          # 1024 buckets
 KEY_BITS = 32
@@ -87,22 +89,23 @@ def run_benchmark() -> dict:
     stored = populate(slice_)
     queries = make_queries(stored)
 
-    slice_.stats.reset()
-    start = time.perf_counter()
-    scalar_results = [slice_.search(key) for key in queries]
-    scalar_seconds = time.perf_counter() - start
-    scalar_stats = slice_.stats
+    with enabled_profiler() as profiler:
+        slice_.stats.reset()
+        start = time.perf_counter()
+        scalar_results = [slice_.search(key) for key in queries]
+        scalar_seconds = time.perf_counter() - start
+        scalar_stats = slice_.stats
 
-    # Cold batch: the first call pays the full mirror decode.
-    slice_.stats = type(slice_.stats)()
-    start = time.perf_counter()
-    batch_results = slice_.search_batch(queries)
-    batch_seconds = time.perf_counter() - start
+        # Cold batch: the first call pays the full mirror decode.
+        slice_.stats = type(slice_.stats)()
+        start = time.perf_counter()
+        batch_results = slice_.search_batch(queries)
+        batch_seconds = time.perf_counter() - start
 
-    # Warm batch: the mirror is already decoded (the steady state).
-    start = time.perf_counter()
-    slice_.search_batch(queries)
-    warm_seconds = time.perf_counter() - start
+        # Warm batch: the mirror is already decoded (the steady state).
+        start = time.perf_counter()
+        slice_.search_batch(queries)
+        warm_seconds = time.perf_counter() - start
 
     assert batch_results == scalar_results, "batch/scalar result divergence"
     assert slice_.stats.lookups == 2 * scalar_stats.lookups
@@ -111,6 +114,12 @@ def run_benchmark() -> dict:
         slice_.stats.total_bucket_accesses
         == 2 * scalar_stats.total_bucket_accesses
     )
+
+    # Mount telemetry after the run: providers are read lazily at
+    # snapshot() time, and the slice's stats object was swapped between
+    # the scalar and batch phases.
+    registry = MetricsRegistry()
+    slice_.register_telemetry(registry)
 
     result = {
         "keys": len(queries),
@@ -123,8 +132,9 @@ def run_benchmark() -> dict:
         "speedup": round(scalar_seconds / batch_seconds, 2),
         "speedup_warm": round(scalar_seconds / warm_seconds, 2),
     }
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
-    return result
+    return finalize(
+        RESULT_PATH, result, registry=registry, profiler=profiler
+    )
 
 
 def test_batch_lookup_speedup():

@@ -25,17 +25,18 @@ or through pytest (quick geometry, asserts the >=5x build speedup)::
 import argparse
 import json
 import time
-from pathlib import Path
 
+from harness import finalize, result_path
 from repro.core.config import Arrangement, SliceConfig
 from repro.core.key import TernaryKey
 from repro.core.record import RecordFormat
 from repro.core.subsystem import SliceGroup
 from repro.hashing.bit_select import BitSelectHash
+from repro.telemetry.profiling import enabled_profiler
 from repro.utils.bits import mask_of
 from repro.utils.rng import make_rng
 
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_bulk_build.json"
+RESULT_PATH = result_path("bulk_build")
 
 KEY_BITS = 32
 DATA_BITS = 16
@@ -187,17 +188,17 @@ def bench_high_load_lookup(index_bits: int, slots: int, queries: int) -> dict:
 
 def run_benchmark(quick: bool = False) -> dict:
     params = QUICK if quick else FULL
-    result = {
-        "mode": "quick" if quick else "full",
-        "index_bits": params["index_bits"],
-        "slots": params["slots"],
-        "build": bench_build(params["index_bits"], params["slots"]),
-        "lookup_alpha09": bench_high_load_lookup(
-            params["index_bits"], params["slots"], params["queries"]
-        ),
-    }
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
-    return result
+    with enabled_profiler() as profiler:
+        result = {
+            "mode": "quick" if quick else "full",
+            "index_bits": params["index_bits"],
+            "slots": params["slots"],
+            "build": bench_build(params["index_bits"], params["slots"]),
+            "lookup_alpha09": bench_high_load_lookup(
+                params["index_bits"], params["slots"], params["queries"]
+            ),
+        }
+    return finalize(RESULT_PATH, result, profiler=profiler)
 
 
 def test_bulk_build_speedup():

@@ -1,0 +1,103 @@
+"""Cost of the telemetry instrumentation on the batch-lookup hot path.
+
+The telemetry hooks are designed to be free when off: a detached tracer is
+one ``is None`` attribute check per ``record_*`` call, and a disabled
+profiler hands back a shared no-op context manager.  This benchmark pins
+that down with numbers: it measures warm batch-lookup throughput on the
+same slice/query stream as ``bench_batch_lookup.py`` in three modes —
+
+* ``disabled`` — no tracer attached (the default everyone runs);
+* ``null_sink`` — tracer attached, events built and dropped;
+* ``ring`` — tracer attached, events retained in the in-memory ring;
+
+and writes keys/sec plus the relative overheads to
+``BENCH_telemetry_overhead.json``.  The pytest gate asserts the disabled
+mode stays within 5% of the committed ``BENCH_batch_lookup.json`` warm
+baseline (skipped when no baseline is committed), i.e. that merely
+*having* the instrumentation costs nothing.
+
+Run standalone with::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py
+
+or through pytest (asserts the <5% disabled-mode overhead)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_telemetry_overhead.py
+"""
+
+import json
+import time
+
+import pytest
+
+from bench_batch_lookup import build_slice, make_queries, populate
+from harness import finalize, result_path
+from repro.telemetry.trace import InMemorySink, NullSink, Tracer
+
+RESULT_PATH = result_path("telemetry_overhead")
+BASELINE_PATH = result_path("batch_lookup")
+
+REPEATS = 3          # best-of to squeeze out scheduler noise
+GATE_THRESHOLD = 0.05
+
+
+def _measure_warm(slice_, queries) -> float:
+    """Best-of-``REPEATS`` warm batch throughput in keys/sec."""
+    slice_.search_batch(queries[:1])  # warm the mirror + engine
+    best = 0.0
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        slice_.search_batch(queries)
+        seconds = time.perf_counter() - start
+        best = max(best, len(queries) / seconds)
+    return best
+
+
+def run_benchmark() -> dict:
+    slice_ = build_slice()
+    stored = populate(slice_)
+    queries = make_queries(stored)
+
+    slice_.tracer = None
+    disabled = _measure_warm(slice_, queries)
+
+    null_tracer = Tracer(sink=NullSink())
+    slice_.tracer = null_tracer
+    null_sink = _measure_warm(slice_, queries)
+
+    ring_tracer = Tracer(sink=InMemorySink())
+    slice_.tracer = ring_tracer
+    ring = _measure_warm(slice_, queries)
+    trace_summary = ring_tracer.summary()
+
+    slice_.tracer = None
+
+    result = {
+        "keys": len(queries),
+        "disabled_keys_per_sec": round(disabled),
+        "null_sink_keys_per_sec": round(null_sink),
+        "ring_keys_per_sec": round(ring),
+        "null_sink_overhead": round(disabled / null_sink - 1, 4),
+        "ring_overhead": round(disabled / ring - 1, 4),
+    }
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        warm_baseline = baseline["batch_warm_keys_per_sec"]
+        result["baseline_warm_keys_per_sec"] = warm_baseline
+        result["disabled_overhead_vs_baseline"] = round(
+            warm_baseline / disabled - 1, 4
+        )
+    return finalize(RESULT_PATH, result, telemetry={"trace": trace_summary})
+
+
+def test_disabled_tracing_overhead():
+    result = run_benchmark()
+    if "disabled_overhead_vs_baseline" not in result:
+        pytest.skip("no committed BENCH_batch_lookup.json baseline")
+    assert result["disabled_overhead_vs_baseline"] <= GATE_THRESHOLD, result
+
+
+if __name__ == "__main__":
+    stats = run_benchmark()
+    print(json.dumps(stats, indent=2))
+    print(f"\nwrote {RESULT_PATH}")

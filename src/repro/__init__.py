@@ -14,7 +14,9 @@ in the subpackages:
 * :mod:`repro.memory` - arrays, device timing, banks, cache model;
 * :mod:`repro.apps.iplookup` / :mod:`repro.apps.trigram` - the two
   application studies;
-* :mod:`repro.experiments` - one runnable harness per table/figure.
+* :mod:`repro.experiments` - one runnable harness per table/figure;
+* :mod:`repro.telemetry` - structured tracing, metrics registry, phase
+  profiling, and snapshot diffing across the whole stack.
 """
 
 from repro.core import (

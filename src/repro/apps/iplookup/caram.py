@@ -19,7 +19,7 @@ the TCAM baseline.  For full-scale Table 2 analytics use
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
 from repro.apps.iplookup.designs import IpDesign
 from repro.apps.iplookup.prefix import ADDRESS_BITS, Prefix
@@ -27,6 +27,10 @@ from repro.core.config import SliceConfig
 from repro.core.record import Record, RecordFormat
 from repro.core.subsystem import SliceGroup
 from repro.hashing.bit_select import BitSelectHash
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.metrics import MetricsRegistry
+    from repro.telemetry.trace import Tracer
 
 
 def ip_record_format(next_hop_bits: int = 16) -> RecordFormat:
@@ -69,6 +73,8 @@ def build_ip_caram(
     prefixes: Iterable[Tuple[Prefix, int]],
     design: IpDesign,
     next_hop_bits: int = 16,
+    tracer: Optional["Tracer"] = None,
+    registry: Optional["MetricsRegistry"] = None,
 ) -> SliceGroup:
     """Build and load a behavioral CA-RAM for a routing table.
 
@@ -77,6 +83,11 @@ def build_ip_caram(
     the same memory image bit for bit as sequential inserts.  Raises
     :class:`~repro.errors.CapacityError` when the table does not fit the
     design (choose a larger design or scale the table down).
+
+    Pass a ``tracer`` to capture the build's structured events (the bulk
+    plan, the DMA burst, mirror installs) and everything the group does
+    afterwards; pass a ``registry`` to mount the group's live counters
+    under its ``ip-<design>`` name.
     """
     group = SliceGroup(
         config=ip_slice_config(design, next_hop_bits),
@@ -86,6 +97,10 @@ def build_ip_caram(
         slot_priority=prefix_priority,
         name=f"ip-{design.name}",
     )
+    if tracer is not None:
+        group.tracer = tracer
+    if registry is not None:
+        group.register_telemetry(registry)
     pairs = sorted(prefixes, key=lambda item: (-item[0].length, item[0].value))
     group.bulk_load(
         (prefix.to_ternary_key(), next_hop) for prefix, next_hop in pairs

@@ -11,7 +11,15 @@ analytics run through the vectorized :mod:`repro.apps.trigram.evaluate`.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -27,6 +35,10 @@ from repro.errors import KeyFormatError
 from repro.hashing.base import HashFunction
 from repro.hashing.djb import djb2_bytes, djb2_matrix
 from repro.memory.mirror import keys_to_words
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.metrics import MetricsRegistry
+    from repro.telemetry.trace import Tracer
 
 BytesLike = Union[bytes, bytearray, str]
 
@@ -175,12 +187,18 @@ def build_trigram_caram(
     entries: Iterable[Tuple[BytesLike, int]],
     design: TrigramDesign,
     probability_bits: int = 16,
+    tracer: Optional["Tracer"] = None,
+    registry: Optional["MetricsRegistry"] = None,
 ) -> SliceGroup:
     """Build and load a behavioral CA-RAM for a trigram database.
 
     Args:
         entries: (trigram string, probability payload) pairs.
         design: the target design (scale it down for behavioral runs).
+        tracer: optional structured-event tracer, attached before the load
+            so the bulk-build events are captured.
+        registry: optional metrics registry; the group's counters mount
+            under its ``trigram-<design>`` name.
     """
     group = SliceGroup(
         config=trigram_slice_config(design, probability_bits),
@@ -189,6 +207,10 @@ def build_trigram_caram(
         hash_function=PackedStringDJBHash(design.bucket_count),
         name=f"trigram-{design.name}",
     )
+    if tracer is not None:
+        group.tracer = tracer
+    if registry is not None:
+        group.register_telemetry(registry)
     pairs = list(entries)
     keys = StringKeyCodec.encode_batch([text for text, _ in pairs])
     group.bulk_load(zip(keys, (probability for _, probability in pairs)))

@@ -7,13 +7,16 @@ Usage::
     python -m repro run fig8 table3
     python -m repro run all
     python -m repro report          # regenerate EXPERIMENTS.md content
+    python -m repro telemetry run --json out.json --trace trace.jsonl
+    python -m repro telemetry diff baseline.json current.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments import (
     fig6,
@@ -67,6 +70,52 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser(
         "report", help="print the full paper-vs-measured report (markdown)"
     )
+
+    telemetry = commands.add_parser(
+        "telemetry",
+        help="run the instrumented synthetic workload or diff two reports",
+    )
+    telemetry_commands = telemetry.add_subparsers(
+        dest="telemetry_command", required=True
+    )
+    tel_run = telemetry_commands.add_parser(
+        "run",
+        help="drive a synthetic workload with tracing/metrics/profiling on",
+    )
+    tel_run.add_argument(
+        "--queries", type=int, default=10_000, help="lookup-stream length"
+    )
+    tel_run.add_argument(
+        "--index-bits", type=int, default=8, help="slice index bits (rows=2^b)"
+    )
+    tel_run.add_argument(
+        "--slots", type=int, default=16, help="record slots per bucket"
+    )
+    tel_run.add_argument(
+        "--seed", type=int, default=99, help="workload RNG seed"
+    )
+    tel_run.add_argument(
+        "--json", metavar="PATH", help="write the full report as JSON"
+    )
+    tel_run.add_argument(
+        "--trace", metavar="PATH", help="stream every trace event to a JSONL file"
+    )
+    tel_run.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable the event tracer (metrics/profiling still on)",
+    )
+    tel_diff = telemetry_commands.add_parser(
+        "diff", help="compare two telemetry/bench JSON reports"
+    )
+    tel_diff.add_argument("baseline", help="baseline report JSON")
+    tel_diff.add_argument("current", help="current report JSON")
+    tel_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="relative-change threshold (default 0.05)",
+    )
     return parser
 
 
@@ -99,7 +148,65 @@ def cmd_report() -> int:
     return 0
 
 
-def main(argv: Sequence[str] = None) -> int:
+def _print_telemetry_report(report_dict: Dict[str, object]) -> None:
+    workload = report_dict["workload"]
+    print("workload:")
+    for key, value in workload.items():
+        print(f"  {key}: {value}")
+    metrics = report_dict["metrics"]
+    search = metrics.get("stats", {}).get("slice.search", {})
+    if search:
+        print("search:")
+        for key in (
+            "lookups", "hit_rate", "amal",
+            "scalar_fallbacks", "probe_walk_keys",
+        ):
+            print(f"  {key}: {search.get(key)}")
+    phases = report_dict.get("phases") or {}
+    if phases:
+        print("phases:")
+        for phase, entry in phases.items():
+            print(
+                f"  {phase}: {entry['seconds'] * 1e3:.3f} ms"
+                f" ({entry['calls']} calls)"
+            )
+    trace = report_dict.get("trace")
+    if trace:
+        print("trace events:")
+        for kind, count in sorted(trace.items()):
+            print(f"  {kind}: {count}")
+
+
+def cmd_telemetry_run(args: argparse.Namespace) -> int:
+    from repro.telemetry.workload import run_synthetic_workload
+
+    report_dict = run_synthetic_workload(
+        index_bits=args.index_bits,
+        slots=args.slots,
+        queries=args.queries,
+        seed=args.seed,
+        trace=not args.no_trace,
+        trace_path=args.trace,
+    )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report_dict, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    _print_telemetry_report(report_dict)
+    return 0
+
+
+def cmd_telemetry_diff(args: argparse.Namespace) -> int:
+    from repro.telemetry.compare import main as compare_main
+
+    argv = [args.baseline, args.current]
+    if args.threshold is not None:
+        argv += ["--threshold", str(args.threshold)]
+    return compare_main(argv)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list()
@@ -107,6 +214,10 @@ def main(argv: Sequence[str] = None) -> int:
         return cmd_run(args.names)
     if args.command == "report":
         return cmd_report()
+    if args.command == "telemetry":
+        if args.telemetry_command == "run":
+            return cmd_telemetry_run(args)
+        return cmd_telemetry_diff(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

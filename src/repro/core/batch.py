@@ -46,6 +46,7 @@ from repro.core.match import priority_encode_batch
 from repro.core.probing import ProbingPolicy
 from repro.core.stats import SearchStats
 from repro.memory.mirror import DecodedMirror, keys_to_words, words_for_bits
+from repro.telemetry.profiling import profile
 from repro.utils.bits import mask_of
 
 #: Upper bound on keys processed per vectorized chunk.
@@ -129,15 +130,26 @@ class BatchSearchEngine:
                 slots_per_bucket, words_for_bits(key_bits)
             )
         self._chunk_size = max(1, chunk_size)
-        #: Cumulative count of keys routed through the scalar ``search``
-        #: (multi-home ternary keys only).
-        self.scalar_fallbacks = 0
-        #: Cumulative count of keys resolved by the vectorized probe walk.
-        self.probe_walk_keys = 0
 
     @property
     def chunk_size(self) -> int:
         return self._chunk_size
+
+    # The engine-path counters are first-class ``SearchStats`` fields (so
+    # subsystem-level ``merge()`` aggregation keeps them); these properties
+    # preserve the original engine-attribute spelling.
+
+    @property
+    def scalar_fallbacks(self) -> int:
+        """Keys routed through the scalar ``search`` (multi-home ternary
+        keys only), as accounted in the engine's ``SearchStats``."""
+        return self._stats.scalar_fallbacks
+
+    @property
+    def probe_walk_keys(self) -> int:
+        """Keys resolved by the vectorized probe walk, as accounted in the
+        engine's ``SearchStats``."""
+        return self._stats.probe_walk_keys
 
     def search(self, keys: Sequence[KeyInput], search_mask: int = 0) -> List:
         """Look up every key; returns one ``SearchResult`` per key, in order."""
@@ -153,38 +165,41 @@ class BatchSearchEngine:
             return []
 
         # ------------------------------------------------------------------
-        # Stage 0: normalize keys to (value, mask) pairs.
+        # Stages 0/1: normalize keys to (value, mask) pairs, then hash the
+        # whole array at once.
         # ------------------------------------------------------------------
-        values: List[int] = [0] * total
-        masks: Optional[List[int]] = None
-        for i, key in enumerate(keys):
-            if isinstance(key, TernaryKey):
-                if key.width != self._key_bits:
-                    raise KeyFormatError(
-                        f"search width {key.width} != stored width "
-                        f"{self._key_bits}"
-                    )
-                values[i] = key.value
-                merged = key.mask | search_mask
-                if merged:
-                    if masks is None:
-                        masks = [search_mask] * total
-                    masks[i] = merged
-            else:
-                values[i] = int(key)
-        if masks is None and search_mask:
-            masks = [search_mask] * total
+        with profile("batch.index"):
+            values: List[int] = [0] * total
+            masks: Optional[List[int]] = None
+            for i, key in enumerate(keys):
+                if isinstance(key, TernaryKey):
+                    if key.width != self._key_bits:
+                        raise KeyFormatError(
+                            f"search width {key.width} != stored width "
+                            f"{self._key_bits}"
+                        )
+                    values[i] = key.value
+                    merged = key.mask | search_mask
+                    if merged:
+                        if masks is None:
+                            masks = [search_mask] * total
+                        masks[i] = merged
+                else:
+                    values[i] = int(key)
+            if masks is None and search_mask:
+                masks = [search_mask] * total
 
-        words = keys_to_words(values, self._key_bits)
-        mask_words = (
-            keys_to_words(masks, self._key_bits) if masks is not None else None
-        )
-
-        # ------------------------------------------------------------------
-        # Stage 1: vectorized index generation.
-        # ------------------------------------------------------------------
-        mirror = self._mirror_provider()
-        homes, needs_scalar = self._index.indices_batch(values, masks, words)
+            words = keys_to_words(values, self._key_bits)
+            mask_words = (
+                keys_to_words(masks, self._key_bits)
+                if masks is not None
+                else None
+            )
+            homes, needs_scalar = self._index.indices_batch(
+                values, masks, words
+            )
+        with profile("batch.mirror_sync"):
+            mirror = self._mirror_provider()
 
         results: List[Optional[SearchResult]] = [None] * total
         scalar_keys: List[int] = np.flatnonzero(needs_scalar).tolist()
@@ -196,82 +211,92 @@ class BatchSearchEngine:
         # Stage 2: home-row matching, chunked to bound peak memory.
         # ------------------------------------------------------------------
         for start in range(0, vectorized.size, self._chunk_size):
-            chunk = vectorized[start : start + self._chunk_size]
-            chunk_homes = homes[chunk]
-            match = mirror.match_rows(
-                chunk_homes,
-                words[chunk],
-                mask_words[chunk] if mask_words is not None else None,
-            )
-            hit, slot, passes, multiple = priority_encode_batch(
-                match, self._processors
-            )
-            # Every chunk key fetched its home bucket — the probe walk only
-            # adds the extension accesses on top.
-            self._stats.record_match_passes(int(passes.sum()))
-            if self._access_sink is not None:
-                self._access_sink(chunk_homes)
-            # Stage 3 trigger: a home miss with nonzero reach means records
-            # may have spilled along the probe sequence.
-            probe_needed = ~hit & (mirror.reach[chunk_homes] > 0)
-            resolved = ~probe_needed
-            resolved_count = int(resolved.sum())
-            if resolved_count:
-                self._stats.record_lookup_batch(resolved_count, int(hit.sum()))
-
-            hit_positions = np.flatnonzero(hit)
-            if hit_positions.size:
-                for out_i, row_i, slot_i, multi in zip(
-                    chunk[hit_positions].tolist(),
-                    chunk_homes[hit_positions].tolist(),
-                    slot[hit_positions].tolist(),
-                    multiple[hit_positions].tolist(),
-                ):
-                    results[out_i] = SearchResult(
-                        hit=True,
-                        record=records[row_i, slot_i],
-                        row=row_i,
-                        slot=slot_i,
-                        bucket_accesses=1,
-                        multiple_matches=multi,
-                    )
-            miss_positions = np.flatnonzero(resolved & ~hit)
-            if miss_positions.size:
-                if shared_miss is None:
-                    # Plain misses are identical immutable values; one
-                    # instance serves the whole batch.
-                    shared_miss = SearchResult(
-                        hit=False,
-                        record=None,
-                        row=None,
-                        slot=None,
-                        bucket_accesses=1,
-                    )
-                for out_i in chunk[miss_positions].tolist():
-                    results[out_i] = shared_miss
-
-            # ----------------------------------------------------------
-            # Stage 3: vectorized probe walk over this chunk's spills.
-            # ----------------------------------------------------------
-            pending = chunk[np.flatnonzero(probe_needed)]
-            if pending.size:
-                self._probe_walk(
-                    mirror,
-                    SearchResult,
-                    results,
-                    pending,
-                    homes[pending],
-                    words[pending],
-                    mask_words[pending] if mask_words is not None else None,
-                    values,
+            with profile("batch.home_match"):
+                chunk = vectorized[start : start + self._chunk_size]
+                chunk_homes = homes[chunk]
+                match = mirror.match_rows(
+                    chunk_homes,
+                    words[chunk],
+                    mask_words[chunk] if mask_words is not None else None,
                 )
+                hit, slot, passes, multiple = priority_encode_batch(
+                    match, self._processors
+                )
+                # Every chunk key fetched its home bucket — the probe walk
+                # only adds the extension accesses on top.
+                self._stats.record_match_passes(int(passes.sum()))
+                if self._access_sink is not None:
+                    self._access_sink(chunk_homes)
+                # Stage 3 trigger: a home miss with nonzero reach means
+                # records may have spilled along the probe sequence.
+                probe_needed = ~hit & (mirror.reach[chunk_homes] > 0)
+                resolved = ~probe_needed
+                resolved_count = int(resolved.sum())
+                if resolved_count:
+                    self._stats.record_lookup_batch(
+                        resolved_count, int(hit.sum())
+                    )
+
+                hit_positions = np.flatnonzero(hit)
+                if hit_positions.size:
+                    for out_i, row_i, slot_i, multi in zip(
+                        chunk[hit_positions].tolist(),
+                        chunk_homes[hit_positions].tolist(),
+                        slot[hit_positions].tolist(),
+                        multiple[hit_positions].tolist(),
+                    ):
+                        results[out_i] = SearchResult(
+                            hit=True,
+                            record=records[row_i, slot_i],
+                            row=row_i,
+                            slot=slot_i,
+                            bucket_accesses=1,
+                            multiple_matches=multi,
+                        )
+                miss_positions = np.flatnonzero(resolved & ~hit)
+                if miss_positions.size:
+                    if shared_miss is None:
+                        # Plain misses are identical immutable values; one
+                        # instance serves the whole batch.
+                        shared_miss = SearchResult(
+                            hit=False,
+                            record=None,
+                            row=None,
+                            slot=None,
+                            bucket_accesses=1,
+                        )
+                    for out_i in chunk[miss_positions].tolist():
+                        results[out_i] = shared_miss
+
+                # ------------------------------------------------------
+                # Stage 3: vectorized probe walk over this chunk's spills.
+                # ------------------------------------------------------
+                pending = chunk[np.flatnonzero(probe_needed)]
+            if pending.size:
+                with profile("batch.probe_walk"):
+                    self._probe_walk(
+                        mirror,
+                        SearchResult,
+                        results,
+                        pending,
+                        homes[pending],
+                        words[pending],
+                        mask_words[pending]
+                        if mask_words is not None
+                        else None,
+                        values,
+                    )
 
         # ------------------------------------------------------------------
         # Scalar fallback: only multi-home ternary keys remain.
         # ------------------------------------------------------------------
-        self.scalar_fallbacks += len(scalar_keys)
-        for out_i in scalar_keys:
-            results[out_i] = self._scalar_search(keys[out_i], search_mask)
+        if scalar_keys:
+            self._stats.record_scalar_fallbacks(len(scalar_keys))
+            with profile("batch.scalar_fallback"):
+                for out_i in scalar_keys:
+                    results[out_i] = self._scalar_search(
+                        keys[out_i], search_mask
+                    )
         return results
 
     def _probe_walk(
@@ -298,7 +323,8 @@ class BatchSearchEngine:
         generic_probe = (
             type(self._probing).probe_batch is ProbingPolicy.probe_batch
         )
-        self.probe_walk_keys += int(key_idx.size)
+        self._stats.record_probe_walk(int(key_idx.size))
+        tracer = self._stats.tracer
         alive = np.arange(key_idx.size)
         attempt = 0
         miss_cache = {}
@@ -314,6 +340,10 @@ class BatchSearchEngine:
                 )
             else:
                 rows = self._probing.probe_batch(homes_alive, attempt, buckets)
+            if tracer is not None:
+                tracer.emit(
+                    "probe_step", attempt=attempt, keys=int(alive.size)
+                )
             match = mirror.match_rows(
                 rows,
                 query_words[alive],

@@ -30,7 +30,15 @@ insertion for other policies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 import numpy as np
 
@@ -45,6 +53,10 @@ from repro.memory.mirror import (
     words_for_bits,
     words_to_bits,
 )
+from repro.telemetry.profiling import profile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.trace import Tracer
 
 #: Rows encoded per chunk of the word-packing pass — bounds the peak
 #: ``(chunk, row_bits)`` bit matrix to a few MB even for the trigram
@@ -68,6 +80,10 @@ class BulkPlan:
     copy_bucket: np.ndarray               # (copies,) final bucket per copy
     copy_slot: np.ndarray                 # (copies,) slot within the bucket
     reach: np.ndarray                     # (bucket_count,) aux-field image
+    #: Copies displaced off their home bucket by the FCFS spill model.
+    spilled_copies: int = 0
+    #: Largest probe-sequence displacement any copy needed.
+    max_displacement: int = 0
 
     @property
     def record_count(self) -> int:
@@ -76,6 +92,23 @@ class BulkPlan:
     @property
     def copy_count(self) -> int:
         return int(self.copy_bucket.size)
+
+    @property
+    def spill_rate(self) -> float:
+        """Fraction of stored copies that landed off their home bucket."""
+        copies = self.copy_count
+        return self.spilled_copies / copies if copies else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Planner totals as a telemetry provider payload."""
+        return {
+            "record_count": self.record_count,
+            "copy_count": self.copy_count,
+            "spilled_copies": self.spilled_copies,
+            "spill_rate": self.spill_rate,
+            "max_displacement": self.max_displacement,
+            "max_reach": int(self.reach.max()) if self.reach.size else 0,
+        }
 
 
 @dataclass
@@ -99,12 +132,15 @@ def plan_bulk_build(
     slots_per_bucket: int,
     reach_limit: int,
     slot_priority: Optional[Callable[[Record], float]] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> BulkPlan:
     """Resolve the final placement of a record set without writing rows.
 
     Raises :class:`~repro.errors.CapacityError` before any mutation when a
     copy would need a displacement beyond ``reach_limit`` — the condition
-    under which sequential insertion would have failed mid-build.
+    under which sequential insertion would have failed mid-build.  With a
+    ``tracer``, one ``bulk_plan`` event carrying the placement totals is
+    emitted once the plan resolves.
     """
     records: List[Record] = []
     values: List[int] = []
@@ -181,7 +217,11 @@ def plan_bulk_build(
     copy_slot = np.empty(copies, dtype=np.int64)
     copy_slot[order] = arrival - first_of_run
 
-    return BulkPlan(
+    spilled = int((sim.displacements > 0).sum())
+    max_displacement = (
+        int(sim.displacements.max()) if sim.displacements.size else 0
+    )
+    plan = BulkPlan(
         records=records,
         key_words=key_words,
         mask_words=mask_words,
@@ -189,7 +229,18 @@ def plan_bulk_build(
         copy_bucket=sim.placed_bucket,
         copy_slot=copy_slot,
         reach=sim.reach,
+        spilled_copies=spilled,
+        max_displacement=max_displacement,
     )
+    if tracer is not None:
+        tracer.emit(
+            "bulk_plan",
+            records=plan.record_count,
+            copies=plan.copy_count,
+            spilled=spilled,
+            max_displacement=max_displacement,
+        )
+    return plan
 
 
 def encode_slot_bits(plan: BulkPlan, record_format: RecordFormat) -> np.ndarray:
@@ -268,6 +319,7 @@ def build_bulk_image(
     slice_count: int = 1,
     rows_per_slice: Optional[int] = None,
     horizontal: bool = False,
+    tracer: Optional["Tracer"] = None,
 ) -> BulkImage:
     """Plan and encode a whole database build in one vectorized pass.
 
@@ -277,65 +329,69 @@ def build_bulk_image(
             case with ``slice_count=1``.  Horizontal groups carry the aux
             (reach) field in slice 0's rows only, matching the scalar
             ``_write_occupants`` convention.
+        tracer: optional structured-event tracer (the ``bulk_plan`` event).
     """
     if rows_per_slice is None:
         rows_per_slice = bucket_count
-    plan = plan_bulk_build(
-        pairs,
-        record_format,
-        index_generator,
-        bucket_count,
-        slots_per_bucket,
-        reach_limit,
-        slot_priority,
-    )
-    slot_bits = encode_slot_bits(plan, record_format)
-
-    slots_per_slice = layout.slots_per_bucket
-    if horizontal:
-        array_id = plan.copy_slot // slots_per_slice
-        phys_row = plan.copy_bucket
-        phys_slot = plan.copy_slot % slots_per_slice
-    else:
-        array_id = plan.copy_bucket // rows_per_slice
-        phys_row = plan.copy_bucket % rows_per_slice
-        phys_slot = plan.copy_slot
-
-    array_rows: List[List[int]] = []
-    for s in range(slice_count):
-        if horizontal:
-            aux_values = plan.reach if s == 0 else None
-        else:
-            aux_values = plan.reach[
-                s * rows_per_slice : (s + 1) * rows_per_slice
-            ]
-        selected = array_id == s
-        array_rows.append(
-            _encode_array_rows(
-                rows_per_slice,
-                layout,
-                aux_values,
-                phys_row[selected],
-                phys_slot[selected],
-                slot_bits[selected],
-            )
+    with profile("bulk.plan"):
+        plan = plan_bulk_build(
+            pairs,
+            record_format,
+            index_generator,
+            bucket_count,
+            slots_per_bucket,
+            reach_limit,
+            slot_priority,
+            tracer,
         )
+    with profile("bulk.encode"):
+        slot_bits = encode_slot_bits(plan, record_format)
 
-    word_count = words_for_bits(record_format.key_bits)
-    valid = np.zeros((bucket_count, slots_per_bucket), dtype=bool)
-    key_words = np.zeros(
-        (bucket_count, slots_per_bucket, word_count), dtype=np.uint64
-    )
-    mask_words = np.zeros_like(key_words)
-    records_grid = np.empty((bucket_count, slots_per_bucket), dtype=object)
-    b, s = plan.copy_bucket, plan.copy_slot
-    valid[b, s] = True
-    key_words[b, s] = plan.key_words[plan.copy_record]
-    if plan.mask_words is not None:
-        mask_words[b, s] = plan.mask_words[plan.copy_record]
-    record_column = np.empty(len(plan.records), dtype=object)
-    record_column[:] = plan.records
-    records_grid[b, s] = record_column[plan.copy_record]
+        slots_per_slice = layout.slots_per_bucket
+        if horizontal:
+            array_id = plan.copy_slot // slots_per_slice
+            phys_row = plan.copy_bucket
+            phys_slot = plan.copy_slot % slots_per_slice
+        else:
+            array_id = plan.copy_bucket // rows_per_slice
+            phys_row = plan.copy_bucket % rows_per_slice
+            phys_slot = plan.copy_slot
+
+        array_rows: List[List[int]] = []
+        for s in range(slice_count):
+            if horizontal:
+                aux_values = plan.reach if s == 0 else None
+            else:
+                aux_values = plan.reach[
+                    s * rows_per_slice : (s + 1) * rows_per_slice
+                ]
+            selected = array_id == s
+            array_rows.append(
+                _encode_array_rows(
+                    rows_per_slice,
+                    layout,
+                    aux_values,
+                    phys_row[selected],
+                    phys_slot[selected],
+                    slot_bits[selected],
+                )
+            )
+
+        word_count = words_for_bits(record_format.key_bits)
+        valid = np.zeros((bucket_count, slots_per_bucket), dtype=bool)
+        key_words = np.zeros(
+            (bucket_count, slots_per_bucket, word_count), dtype=np.uint64
+        )
+        mask_words = np.zeros_like(key_words)
+        records_grid = np.empty((bucket_count, slots_per_bucket), dtype=object)
+        b, s = plan.copy_bucket, plan.copy_slot
+        valid[b, s] = True
+        key_words[b, s] = plan.key_words[plan.copy_record]
+        if plan.mask_words is not None:
+            mask_words[b, s] = plan.mask_words[plan.copy_record]
+        record_column = np.empty(len(plan.records), dtype=object)
+        record_column[:] = plan.records
+        records_grid[b, s] = record_column[plan.copy_record]
 
     return BulkImage(
         plan=plan,

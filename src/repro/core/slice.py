@@ -47,10 +47,14 @@ from repro.core.probing import LinearProbing, ProbingPolicy
 from repro.core.record import Record
 from repro.core.stats import SearchStats
 from repro.memory.array import MemoryArray
+from repro.telemetry.profiling import profile
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.batch import BatchSearchEngine
+    from repro.core.bulk import BulkPlan
     from repro.memory.mirror import DecodedMirror
+    from repro.telemetry.metrics import MetricsRegistry
+    from repro.telemetry.trace import Tracer
 
 
 @dataclass(frozen=True)
@@ -121,6 +125,7 @@ class CARAMSlice:
         self._record_count = 0
         self._mirror: Optional["DecodedMirror"] = None
         self._batch_engine: Optional["BatchSearchEngine"] = None
+        self._last_bulk_plan: Optional["BulkPlan"] = None
         self._batch_chunk_size = batch_chunk_size
         self.account_reads = account_reads
         self.stats = SearchStats()
@@ -145,6 +150,56 @@ class CARAMSlice:
     def record_count(self) -> int:
         """Stored record copies (duplicated ternary keys count per copy)."""
         return self._record_count
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    @property
+    def tracer(self) -> Optional["Tracer"]:
+        """The structured-event tracer, or None (tracing disabled)."""
+        return self.stats.tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Optional["Tracer"]) -> None:
+        """Attach (or detach, with None) one tracer to the whole slice:
+        the search statistics, the memory array, and — through the stats —
+        the batch engine all emit into it."""
+        self.stats.tracer = tracer
+        self._memory.tracer = tracer
+
+    def register_telemetry(
+        self, registry: "MetricsRegistry", prefix: str = "slice"
+    ) -> None:
+        """Mount this slice's counters into a metrics registry.
+
+        Registers the search statistics, the physical array counters, and
+        a live occupancy provider under ``prefix``; each ``snapshot()``
+        re-reads them, so one registration covers the whole run.
+        """
+        registry.register_provider(f"{prefix}.search", self.stats)
+        registry.register_provider(f"{prefix}.memory", self._memory.stats)
+        registry.register_provider(
+            f"{prefix}.occupancy",
+            lambda: {
+                "record_count": self._record_count,
+                "load_factor": self.load_factor,
+                "capacity_records": self._config.capacity_records,
+            },
+        )
+        registry.register_provider(
+            f"{prefix}.bulk",
+            lambda: (
+                self._last_bulk_plan.as_dict()
+                if self._last_bulk_plan is not None
+                else {}
+            ),
+        )
+
+    @property
+    def last_bulk_plan(self) -> Optional["BulkPlan"]:
+        """Planner totals from the most recent fast-path :meth:`bulk_load`."""
+        return self._last_bulk_plan
 
     @property
     def load_factor(self) -> float:
@@ -271,6 +326,10 @@ class CARAMSlice:
                 row = self._probing.probe(
                     home, attempt, self._config.rows, search_value
                 )
+                if self.stats.tracer is not None:
+                    self.stats.tracer.emit(
+                        "probe_step", attempt=attempt, row=row, keys=1
+                    )
                 result, _ = self._fetch_and_match(row, search_value, search_mask)
                 accesses += 1
                 if result.hit:
@@ -408,22 +467,25 @@ class CARAMSlice:
             slice_count=1,
             rows_per_slice=self._config.rows,
             horizontal=False,
+            tracer=self.stats.tracer,
         )
-        self.dma_load(
-            image.array_rows[0], record_count=image.plan.copy_count
-        )
-        self.stats.record_insert_batch(
-            image.plan.record_count, image.plan.copy_count
-        )
-        if self._mirror is None:
-            self._mirror = DecodedMirror([self._memory], self._layout)
-        self._mirror.install(
-            image.mirror_valid,
-            image.mirror_key_words,
-            image.mirror_mask_words,
-            image.mirror_reach,
-            image.mirror_records,
-        )
+        self._last_bulk_plan = image.plan
+        with profile("bulk.install"):
+            self.dma_load(
+                image.array_rows[0], record_count=image.plan.copy_count
+            )
+            self.stats.record_insert_batch(
+                image.plan.record_count, image.plan.copy_count
+            )
+            if self._mirror is None:
+                self._mirror = DecodedMirror([self._memory], self._layout)
+            self._mirror.install(
+                image.mirror_valid,
+                image.mirror_key_words,
+                image.mirror_mask_words,
+                image.mirror_reach,
+                image.mirror_records,
+            )
         return image.plan.copy_count
 
     def _place_copy(self, home: int, record: Record) -> None:
@@ -436,6 +498,10 @@ class CARAMSlice:
             slot = self._insert_into_bucket(row, record)
             if slot is not None:
                 if attempt > 0:
+                    if self.stats.tracer is not None:
+                        self.stats.tracer.emit(
+                            "spill", home=home, attempt=attempt
+                        )
                     self._raise_reach(home, attempt)
                 self._record_count += 1
                 return

@@ -4,12 +4,30 @@ The paper's main metric is AMAL — "the average number of memory accesses per
 lookup" (Section 4.1).  :class:`SearchStats` accumulates per-lookup bucket
 access counts and exposes AMAL, hit rate, and the access-count histogram
 (the data behind the latency discussion of Section 3.4).
+
+Every mutator doubles as a telemetry source: when a
+:class:`~repro.telemetry.trace.Tracer` is attached (``stats.tracer = t``),
+each ``record_*`` call emits one typed event carrying exactly its
+arguments, so a trace replays to bit-identical counters
+(:func:`~repro.telemetry.trace.replay_search_stats`).  With no tracer
+attached — the default — the hooks cost a single ``is None`` check.
+
+Two counters are *engine-path* bookkeeping rather than lookup semantics:
+``scalar_fallbacks`` (keys the batch engine routed through the scalar
+search) and ``probe_walk_keys`` (keys resolved by the vectorized probe
+walk).  They merge and reset with the rest but are **excluded from
+equality**, because scalar/batch differential parity is defined over what
+the lookups did, not over which engine did it.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.trace import Tracer
 
 
 @dataclass
@@ -24,6 +42,14 @@ class SearchStats:
     inserts: int = 0
     deletes: int = 0
     insert_probe_total: int = 0
+    #: Batch-engine path counters (see module docstring): merged/reset with
+    #: the rest, excluded from equality.
+    scalar_fallbacks: int = field(default=0, compare=False)
+    probe_walk_keys: int = field(default=0, compare=False)
+    #: Optional structured-event tracer; never part of equality or merges.
+    tracer: Optional["Tracer"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def record_lookup(self, accesses: int, hit: bool) -> None:
         """Account one search that touched ``accesses`` buckets."""
@@ -32,20 +58,28 @@ class SearchStats:
         self.access_histogram[accesses] += 1
         if hit:
             self.hits += 1
+        if self.tracer is not None:
+            self.tracer.emit("lookup", accesses=accesses, hit=bool(hit))
 
     def record_match_passes(self, passes: int) -> None:
         """Account pipelined matching steps (P < S configurations)."""
         self.total_match_passes += passes
+        if self.tracer is not None:
+            self.tracer.emit("match_pass", passes=passes)
 
     def record_lookup_batch(
         self, count: int, hits: int, accesses_per_lookup: int = 1
     ) -> None:
-        """Account ``count`` lookups that each touched the same number of
-        buckets — the bulk entry point of the vectorized batch path, which
-        resolves whole key arrays against their home buckets at once.
+        """Account ``count`` lookups that each touched the **same** number
+        of buckets — the bulk entry point of the vectorized batch path for
+        one resolved attempt level, where every key in the batch performed
+        ``accesses_per_lookup`` accesses.
 
         Equivalent to ``count`` calls to :meth:`record_lookup` with
-        ``accesses_per_lookup`` accesses, ``hits`` of them hitting.
+        ``accesses_per_lookup`` accesses, ``hits`` of them hitting.  When
+        per-lookup access counts differ, use
+        :meth:`record_lookup_batch_varied`, which keeps the histogram
+        exact.
         """
         if count <= 0:
             return
@@ -53,6 +87,53 @@ class SearchStats:
         self.hits += hits
         self.total_bucket_accesses += count * accesses_per_lookup
         self.access_histogram[accesses_per_lookup] += count
+        if self.tracer is not None:
+            self.tracer.emit(
+                "lookup_batch",
+                count=count,
+                hits=hits,
+                accesses=accesses_per_lookup,
+            )
+
+    def record_lookup_batch_varied(
+        self,
+        accesses: Sequence[int],
+        hits: Union[int, Sequence[bool]],
+    ) -> None:
+        """Account a batch whose lookups touched *differing* bucket counts.
+
+        Args:
+            accesses: per-lookup bucket-access counts (any int sequence or
+                array), one entry per lookup.
+            hits: either the total hit count, or a per-lookup hit flag
+                sequence of the same length as ``accesses``.
+
+        Equivalent to ``len(accesses)`` calls to :meth:`record_lookup` —
+        including the exact per-count access histogram, which
+        :meth:`record_lookup_batch` cannot represent when attempts differ.
+        """
+        counts = Counter(int(a) for a in accesses)
+        n = sum(counts.values())
+        if not n:
+            return
+        if not isinstance(hits, int):
+            hits = sum(1 for h in hits if h)
+        if not 0 <= hits <= n:
+            raise ValueError(
+                f"hit count {hits} outside [0, {n}] for a {n}-lookup batch"
+            )
+        self.lookups += n
+        self.hits += hits
+        self.total_bucket_accesses += sum(
+            count * times for count, times in counts.items()
+        )
+        self.access_histogram.update(counts)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "lookup_batch_varied",
+                histogram={str(k): v for k, v in sorted(counts.items())},
+                hits=hits,
+            )
 
     @property
     def average_match_passes(self) -> float:
@@ -65,6 +146,8 @@ class SearchStats:
         """Account one insert that probed ``probes`` buckets."""
         self.inserts += 1
         self.insert_probe_total += probes
+        if self.tracer is not None:
+            self.tracer.emit("insert", probes=probes)
 
     def record_insert_batch(self, count: int, probes: int) -> None:
         """Account ``count`` inserts that probed ``probes`` buckets in total.
@@ -76,9 +159,29 @@ class SearchStats:
             return
         self.inserts += count
         self.insert_probe_total += probes
+        if self.tracer is not None:
+            self.tracer.emit("insert_batch", count=count, probes=probes)
 
     def record_delete(self) -> None:
         self.deletes += 1
+        if self.tracer is not None:
+            self.tracer.emit("delete")
+
+    def record_scalar_fallbacks(self, count: int) -> None:
+        """Account batch-path keys that fell back to the scalar search."""
+        if count <= 0:
+            return
+        self.scalar_fallbacks += count
+        if self.tracer is not None:
+            self.tracer.emit("scalar_fallback", count=count)
+
+    def record_probe_walk(self, keys: int) -> None:
+        """Account keys resolved by the vectorized probe walk."""
+        if keys <= 0:
+            return
+        self.probe_walk_keys += keys
+        if self.tracer is not None:
+            self.tracer.emit("probe_walk", keys=keys)
 
     @property
     def misses(self) -> int:
@@ -111,6 +214,8 @@ class SearchStats:
         self.inserts += other.inserts
         self.deletes += other.deletes
         self.insert_probe_total += other.insert_probe_total
+        self.scalar_fallbacks += other.scalar_fallbacks
+        self.probe_walk_keys += other.probe_walk_keys
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -122,6 +227,35 @@ class SearchStats:
         self.inserts = 0
         self.deletes = 0
         self.insert_probe_total = 0
+        self.scalar_fallbacks = 0
+        self.probe_walk_keys = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Structured export: raw counters plus the derived paper metrics.
+
+        The access histogram keys become strings so the dict is directly
+        JSON-serializable (the provider contract of
+        :class:`~repro.telemetry.metrics.MetricsRegistry`).
+        """
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "total_bucket_accesses": self.total_bucket_accesses,
+            "amal": self.amal,
+            "total_match_passes": self.total_match_passes,
+            "average_match_passes": self.average_match_passes,
+            "access_histogram": {
+                str(k): v for k, v in sorted(self.access_histogram.items())
+            },
+            "inserts": self.inserts,
+            "insert_probe_total": self.insert_probe_total,
+            "average_insert_probes": self.average_insert_probes,
+            "deletes": self.deletes,
+            "scalar_fallbacks": self.scalar_fallbacks,
+            "probe_walk_keys": self.probe_walk_keys,
+        }
 
 
 __all__ = ["SearchStats"]

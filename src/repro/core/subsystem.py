@@ -47,12 +47,16 @@ from repro.core.slice import SearchResult
 from repro.core.stats import SearchStats
 from repro.hashing.base import HashFunction
 from repro.memory.array import MemoryArray
+from repro.telemetry.profiling import profile
 
 from typing import Callable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.batch import BatchSearchEngine
+    from repro.core.bulk import BulkPlan
     from repro.memory.mirror import DecodedMirror
+    from repro.telemetry.metrics import MetricsRegistry
+    from repro.telemetry.trace import Tracer
 
 
 class OverflowStore(Protocol):
@@ -119,10 +123,67 @@ class SliceGroup:
         self._record_count = 0
         self._mirror: Optional["DecodedMirror"] = None
         self._batch_engine: Optional["BatchSearchEngine"] = None
+        self._last_bulk_plan: Optional["BulkPlan"] = None
         self._batch_chunk_size = batch_chunk_size
         self.account_reads = account_reads
         self.stats = SearchStats()
         self.physical_row_fetches = 0
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    @property
+    def tracer(self) -> Optional["Tracer"]:
+        """The attached structured-event tracer (None = tracing off)."""
+        return self.stats.tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Optional["Tracer"]) -> None:
+        """Attach one tracer to the stats and every physical array."""
+        self.stats.tracer = tracer
+        for array in self._arrays:
+            array.tracer = tracer
+
+    def register_telemetry(
+        self, registry: "MetricsRegistry", prefix: Optional[str] = None
+    ) -> None:
+        """Publish this group's live counters into a metrics registry.
+
+        Registers the search stats, each slice's physical array counters,
+        and an occupancy/topology summary under ``{prefix}.*`` (the prefix
+        defaults to the group name).  Providers are read lazily at
+        ``snapshot()`` time, so registration costs nothing per lookup.
+        """
+        if prefix is None:
+            prefix = self.name
+        registry.register_provider(f"{prefix}.search", self.stats)
+        for i, array in enumerate(self._arrays):
+            registry.register_provider(f"{prefix}.slice{i}.memory", array.stats)
+        registry.register_provider(
+            f"{prefix}.occupancy",
+            lambda: {
+                "record_count": self.record_count,
+                "load_factor": self.load_factor,
+                "capacity_records": self.capacity_records,
+                "slice_count": self.slice_count,
+                "arrangement": self.arrangement.name.lower(),
+                "physical_row_fetches": self.physical_row_fetches,
+            },
+        )
+        registry.register_provider(
+            f"{prefix}.bulk",
+            lambda: (
+                self._last_bulk_plan.as_dict()
+                if self._last_bulk_plan is not None
+                else {}
+            ),
+        )
+
+    @property
+    def last_bulk_plan(self) -> Optional["BulkPlan"]:
+        """Planner totals from the most recent fast-path :meth:`bulk_load`."""
+        return self._last_bulk_plan
 
     # ------------------------------------------------------------------
     # Geometry
@@ -265,6 +326,10 @@ class SliceGroup:
                 bucket = self._probing.probe(
                     home, attempt, self.bucket_count, search_value
                 )
+                if self.stats.tracer is not None:
+                    self.stats.tracer.emit(
+                        "probe_step", attempt=attempt, row=bucket, keys=1
+                    )
                 candidates, _ = self._read_bucket(bucket)
                 accesses += 1
                 result, passes = self._matcher.match_pipelined(
@@ -418,22 +483,27 @@ class SliceGroup:
             slice_count=self._count,
             rows_per_slice=self._config.rows,
             horizontal=horizontal,
+            tracer=self.stats.tracer,
         )
-        self.dma_load(image.array_rows, record_count=image.plan.copy_count)
-        self.stats.record_insert_batch(
-            image.plan.record_count, image.plan.copy_count
-        )
-        if self._mirror is None:
-            self._mirror = DecodedMirror(
-                self._arrays, self._layout, horizontal=horizontal
+        self._last_bulk_plan = image.plan
+        with profile("bulk.install"):
+            self.dma_load(
+                image.array_rows, record_count=image.plan.copy_count
             )
-        self._mirror.install(
-            image.mirror_valid,
-            image.mirror_key_words,
-            image.mirror_mask_words,
-            image.mirror_reach,
-            image.mirror_records,
-        )
+            self.stats.record_insert_batch(
+                image.plan.record_count, image.plan.copy_count
+            )
+            if self._mirror is None:
+                self._mirror = DecodedMirror(
+                    self._arrays, self._layout, horizontal=horizontal
+                )
+            self._mirror.install(
+                image.mirror_valid,
+                image.mirror_key_words,
+                image.mirror_mask_words,
+                image.mirror_reach,
+                image.mirror_records,
+            )
         return image.plan.copy_count
 
     def dma_load(
@@ -490,6 +560,10 @@ class SliceGroup:
             )
             if self._try_place(bucket, record):
                 if attempt > 0:
+                    if self.stats.tracer is not None:
+                        self.stats.tracer.emit(
+                            "spill", home=home, attempt=attempt
+                        )
                     self._raise_reach(home, attempt)
                 self._record_count += 1
                 return
@@ -817,6 +891,25 @@ class CARAMSubsystem:
         for group in self._groups.values():
             total.merge(group.stats)
         return total
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def set_tracer(self, tracer: Optional["Tracer"]) -> None:
+        """Attach one tracer to every group (stats + physical arrays)."""
+        for group in self._groups.values():
+            group.tracer = tracer
+
+    def register_telemetry(
+        self, registry: "MetricsRegistry", prefix: str = "subsystem"
+    ) -> None:
+        """Publish every group's counters plus the aggregate view."""
+        for name, group in self._groups.items():
+            group.register_telemetry(registry, prefix=f"{prefix}.{name}")
+        registry.register_provider(
+            f"{prefix}.total", lambda: self.total_stats().as_dict()
+        )
 
 
 __all__ = ["SliceGroup", "CARAMSubsystem", "PortConfig", "OverflowStore"]

@@ -15,12 +15,15 @@ in calling code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.errors import ConfigurationError, RamModeError
 from repro.memory.timing import MemoryTiming, SRAM_TIMING
 from repro.utils.bits import extract_bits, mask_of
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.trace import Tracer
 
 
 @dataclass
@@ -37,6 +40,14 @@ class ArrayStats:
     @property
     def total_accesses(self) -> int:
         return self.reads + self.writes
+
+    def as_dict(self) -> Dict[str, int]:
+        """Structured export (the telemetry provider contract)."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "total_accesses": self.total_accesses,
+        }
 
 
 class MemoryArray:
@@ -65,6 +76,9 @@ class MemoryArray:
         self._data: List[int] = [0] * rows
         self._invalidation_listeners: List[Callable[[int, int], None]] = []
         self.stats = ArrayStats()
+        #: Optional structured-event tracer; ``None`` (the default) keeps
+        #: the hot paths at a single attribute check.
+        self.tracer: Optional["Tracer"] = None
 
     # ------------------------------------------------------------------
     # Content-change notification (decoded-mirror invalidation)
@@ -80,6 +94,10 @@ class MemoryArray:
         self._invalidation_listeners.append(listener)
 
     def _invalidate(self, start_row: int, row_count: int) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                "mirror_invalidate", start=start_row, rows=row_count
+            )
         for listener in self._invalidation_listeners:
             listener(start_row, row_count)
 
@@ -119,6 +137,8 @@ class MemoryArray:
         """Read a full row as an MSB-first bit vector (integer)."""
         self._check_row(row)
         self.stats.reads += 1
+        if self.tracer is not None:
+            self.tracer.emit("bucket_read", row=row)
         return self._data[row]
 
     def write_row(self, row: int, value: int) -> None:
@@ -168,6 +188,8 @@ class MemoryArray:
         if count < 0:
             raise ConfigurationError(f"count must be >= 0, got {count}")
         self.stats.reads += count
+        if self.tracer is not None and count:
+            self.tracer.emit("bucket_read", count=count, mirror_served=True)
 
     def fill(self, value: int = 0) -> None:
         """Initialize every row to ``value`` without counting accesses."""
@@ -197,6 +219,8 @@ class MemoryArray:
         for i, value in enumerate(rows):
             self._data[offset + i] = value
         self.stats.writes += len(rows)
+        if self.tracer is not None:
+            self.tracer.emit("dma_burst", offset=offset, rows=len(rows))
         self._invalidate(offset, len(rows))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

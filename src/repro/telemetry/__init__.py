@@ -1,0 +1,74 @@
+"""Telemetry: structured tracing, metrics registry, per-phase profiling.
+
+The cross-cutting observability layer of the CA-RAM stack:
+
+* :mod:`repro.telemetry.metrics` — :class:`MetricsRegistry` with counters,
+  gauges, exact histograms, and mounted stat providers (``SearchStats``,
+  ``ArrayStats``, bulk-plan totals), exported via ``snapshot()``;
+* :mod:`repro.telemetry.trace` — a ring-buffered typed-event
+  :class:`Tracer` with pluggable sinks (in-memory, JSONL, null); off by
+  default, one ``is None`` check on the hot paths when disabled, and
+  stats-event streams replay to bit-identical counters;
+* :mod:`repro.telemetry.profiling` — ``with profile(phase):`` wall-time
+  accounting for the batch/bulk pipeline stages;
+* :mod:`repro.telemetry.compare` — snapshot diffing that flags counter and
+  timing regressions beyond a threshold.
+"""
+
+from repro.telemetry.compare import (
+    ComparisonReport,
+    MetricDelta,
+    compare_telemetry,
+    flatten_numeric,
+    load_snapshot,
+)
+from repro.telemetry.metrics import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+)
+from repro.telemetry.profiling import (
+    PhaseProfiler,
+    enabled_profiler,
+    get_profiler,
+    profile,
+    set_profiler,
+)
+from repro.telemetry.workload import run_synthetic_workload
+from repro.telemetry.trace import (
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    TraceEvent,
+    TraceSink,
+    Tracer,
+    read_jsonl,
+    replay_search_stats,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "Tracer",
+    "TraceEvent",
+    "TraceSink",
+    "NullSink",
+    "InMemorySink",
+    "JsonlSink",
+    "read_jsonl",
+    "replay_search_stats",
+    "PhaseProfiler",
+    "profile",
+    "get_profiler",
+    "set_profiler",
+    "enabled_profiler",
+    "compare_telemetry",
+    "ComparisonReport",
+    "MetricDelta",
+    "flatten_numeric",
+    "load_snapshot",
+    "run_synthetic_workload",
+]

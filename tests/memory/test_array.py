@@ -127,3 +127,103 @@ class TestBulkOperations:
         array = MemoryArray(rows=2, row_bits=8)
         with pytest.raises(RamModeError):
             array.load([300])
+
+
+class TestInvalidationListeners:
+    def test_multiple_listeners_all_notified_in_order(self):
+        array = MemoryArray(rows=8, row_bits=8)
+        first, second = [], []
+        array.subscribe_invalidation(lambda s, n: first.append((s, n)))
+        array.subscribe_invalidation(lambda s, n: second.append((s, n)))
+        array.write_row(3, 1)
+        array.load([1, 2], offset=5)
+        array.fill(0)
+        expected = [(3, 1), (5, 2), (0, 8)]
+        assert first == expected
+        assert second == expected
+
+    def test_listeners_fire_per_mutation_not_per_read(self):
+        array = MemoryArray(rows=4, row_bits=8)
+        calls = []
+        array.subscribe_invalidation(lambda s, n: calls.append((s, n)))
+        array.read_row(0)
+        array.peek_row(1)
+        array.charge_reads(5)
+        assert calls == []
+
+    def test_late_subscriber_sees_only_later_mutations(self):
+        array = MemoryArray(rows=4, row_bits=8)
+        array.write_row(0, 1)
+        calls = []
+        array.subscribe_invalidation(lambda s, n: calls.append((s, n)))
+        array.write_row(1, 1)
+        assert calls == [(1, 1)]
+
+
+class TestChargeReads:
+    def test_charge_reads_advances_counter(self):
+        array = MemoryArray(rows=4, row_bits=8)
+        array.read_row(0)
+        array.charge_reads(10)
+        assert array.stats.reads == 11
+        assert array.stats.total_accesses == 11
+
+    def test_negative_count_rejected(self):
+        array = MemoryArray(rows=4, row_bits=8)
+        with pytest.raises(ConfigurationError):
+            array.charge_reads(-1)
+
+    def test_as_dict_export(self):
+        array = MemoryArray(rows=4, row_bits=8)
+        array.write_row(0, 1)
+        array.charge_reads(3)
+        assert array.stats.as_dict() == {
+            "reads": 3,
+            "writes": 1,
+            "total_accesses": 4,
+        }
+
+
+class TestTracerHooks:
+    def test_no_tracer_by_default(self):
+        assert MemoryArray(rows=4, row_bits=8).tracer is None
+
+    def test_read_and_charge_emit_bucket_read(self):
+        from repro.telemetry.trace import Tracer
+
+        array = MemoryArray(rows=4, row_bits=8)
+        array.tracer = Tracer()
+        array.read_row(2)
+        array.charge_reads(5)
+        array.charge_reads(0)  # zero-count charges stay silent
+        events = array.tracer.events("bucket_read")
+        assert [e.payload for e in events] == [
+            {"row": 2},
+            {"count": 5, "mirror_served": True},
+        ]
+        assert array.stats.reads == 6
+
+    def test_mutations_emit_invalidate_and_dma(self):
+        from repro.telemetry.trace import Tracer
+
+        array = MemoryArray(rows=8, row_bits=8)
+        array.tracer = Tracer()
+        array.write_row(1, 3)
+        array.load([1, 2, 3], offset=4)
+        assert [e.payload for e in array.tracer.events("mirror_invalidate")] \
+            == [{"start": 1, "rows": 1}, {"start": 4, "rows": 3}]
+        assert array.tracer.events("dma_burst")[0].payload == {
+            "offset": 4,
+            "rows": 3,
+        }
+
+    def test_tracer_and_listeners_compose(self):
+        from repro.telemetry.trace import Tracer
+
+        array = MemoryArray(rows=4, row_bits=8)
+        calls = []
+        array.subscribe_invalidation(lambda s, n: calls.append((s, n)))
+        array.tracer = Tracer()
+        array.write_row(0, 1)
+        assert calls == [(0, 1)]
+        assert array.tracer.summary()["mirror_invalidate"] == 1

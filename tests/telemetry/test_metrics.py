@@ -1,0 +1,140 @@
+"""MetricsRegistry: instruments, providers, snapshots."""
+
+import json
+
+import pytest
+
+from repro.core.stats import SearchStats
+from repro.errors import ConfigurationError
+from repro.telemetry.metrics import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = CounterMetric("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative_increment(self):
+        with pytest.raises(ConfigurationError):
+            CounterMetric("c").inc(-1)
+
+    def test_gauge_holds_last_value(self):
+        gauge = GaugeMetric("g")
+        gauge.set(3)
+        gauge.set(0.25)
+        assert gauge.value == 0.25
+
+    def test_histogram_exact_counts(self):
+        histogram = HistogramMetric("h")
+        histogram.observe(1, count=3)
+        histogram.observe(2)
+        histogram.observe_many([1, 4, 4])
+        assert histogram.counts == {1: 4, 2: 1, 4: 2}
+        assert histogram.observations == 7
+        assert histogram.total == 4 + 2 + 8
+        assert histogram.mean == pytest.approx(2.0)
+        assert histogram.max == 4
+
+    def test_histogram_as_dict_string_keys(self):
+        histogram = HistogramMetric("h")
+        histogram.observe(2)
+        exported = histogram.as_dict()
+        assert exported["counts"] == {"2": 1}
+        json.dumps(exported)  # must be serializable
+
+    def test_reset_zeroes_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(7)
+        registry.gauge("g").set(9)
+        registry.histogram("h").observe(3)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["counters"]["c"] == 0
+        assert snap["gauges"]["g"] == 0
+        assert snap["histograms"]["h"]["observations"] == 0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_cross_kind_name_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("x")
+
+    def test_provider_object_with_as_dict(self):
+        registry = MetricsRegistry()
+        stats = SearchStats()
+        registry.register_provider("slice.search", stats)
+        stats.record_lookup(2, hit=True)
+        snap = registry.snapshot()
+        assert snap["stats"]["slice.search"]["lookups"] == 1
+        assert snap["stats"]["slice.search"]["amal"] == 2.0
+
+    def test_provider_callable(self):
+        registry = MetricsRegistry()
+        registry.register_provider("occ", lambda: {"load_factor": 0.5})
+        assert registry.snapshot()["stats"]["occ"] == {"load_factor": 0.5}
+
+    def test_provider_reread_each_snapshot(self):
+        registry = MetricsRegistry()
+        stats = SearchStats()
+        registry.register_provider("s", stats)
+        first = registry.snapshot()["stats"]["s"]["lookups"]
+        stats.record_lookup(1, hit=False)
+        second = registry.snapshot()["stats"]["s"]["lookups"]
+        assert (first, second) == (0, 1)
+
+    def test_duplicate_provider_prefix_rejected(self):
+        registry = MetricsRegistry()
+        registry.register_provider("p", lambda: {})
+        with pytest.raises(ConfigurationError):
+            registry.register_provider("p", lambda: {})
+
+    def test_invalid_provider_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.register_provider("bad", object())
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").observe(3)
+        stats = SearchStats()
+        stats.record_lookup(1, hit=True)
+        registry.register_provider("s", stats)
+        json.dumps(registry.snapshot())
+        json.loads(registry.to_json())
+
+
+class TestBulkPlanProvider:
+    def test_slice_mounts_planner_totals_after_bulk_load(self):
+        from repro.telemetry.workload import build_workload_slice, make_keys
+
+        slice_ = build_workload_slice(index_bits=6, slots=8)
+        registry = MetricsRegistry()
+        slice_.register_telemetry(registry)
+        assert registry.snapshot()["stats"]["slice.bulk"] == {}
+        assert slice_.last_bulk_plan is None
+
+        keys = make_keys(slice_, load_factor=0.6, seed=5)
+        slice_.bulk_load([(k, i) for i, k in enumerate(keys)])
+        plan = registry.snapshot()["stats"]["slice.bulk"]
+        assert plan["record_count"] == len(keys)
+        assert plan["copy_count"] == len(keys)
+        assert plan["spill_rate"] == pytest.approx(
+            plan["spilled_copies"] / plan["copy_count"]
+        )
+        assert slice_.last_bulk_plan.as_dict() == plan

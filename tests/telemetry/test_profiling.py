@@ -1,0 +1,109 @@
+"""PhaseProfiler: spans, nesting, the module singleton, scoped enable."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.profiling import (
+    PhaseProfiler,
+    enabled_profiler,
+    get_profiler,
+    profile,
+    set_profiler,
+)
+
+
+class TestPhaseProfiler:
+    def test_disabled_by_default_and_records_nothing(self):
+        profiler = PhaseProfiler()
+        assert not profiler.enabled
+        with profiler.profile("x"):
+            pass
+        assert profiler.as_dict() == {}
+
+    def test_disabled_span_is_shared_noop(self):
+        profiler = PhaseProfiler()
+        assert profiler.profile("a") is profiler.profile("b")
+
+    def test_enabled_accumulates_time_and_calls(self):
+        profiler = PhaseProfiler(enabled=True)
+        for _ in range(3):
+            with profiler.profile("phase"):
+                pass
+        report = profiler.as_dict()
+        assert report["phase"]["calls"] == 3
+        assert report["phase"]["seconds"] >= 0.0
+        assert profiler.calls("phase") == 3
+
+    def test_phases_nest_with_inclusive_times(self):
+        profiler = PhaseProfiler(enabled=True)
+        with profiler.profile("outer"):
+            with profiler.profile("inner"):
+                pass
+        assert profiler.seconds("outer") >= profiler.seconds("inner")
+        assert profiler.phases == ["inner", "outer"]
+
+    def test_reset(self):
+        profiler = PhaseProfiler(enabled=True)
+        with profiler.profile("p"):
+            pass
+        profiler.reset()
+        assert profiler.as_dict() == {}
+
+
+class TestSingleton:
+    def test_module_profile_routes_to_singleton(self):
+        previous = set_profiler(PhaseProfiler(enabled=True))
+        try:
+            with profile("stage"):
+                pass
+            assert get_profiler().calls("stage") == 1
+        finally:
+            set_profiler(previous)
+
+    def test_set_profiler_rejects_none(self):
+        with pytest.raises(ConfigurationError):
+            set_profiler(None)
+
+    def test_enabled_profiler_scopes_and_restores(self):
+        before = get_profiler()
+        with enabled_profiler() as profiler:
+            assert get_profiler() is profiler
+            assert profiler.enabled
+            with profile("scoped"):
+                pass
+        assert get_profiler() is before
+        assert profiler.calls("scoped") == 1
+
+
+class TestPipelineIntegration:
+    def test_batch_and_bulk_phases_show_up(self):
+        from repro.core.config import SliceConfig
+        from repro.core.index import IndexGenerator
+        from repro.core.record import RecordFormat
+        from repro.core.slice import CARAMSlice
+        from repro.hashing.bit_select import BitSelectHash
+
+        record_format = RecordFormat(key_bits=32, data_bits=16)
+        config = SliceConfig(
+            index_bits=5,
+            row_bits=8 + 4 * record_format.slot_bits,
+            record_format=record_format,
+            aux_bits=8,
+        )
+        slice_ = CARAMSlice(
+            config,
+            IndexGenerator(BitSelectHash(32, tuple(range(12, 17))), config.rows),
+        )
+        with enabled_profiler() as profiler:
+            slice_.bulk_load([(i * 4097, i) for i in range(64)])
+            slice_.search_batch([0, 4097, 8194, 99999])
+        phases = profiler.as_dict()
+        for phase in (
+            "bulk.plan",
+            "bulk.encode",
+            "bulk.install",
+            "batch.index",
+            "batch.mirror_sync",
+            "batch.home_match",
+        ):
+            assert phase in phases, phases

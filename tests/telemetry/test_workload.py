@@ -1,0 +1,96 @@
+"""The synthetic workload runner and the ``repro telemetry`` CLI."""
+
+import json
+
+from repro.cli import main as cli_main
+from repro.telemetry.workload import run_synthetic_workload
+
+
+class TestWorkload:
+    def test_report_structure(self):
+        report = run_synthetic_workload(
+            index_bits=6, slots=8, queries=500, scalar_queries=32
+        )
+        assert set(report) == {"workload", "metrics", "phases", "trace"}
+        search = report["metrics"]["stats"]["slice.search"]
+        assert search["lookups"] == 500 + 32
+        assert 0.0 < search["hit_rate"] < 1.0
+        assert search["amal"] >= 1.0
+        assert report["trace"]["lookup"] == 32
+        assert "bulk.plan" in report["phases"]
+        assert "batch.home_match" in report["phases"]
+        json.dumps(report)
+
+    def test_no_trace_mode(self):
+        report = run_synthetic_workload(
+            index_bits=6, slots=8, queries=200, trace=False
+        )
+        assert report["trace"] is None
+
+    def test_jsonl_trace_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        run_synthetic_workload(
+            index_bits=6, slots=8, queries=200, trace_path=str(path)
+        )
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line
+        ]
+        assert lines, "JSONL trace is empty"
+        assert all("kind" in event for event in lines)
+        kinds = {event["kind"] for event in lines}
+        assert {"bulk_plan", "dma_burst", "lookup"} <= kinds
+
+    def test_deterministic_given_seed(self):
+        first = run_synthetic_workload(index_bits=6, slots=8, queries=300)
+        second = run_synthetic_workload(index_bits=6, slots=8, queries=300)
+        assert (
+            first["metrics"]["stats"]["slice.search"]
+            == second["metrics"]["stats"]["slice.search"]
+        )
+        assert first["trace"] == second["trace"]
+
+
+class TestCli:
+    def test_telemetry_run_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = cli_main(
+            [
+                "telemetry", "run",
+                "--queries", "300",
+                "--index-bits", "6",
+                "--slots", "8",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["workload"]["queries"] == 300
+        printed = capsys.readouterr().out
+        assert "search:" in printed
+        assert "phases:" in printed
+
+    def test_telemetry_diff_flags_regression(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        bad = tmp_path / "bad.json"
+        base.write_text(json.dumps({"amal": 1.0}))
+        bad.write_text(json.dumps({"amal": 2.0}))
+        assert cli_main(["telemetry", "diff", str(base), str(base)]) == 0
+        assert cli_main(["telemetry", "diff", str(base), str(bad)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_telemetry_diff_threshold(self, tmp_path):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps({"amal": 1.0}))
+        cur.write_text(json.dumps({"amal": 1.2}))
+        assert (
+            cli_main(
+                [
+                    "telemetry", "diff", str(base), str(cur),
+                    "--threshold", "0.5",
+                ]
+            )
+            == 0
+        )
