@@ -1,0 +1,112 @@
+"""Fault-soak acceptance gates: zero silent corruption, free when off.
+
+Two contracts of the reliability layer are pinned here with numbers:
+
+* **detect-or-correct** — a 10k-lookup soak of the IP and trigram
+  workloads at bit-flip rate 1e-4 (plus stuck cells and dead rows) must
+  report **zero** silent wrong answers: every fault is either corrected
+  by the segmented row ECC or detected and repaired through
+  restore/quarantine/victim overlay;
+* **zero cost when disabled** — with no reliability layer enabled, warm
+  batch-lookup throughput on the ``bench_batch_lookup.py`` slice/query
+  stream must stay within 5% of the committed
+  ``BENCH_batch_lookup.json`` baseline (the guard hook is one
+  ``is None`` check per row access).
+
+Results (per-rate soak reports + the disabled-path throughput) land in
+``BENCH_fault_soak.json``.
+
+Run standalone with::
+
+    PYTHONPATH=src python benchmarks/bench_fault_soak.py
+
+or through pytest (asserts both gates)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fault_soak.py
+"""
+
+import json
+import time
+
+import pytest
+
+from bench_batch_lookup import build_slice, make_queries, populate
+from harness import finalize, result_path
+from repro.reliability.soak import run_soak
+
+RESULT_PATH = result_path("fault_soak")
+BASELINE_PATH = result_path("batch_lookup")
+
+REPEATS = 3          # best-of to squeeze out scheduler noise
+GATE_THRESHOLD = 0.05
+SOAK_QUERIES = 10_000
+SOAK_RATE = 1e-4
+SOAK_SEED = 7
+
+
+def _measure_warm(slice_, queries) -> float:
+    """Best-of-``REPEATS`` warm batch throughput in keys/sec."""
+    slice_.search_batch(queries[:1])  # warm the mirror + engine
+    best = 0.0
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        slice_.search_batch(queries)
+        seconds = time.perf_counter() - start
+        best = max(best, len(queries) / seconds)
+    return best
+
+
+def run_benchmark() -> dict:
+    soaks = {
+        name: run_soak(
+            name, SOAK_RATE, queries=SOAK_QUERIES, seed=SOAK_SEED
+        ).as_dict()
+        for name in ("ip", "trigram")
+    }
+
+    # Disabled-path throughput: the reliability layer is never enabled on
+    # this slice, so the only possible cost is the guard hook's presence.
+    slice_ = build_slice()
+    stored = populate(slice_)
+    queries = make_queries(stored)
+    disabled = _measure_warm(slice_, queries)
+
+    result = {
+        "soak_rate": SOAK_RATE,
+        "soak_queries": SOAK_QUERIES,
+        "silent_wrong": sum(s["silent_wrong"] for s in soaks.values()),
+        "soaks": soaks,
+        "keys": len(queries),
+        "disabled_keys_per_sec": round(disabled),
+    }
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        warm_baseline = baseline["batch_warm_keys_per_sec"]
+        result["baseline_warm_keys_per_sec"] = warm_baseline
+        result["disabled_overhead_vs_baseline"] = round(
+            warm_baseline / disabled - 1, 4
+        )
+    return finalize(RESULT_PATH, result)
+
+
+def test_soak_detect_or_correct():
+    for name in ("ip", "trigram"):
+        report = run_soak(
+            name, SOAK_RATE, queries=SOAK_QUERIES, seed=SOAK_SEED
+        )
+        assert report.silent_wrong == 0, report.as_dict()
+        assert report.queries >= SOAK_QUERIES
+
+
+def test_disabled_reliability_overhead():
+    result = run_benchmark()
+    assert result["silent_wrong"] == 0, result
+    if "disabled_overhead_vs_baseline" not in result:
+        pytest.skip("no committed BENCH_batch_lookup.json baseline")
+    assert result["disabled_overhead_vs_baseline"] <= GATE_THRESHOLD, result
+
+
+if __name__ == "__main__":
+    stats = run_benchmark()
+    print(json.dumps(stats, indent=2))
+    print(f"\nwrote {RESULT_PATH}")

@@ -16,7 +16,10 @@ in the subpackages:
   application studies;
 * :mod:`repro.experiments` - one runnable harness per table/figure;
 * :mod:`repro.telemetry` - structured tracing, metrics registry, phase
-  profiling, and snapshot diffing across the whole stack.
+  profiling, and snapshot diffing across the whole stack;
+* :mod:`repro.reliability` - fault injection, per-row segmented SECDED
+  with background scrubbing, graceful degradation, and the chaos-soak
+  harness.
 """
 
 from repro.core import (
@@ -34,9 +37,12 @@ from repro.errors import (
     CapacityError,
     CaRamError,
     ConfigurationError,
+    CorruptionError,
     KeyFormatError,
     RamModeError,
+    ReliabilityError,
 )
+from repro.reliability import FaultConfig, ReliabilityPolicy
 
 __version__ = "1.0.0"
 
@@ -53,7 +59,11 @@ __all__ = [
     "CaRamError",
     "CapacityError",
     "ConfigurationError",
+    "CorruptionError",
     "KeyFormatError",
     "RamModeError",
+    "ReliabilityError",
+    "FaultConfig",
+    "ReliabilityPolicy",
     "__version__",
 ]

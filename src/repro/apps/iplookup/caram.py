@@ -29,6 +29,8 @@ from repro.core.subsystem import SliceGroup
 from repro.hashing.bit_select import BitSelectHash
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.reliability.faults import FaultConfig
+    from repro.reliability.manager import ReliabilityPolicy
     from repro.telemetry.metrics import MetricsRegistry
     from repro.telemetry.trace import Tracer
 
@@ -75,6 +77,8 @@ def build_ip_caram(
     next_hop_bits: int = 16,
     tracer: Optional["Tracer"] = None,
     registry: Optional["MetricsRegistry"] = None,
+    reliability: Optional["ReliabilityPolicy"] = None,
+    faults: Optional["FaultConfig"] = None,
 ) -> SliceGroup:
     """Build and load a behavioral CA-RAM for a routing table.
 
@@ -87,7 +91,9 @@ def build_ip_caram(
     Pass a ``tracer`` to capture the build's structured events (the bulk
     plan, the DMA burst, mirror installs) and everything the group does
     afterwards; pass a ``registry`` to mount the group's live counters
-    under its ``ip-<design>`` name.
+    under its ``ip-<design>`` name.  Pass ``reliability`` (and optionally
+    ``faults``) to enable the ECC/fault-injection layer *after* the table
+    is loaded, so the checkwords protect the installed image.
     """
     group = SliceGroup(
         config=ip_slice_config(design, next_hop_bits),
@@ -105,6 +111,8 @@ def build_ip_caram(
     group.bulk_load(
         (prefix.to_ternary_key(), next_hop) for prefix, next_hop in pairs
     )
+    if reliability is not None or faults is not None:
+        group.enable_reliability(reliability, faults)
     return group
 
 

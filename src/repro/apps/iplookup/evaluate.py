@@ -22,6 +22,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.apps.iplookup.designs import IpDesign
 from repro.apps.iplookup.mapping import PrefixMapping, map_prefixes_to_buckets
 from repro.apps.iplookup.table_gen import PrefixTable
@@ -110,7 +111,7 @@ def evaluate_ip_design(
     if mapping is None:
         mapping = map_prefixes_to_buckets(table, design.effective_index_bits)
     elif mapping.index_bits != design.effective_index_bits:
-        raise ValueError(
+        raise ConfigurationError(
             f"mapping was built for R={mapping.index_bits}, design needs "
             f"{design.effective_index_bits}"
         )

@@ -37,6 +37,8 @@ from repro.hashing.djb import djb2_bytes, djb2_matrix
 from repro.memory.mirror import keys_to_words
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.reliability.faults import FaultConfig
+    from repro.reliability.manager import ReliabilityPolicy
     from repro.telemetry.metrics import MetricsRegistry
     from repro.telemetry.trace import Tracer
 
@@ -189,6 +191,8 @@ def build_trigram_caram(
     probability_bits: int = 16,
     tracer: Optional["Tracer"] = None,
     registry: Optional["MetricsRegistry"] = None,
+    reliability: Optional["ReliabilityPolicy"] = None,
+    faults: Optional["FaultConfig"] = None,
 ) -> SliceGroup:
     """Build and load a behavioral CA-RAM for a trigram database.
 
@@ -199,6 +203,11 @@ def build_trigram_caram(
             so the bulk-build events are captured.
         registry: optional metrics registry; the group's counters mount
             under its ``trigram-<design>`` name.
+        reliability / faults: optional
+            :class:`~repro.reliability.manager.ReliabilityPolicy` and
+            :class:`~repro.reliability.faults.FaultConfig`; when either is
+            given, the ECC/fault layer is enabled after the load so the
+            checkwords protect the installed image.
     """
     group = SliceGroup(
         config=trigram_slice_config(design, probability_bits),
@@ -214,6 +223,8 @@ def build_trigram_caram(
     pairs = list(entries)
     keys = StringKeyCodec.encode_batch([text for text, _ in pairs])
     group.bulk_load(zip(keys, (probability for _, probability in pairs)))
+    if reliability is not None or faults is not None:
+        group.enable_reliability(reliability, faults)
     return group
 
 

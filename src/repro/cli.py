@@ -9,6 +9,11 @@ Usage::
     python -m repro report          # regenerate EXPERIMENTS.md content
     python -m repro telemetry run --json out.json --trace trace.jsonl
     python -m repro telemetry diff baseline.json current.json
+    python -m repro reliability soak --rates 1e-5 1e-4 --json soak.json
+
+Failures exit with the error's class-specific code (see
+:mod:`repro.errors`), so scripts can tell a capacity overflow from a
+detected corruption.
 """
 
 from __future__ import annotations
@@ -116,6 +121,56 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="relative-change threshold (default 0.05)",
     )
+
+    reliability = commands.add_parser(
+        "reliability",
+        help="fault-injection / graceful-degradation experiments",
+    )
+    reliability_commands = reliability.add_subparsers(
+        dest="reliability_command", required=True
+    )
+    soak = reliability_commands.add_parser(
+        "soak",
+        help="chaos soak: swept fault rates, detect-or-correct invariant",
+    )
+    soak.add_argument(
+        "--queries",
+        type=int,
+        default=10_000,
+        help="lookups per workload per rate",
+    )
+    soak.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=None,
+        help="bit-flip rates to sweep (default: 1e-5 1e-4 1e-3)",
+    )
+    soak.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=("ip", "trigram"),
+        default=None,
+        help="workloads to soak (default: both)",
+    )
+    soak.add_argument(
+        "--seed", type=int, default=7, help="workload/fault RNG seed"
+    )
+    soak.add_argument(
+        "--scrub-every",
+        type=int,
+        default=4,
+        help="interleave blocks between background scrubs (0 disables)",
+    )
+    soak.add_argument(
+        "--no-ecc",
+        action="store_true",
+        help="chaos mode: inject faults with ECC off (demonstrates "
+        "silent corruption — the soak will report silent wrong answers)",
+    )
+    soak.add_argument(
+        "--json", metavar="PATH", help="write the sweep report as JSON"
+    )
     return parser
 
 
@@ -206,18 +261,69 @@ def cmd_telemetry_diff(args: argparse.Namespace) -> int:
     return compare_main(argv)
 
 
+def cmd_reliability_soak(args: argparse.Namespace) -> int:
+    from repro.reliability.manager import ReliabilityPolicy
+    from repro.reliability.soak import (
+        DEFAULT_RATES,
+        format_sweep_table,
+        run_soak_sweep,
+    )
+
+    policy = None
+    if args.no_ecc:
+        policy = ReliabilityPolicy(
+            ecc=False, victim_capacity=4096, max_retries=16
+        )
+    reports = run_soak_sweep(
+        rates=args.rates or DEFAULT_RATES,
+        workloads=args.workloads or ("ip", "trigram"),
+        queries=args.queries,
+        seed=args.seed,
+        policy=policy,
+        scrub_every=args.scrub_every,
+    )
+    print(format_sweep_table(reports))
+    silent = sum(r.silent_wrong for r in reports)
+    if args.no_ecc:
+        print(f"\nECC off (chaos mode): {silent} silent wrong answers")
+    elif silent:
+        print(
+            f"\nDETECT-OR-CORRECT VIOLATED: {silent} silent wrong answers"
+        )
+    else:
+        print("\ndetect-or-correct invariant held: 0 silent wrong answers")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump([r.as_dict() for r in reports], handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if silent and not args.no_ecc:
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.errors import CaRamError
+
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return cmd_list()
-    if args.command == "run":
-        return cmd_run(args.names)
-    if args.command == "report":
-        return cmd_report()
-    if args.command == "telemetry":
-        if args.telemetry_command == "run":
-            return cmd_telemetry_run(args)
-        return cmd_telemetry_diff(args)
+    try:
+        if args.command == "list":
+            return cmd_list()
+        if args.command == "run":
+            return cmd_run(args.names)
+        if args.command == "report":
+            return cmd_report()
+        if args.command == "telemetry":
+            if args.telemetry_command == "run":
+                return cmd_telemetry_run(args)
+            return cmd_telemetry_diff(args)
+        if args.command == "reliability":
+            return cmd_reliability_soak(args)
+    except CaRamError as error:
+        # Typed failures map to class-specific exit codes so callers can
+        # distinguish configuration mistakes from detected corruption.
+        print(f"error: {error}", file=sys.stderr)
+        return error.exit_code
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -53,6 +53,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.batch import BatchSearchEngine
     from repro.core.bulk import BulkPlan
     from repro.memory.mirror import DecodedMirror
+    from repro.reliability.faults import FaultConfig
+    from repro.reliability.manager import ReliabilityManager, ReliabilityPolicy
     from repro.telemetry.metrics import MetricsRegistry
     from repro.telemetry.trace import Tracer
 
@@ -129,6 +131,7 @@ class CARAMSlice:
         self._batch_chunk_size = batch_chunk_size
         self.account_reads = account_reads
         self.stats = SearchStats()
+        self._reliability: Optional["ReliabilityManager"] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -150,6 +153,48 @@ class CARAMSlice:
     def record_count(self) -> int:
         """Stored record copies (duplicated ternary keys count per copy)."""
         return self._record_count
+
+    # ------------------------------------------------------------------
+    # Reliability (fault injection, ECC, graceful degradation)
+    # ------------------------------------------------------------------
+
+    @property
+    def reliability(self) -> Optional["ReliabilityManager"]:
+        """The active reliability manager, or None (layer disabled)."""
+        return self._reliability
+
+    def enable_reliability(
+        self,
+        policy: Optional["ReliabilityPolicy"] = None,
+        faults: Optional["FaultConfig"] = None,
+    ) -> "ReliabilityManager":
+        """Protect this slice's array with the reliability layer.
+
+        Installs a per-row ECC guard (checkwords encoded over the current
+        content, so enable *after* loading the database), an optional fault
+        injector, and the quarantine/victim/retry machinery.  Scalar and
+        batch lookups then satisfy the detect-or-correct contract: every
+        injected fault is corrected, retried around, or surfaced as a
+        :class:`~repro.errors.CorruptionError` — never a silent wrong
+        answer.
+        """
+        from repro.reliability.manager import (
+            ReliabilityManager,
+            ReliabilityPolicy,
+        )
+
+        if self._reliability is not None:
+            self.disable_reliability()
+        if policy is None:
+            policy = ReliabilityPolicy()
+        self._reliability = ReliabilityManager.for_slice(self, policy, faults)
+        return self._reliability
+
+    def disable_reliability(self) -> None:
+        """Detach the reliability layer (arrays return to raw access)."""
+        if self._reliability is not None:
+            self._reliability.detach()
+            self._reliability = None
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -195,6 +240,14 @@ class CARAMSlice:
                 else {}
             ),
         )
+        registry.register_provider(
+            f"{prefix}.reliability",
+            lambda: (
+                self._reliability.as_dict()
+                if self._reliability is not None
+                else {}
+            ),
+        )
 
     @property
     def last_bulk_plan(self) -> Optional["BulkPlan"]:
@@ -228,13 +281,27 @@ class CARAMSlice:
         self._mirror.sync()
         return self._mirror
 
+    def _mirror_for_batch(self) -> "DecodedMirror":
+        """The mirror provider handed to the batch engine.
+
+        With reliability enabled, a sync that detects an uncorrectable row
+        quarantines it and retries, so the batch path shares the scalar
+        path's detect-or-correct contract.
+        """
+        if self._reliability is None:
+            return self._synced_mirror()
+        return self._reliability.synced_mirror(self._synced_mirror)
+
     def _mirror_access_sink(self, buckets) -> None:
         """Account a batch of mirror-served bucket fetches.
 
         Only charges the physical read counters when this slice opted into
         ``account_reads``; AMAL accounting lives in ``SearchStats`` either
-        way.
+        way.  With reliability enabled, each served fetch also samples
+        access-time soft errors into the physical rows.
         """
+        if self._reliability is not None:
+            self._reliability.on_batch_access(buckets)
         if self.account_reads:
             self._memory.charge_reads(len(buckets))
 
@@ -260,7 +327,7 @@ class CARAMSlice:
 
             self._batch_engine = BatchSearchEngine(
                 index_generator=self._index,
-                mirror_provider=self._synced_mirror,
+                mirror_provider=self._mirror_for_batch,
                 slots_per_bucket=self._layout.slots_per_bucket,
                 match_processors=self._config.match_processors,
                 key_bits=self._config.record_format.key_bits,
@@ -270,7 +337,12 @@ class CARAMSlice:
                 access_sink=self._mirror_access_sink,
                 chunk_size=self._batch_chunk_size,
             )
-        return self._batch_engine.search(keys, search_mask)
+        results = self._batch_engine.search(keys, search_mask)
+        if self._reliability is not None:
+            results = self._reliability.overlay_results(
+                results, keys, search_mask
+            )
+        return results
 
     # ------------------------------------------------------------------
     # CAM mode: search
@@ -299,7 +371,20 @@ class CARAMSlice:
 
         A search key with don't-care bits over hash positions visits every
         candidate home row (Section 4's multi-bucket access case).
+
+        With reliability enabled the lookup retries around detected
+        corruptions (quarantining the failing bucket) and consults the
+        victim store in parallel, so it returns a correct answer or raises
+        — never a silently wrong result.
         """
+        if self._reliability is None:
+            return self._search_once(key, search_mask)
+        return self._reliability.guarded_search(
+            key, search_mask, self._search_once
+        )
+
+    def _search_once(self, key: KeyInput, search_mask: int = 0) -> SearchResult:
+        """One un-retried pass of the scalar search algorithm."""
         search_value = key.value if isinstance(key, TernaryKey) else int(key)
         if isinstance(key, TernaryKey):
             search_mask |= key.mask
@@ -382,7 +467,7 @@ class CARAMSlice:
         so the priority encoder's lowest-index-wins rule returns the right
         record.
         """
-        row_value = self._memory.peek_row(row)
+        row_value = self._memory.verified_peek_row(row)
         free = self._layout.find_free_slot(row_value)
         if free is None:
             return None
@@ -511,7 +596,7 @@ class CARAMSlice:
         )
 
     def _raise_reach(self, home: int, attempt: int) -> None:
-        row_value = self._memory.peek_row(home)
+        row_value = self._memory.verified_peek_row(home)
         current = self._layout.read_aux(row_value)
         if attempt > current:
             self._memory.write_row(
@@ -530,13 +615,13 @@ class CARAMSlice:
         homes = self._index.indices_for_stored(target)
         removed = 0
         for home in homes:
-            row_value = self._memory.peek_row(home)
+            row_value = self._memory.verified_peek_row(home)
             reach = self._layout.read_aux(row_value)
             for attempt in range(reach + 1):
                 row = self._probing.probe(
                     home, attempt, self._config.rows, target.value
                 )
-                row_value = self._memory.peek_row(row)
+                row_value = self._memory.verified_peek_row(row)
                 for slot in range(self._layout.slots_per_bucket):
                     valid, record = self._layout.read_slot(row_value, slot)
                     if valid and record.key == target:
@@ -645,7 +730,15 @@ class CARAMSlice:
         The software analogue of the paper's database (re)construction in
         RAM mode: after heavy deletes, reach fields over-approximate.
         """
-        stored = [record for _, _, record in self.records()]
+        if self._reliability is not None:
+            # Sync under the retry loop (a corrupt row quarantines instead
+            # of aborting the rebuild), then fold the victim store back in.
+            mirror = self._reliability.synced_mirror(self._synced_mirror)
+            stored = [record for _, _, record in mirror.iter_valid()]
+            stored.extend(self._reliability.drain_victims())
+            self._reliability.quarantined_buckets.clear()
+        else:
+            stored = [record for _, _, record in self.records()]
         self._memory.fill(0)
         self._record_count = 0
         # Stable priority order so sorted buckets rebuild identically.
@@ -661,6 +754,8 @@ class CARAMSlice:
         self._memory.fill(0)
         self._record_count = 0
         self.stats.reset()
+        if self._reliability is not None:
+            self._reliability.reset()
 
     # ------------------------------------------------------------------
     # RAM mode (Section 3.2)

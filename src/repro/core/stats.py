@@ -26,6 +26,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Optional, Sequence, Union
 
+from repro.errors import ConfigurationError
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.trace import Tracer
 
@@ -46,6 +48,17 @@ class SearchStats:
     #: the rest, excluded from equality.
     scalar_fallbacks: int = field(default=0, compare=False)
     probe_walk_keys: int = field(default=0, compare=False)
+    #: Reliability-layer counters: what the fault/ECC machinery did during
+    #: the recorded lookups.  Excluded from equality for the same reason as
+    #: the engine-path counters — parity is defined over lookup semantics,
+    #: and fault sampling depends on the access path taken.
+    faults_injected: int = field(default=0, compare=False)
+    ecc_corrections: int = field(default=0, compare=False)
+    corruption_detections: int = field(default=0, compare=False)
+    quarantines: int = field(default=0, compare=False)
+    victim_records: int = field(default=0, compare=False)
+    victim_hits: int = field(default=0, compare=False)
+    lookup_retries: int = field(default=0, compare=False)
     #: Optional structured-event tracer; never part of equality or merges.
     tracer: Optional["Tracer"] = field(
         default=None, compare=False, repr=False
@@ -119,7 +132,7 @@ class SearchStats:
         if not isinstance(hits, int):
             hits = sum(1 for h in hits if h)
         if not 0 <= hits <= n:
-            raise ValueError(
+            raise ConfigurationError(
                 f"hit count {hits} outside [0, {n}] for a {n}-lookup batch"
             )
         self.lookups += n
@@ -183,6 +196,48 @@ class SearchStats:
         if self.tracer is not None:
             self.tracer.emit("probe_walk", keys=keys)
 
+    # ------------------------------------------------------------------
+    # Reliability-layer events
+    # ------------------------------------------------------------------
+
+    def record_fault_injected(self) -> None:
+        """Account one injected fault event (a nonzero flip mask landing)."""
+        self.faults_injected += 1
+        if self.tracer is not None:
+            self.tracer.emit("fault_inject")
+
+    def record_ecc_correction(self) -> None:
+        """Account one single-bit error corrected by the row ECC."""
+        self.ecc_corrections += 1
+        if self.tracer is not None:
+            self.tracer.emit("ecc_correct")
+
+    def record_corruption_detected(self) -> None:
+        """Account one uncorrectable error surfaced by the row ECC."""
+        self.corruption_detections += 1
+        if self.tracer is not None:
+            self.tracer.emit("corruption_detect")
+
+    def record_quarantine(self, records: int) -> None:
+        """Account one bucket spared, with ``records`` remapped to the
+        victim store."""
+        self.quarantines += 1
+        self.victim_records += records
+        if self.tracer is not None:
+            self.tracer.emit("quarantine", records=records)
+
+    def record_victim_hit(self) -> None:
+        """Account one lookup answered from the victim store."""
+        self.victim_hits += 1
+        if self.tracer is not None:
+            self.tracer.emit("victim_hit")
+
+    def record_lookup_retry(self) -> None:
+        """Account one lookup retried after a detected corruption."""
+        self.lookup_retries += 1
+        if self.tracer is not None:
+            self.tracer.emit("lookup_retry")
+
     @property
     def misses(self) -> int:
         return self.lookups - self.hits
@@ -216,6 +271,13 @@ class SearchStats:
         self.insert_probe_total += other.insert_probe_total
         self.scalar_fallbacks += other.scalar_fallbacks
         self.probe_walk_keys += other.probe_walk_keys
+        self.faults_injected += other.faults_injected
+        self.ecc_corrections += other.ecc_corrections
+        self.corruption_detections += other.corruption_detections
+        self.quarantines += other.quarantines
+        self.victim_records += other.victim_records
+        self.victim_hits += other.victim_hits
+        self.lookup_retries += other.lookup_retries
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -229,6 +291,13 @@ class SearchStats:
         self.insert_probe_total = 0
         self.scalar_fallbacks = 0
         self.probe_walk_keys = 0
+        self.faults_injected = 0
+        self.ecc_corrections = 0
+        self.corruption_detections = 0
+        self.quarantines = 0
+        self.victim_records = 0
+        self.victim_hits = 0
+        self.lookup_retries = 0
 
     def as_dict(self) -> Dict[str, object]:
         """Structured export: raw counters plus the derived paper metrics.
@@ -255,6 +324,13 @@ class SearchStats:
             "deletes": self.deletes,
             "scalar_fallbacks": self.scalar_fallbacks,
             "probe_walk_keys": self.probe_walk_keys,
+            "faults_injected": self.faults_injected,
+            "ecc_corrections": self.ecc_corrections,
+            "corruption_detections": self.corruption_detections,
+            "quarantines": self.quarantines,
+            "victim_records": self.victim_records,
+            "victim_hits": self.victim_hits,
+            "lookup_retries": self.lookup_retries,
         }
 
 

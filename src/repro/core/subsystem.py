@@ -55,6 +55,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.batch import BatchSearchEngine
     from repro.core.bulk import BulkPlan
     from repro.memory.mirror import DecodedMirror
+    from repro.reliability.faults import FaultConfig
+    from repro.reliability.manager import ReliabilityManager, ReliabilityPolicy
     from repro.telemetry.metrics import MetricsRegistry
     from repro.telemetry.trace import Tracer
 
@@ -128,6 +130,47 @@ class SliceGroup:
         self.account_reads = account_reads
         self.stats = SearchStats()
         self.physical_row_fetches = 0
+        self._reliability: Optional["ReliabilityManager"] = None
+
+    # ------------------------------------------------------------------
+    # Reliability (fault injection, ECC, graceful degradation)
+    # ------------------------------------------------------------------
+
+    @property
+    def reliability(self) -> Optional["ReliabilityManager"]:
+        """The active reliability manager, or None (layer disabled)."""
+        return self._reliability
+
+    def enable_reliability(
+        self,
+        policy: Optional["ReliabilityPolicy"] = None,
+        faults: Optional["FaultConfig"] = None,
+    ) -> "ReliabilityManager":
+        """Protect every physical array of this group (see
+        :meth:`repro.core.slice.CARAMSlice.enable_reliability`).
+
+        Each array gets its own guard and an independently-salted fault
+        stream; quarantine operates at logical-bucket granularity, so a
+        horizontal group spares all constituent rows of a failing bucket
+        together.
+        """
+        from repro.reliability.manager import (
+            ReliabilityManager,
+            ReliabilityPolicy,
+        )
+
+        if self._reliability is not None:
+            self.disable_reliability()
+        if policy is None:
+            policy = ReliabilityPolicy()
+        self._reliability = ReliabilityManager.for_group(self, policy, faults)
+        return self._reliability
+
+    def disable_reliability(self) -> None:
+        """Detach the reliability layer (arrays return to raw access)."""
+        if self._reliability is not None:
+            self._reliability.detach()
+            self._reliability = None
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -176,6 +219,14 @@ class SliceGroup:
             lambda: (
                 self._last_bulk_plan.as_dict()
                 if self._last_bulk_plan is not None
+                else {}
+            ),
+        )
+        registry.register_provider(
+            f"{prefix}.reliability",
+            lambda: (
+                self._reliability.as_dict()
+                if self._reliability is not None
                 else {}
             ),
         )
@@ -270,7 +321,7 @@ class SliceGroup:
         records: List[Record] = []
         reach = 0
         for i, (slice_id, row) in enumerate(self._bucket_rows(bucket)):
-            row_value = self._arrays[slice_id].peek_row(row)
+            row_value = self._arrays[slice_id].verified_peek_row(row)
             if i == 0:
                 reach = self._layout.read_aux(row_value)
             for valid, record in self._layout.read_all(row_value):
@@ -297,7 +348,21 @@ class SliceGroup:
 
     def search(self, key: KeyInput, search_mask: int = 0) -> SearchResult:
         """Look up a key across the group (one AMAL access per logical
-        bucket visited, however many slices are fetched in parallel)."""
+        bucket visited, however many slices are fetched in parallel).
+
+        With reliability enabled the lookup retries around detected
+        corruptions (quarantining the failing bucket) and consults the
+        victim store in parallel — correct answer or raised error, never a
+        silently wrong result.
+        """
+        if self._reliability is None:
+            return self._search_once(key, search_mask)
+        return self._reliability.guarded_search(
+            key, search_mask, self._search_once
+        )
+
+    def _search_once(self, key: KeyInput, search_mask: int = 0) -> SearchResult:
+        """One un-retried pass of the scalar group search."""
         search_value = key.value if isinstance(key, TernaryKey) else int(key)
         if isinstance(key, TernaryKey):
             search_mask |= key.mask
@@ -383,6 +448,13 @@ class SliceGroup:
         self._mirror.sync()
         return self._mirror
 
+    def _mirror_for_batch(self) -> "DecodedMirror":
+        """The mirror provider handed to the batch engine (sync under the
+        quarantine-and-retry loop when reliability is enabled)."""
+        if self._reliability is None:
+            return self._synced_mirror()
+        return self._reliability.synced_mirror(self._synced_mirror)
+
     def _mirror_access_sink(self, buckets) -> None:
         """Account a batch of mirror-served logical bucket fetches.
 
@@ -390,10 +462,14 @@ class SliceGroup:
         ``rows_fetched_per_access`` physical fetches); with
         ``account_reads`` it also charges the per-slice read counters —
         horizontal groups fetch every slice per bucket, vertical groups
-        fetch only the slice owning each bucket.
+        fetch only the slice owning each bucket.  With reliability enabled,
+        each served fetch also samples access-time soft errors into the
+        physical rows.
         """
         import numpy as np
 
+        if self._reliability is not None:
+            self._reliability.on_batch_access(buckets)
         count = len(buckets)
         self.physical_row_fetches += count * self.rows_fetched_per_access
         if not self.account_reads:
@@ -431,7 +507,7 @@ class SliceGroup:
 
             self._batch_engine = BatchSearchEngine(
                 index_generator=self._index,
-                mirror_provider=self._synced_mirror,
+                mirror_provider=self._mirror_for_batch,
                 slots_per_bucket=self.slots_per_bucket,
                 match_processors=self._config.match_processors,
                 key_bits=self._config.record_format.key_bits,
@@ -441,7 +517,12 @@ class SliceGroup:
                 access_sink=self._mirror_access_sink,
                 chunk_size=self._batch_chunk_size,
             )
-        return self._batch_engine.search(keys, search_mask)
+        results = self._batch_engine.search(keys, search_mask)
+        if self._reliability is not None:
+            results = self._reliability.overlay_results(
+                results, keys, search_mask
+            )
+        return results
 
     def bulk_load(self, records) -> int:
         """Insert many ``(key, data)`` pairs at once; returns stored copies.
@@ -682,7 +763,13 @@ class SliceGroup:
         tight extended-search bounds — the database (re)construction the
         paper performs through RAM mode.
         """
-        stored = [record for _, record in self.records()]
+        if self._reliability is not None:
+            mirror = self._reliability.synced_mirror(self._synced_mirror)
+            stored = [record for _, _, record in mirror.iter_valid()]
+            stored.extend(self._reliability.drain_victims())
+            self._reliability.quarantined_buckets.clear()
+        else:
+            stored = [record for _, record in self.records()]
         for array in self._arrays:
             array.fill(0)
         self._record_count = 0
@@ -702,6 +789,8 @@ class SliceGroup:
         self._record_count = 0
         self.stats.reset()
         self.physical_row_fetches = 0
+        if self._reliability is not None:
+            self._reliability.reset()
 
 
 @dataclass

@@ -3,32 +3,117 @@
 All library-specific errors derive from :class:`CaRamError` so callers can
 catch a single base class.  Subclasses mirror the failure modes the paper
 discusses: configuration mistakes, capacity exhaustion (a database that does
-not fit even with probing), and protocol misuse of the slice/subsystem
-interfaces.
+not fit even with probing), protocol misuse of the slice/subsystem
+interfaces, and — with the reliability layer — detected memory corruption.
+
+Every class carries a distinct :attr:`~CaRamError.exit_code` so the CLI can
+map failures to stable, scriptable process exit statuses (``repro ...``
+never exits 0 on a library error, and different failure classes are
+distinguishable from shell).
+
+Errors that replaced historical ad-hoc ``ValueError`` raises
+(:class:`ConfigurationError`, :class:`KeyFormatError`,
+:class:`RamModeError`) also inherit :class:`ValueError`, so existing
+callers catching ``ValueError`` keep working.
+
+``ReproError`` and ``ConfigError`` are short aliases of the base and
+configuration classes.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class CaRamError(Exception):
-    """Base class for all errors raised by :mod:`repro`."""
+    """Base class for all errors raised by :mod:`repro`.
+
+    Attributes:
+        exit_code: the process exit status the CLI maps this class to.
+    """
+
+    exit_code = 1
 
 
-class ConfigurationError(CaRamError):
+class ConfigurationError(CaRamError, ValueError):
     """A structurally invalid configuration (bad widths, counts, or modes)."""
+
+    exit_code = 3
 
 
 class CapacityError(CaRamError):
     """The database cannot be stored: every candidate bucket is full."""
 
+    exit_code = 4
 
-class KeyFormatError(CaRamError):
+
+class KeyFormatError(CaRamError, ValueError):
     """A key does not match the configured key width or ternary encoding."""
+
+    exit_code = 5
 
 
 class LookupError_(CaRamError):
     """A CAM-mode operation failed (e.g. deleting a key that is absent)."""
 
+    exit_code = 6
 
-class RamModeError(CaRamError):
+
+class RamModeError(CaRamError, ValueError):
     """An invalid RAM-mode (address-based) access, e.g. out-of-range row."""
+
+    exit_code = 7
+
+
+class ReliabilityError(CaRamError):
+    """The reliability layer cannot uphold its guarantees (e.g. a full
+    victim store, or an exhausted retry budget)."""
+
+    exit_code = 8
+
+
+class CorruptionError(ReliabilityError):
+    """An uncorrectable memory error was *detected* (never silent).
+
+    Raised by the ECC row guard when a read's syndrome indicates a
+    multi-bit error — the detect half of the detect-or-correct guarantee.
+
+    Attributes:
+        array_index: index of the failing physical array within its
+            slice/group (``None`` when unknown).
+        row: failing physical row within that array (``None`` when
+            unknown).
+    """
+
+    exit_code = 9
+
+    def __init__(
+        self,
+        message: str,
+        array_index: Optional[int] = None,
+        row: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.array_index = array_index
+        self.row = row
+
+
+#: Alias of :class:`CaRamError` (the generic library-error spelling).
+ReproError = CaRamError
+
+#: Alias of :class:`ConfigurationError`.
+ConfigError = ConfigurationError
+
+
+__all__ = [
+    "CaRamError",
+    "ReproError",
+    "ConfigurationError",
+    "ConfigError",
+    "CapacityError",
+    "KeyFormatError",
+    "LookupError_",
+    "RamModeError",
+    "ReliabilityError",
+    "CorruptionError",
+]

@@ -79,6 +79,10 @@ class MemoryArray:
         #: Optional structured-event tracer; ``None`` (the default) keeps
         #: the hot paths at a single attribute check.
         self.tracer: Optional["Tracer"] = None
+        #: Optional :class:`~repro.reliability.guard.RowGuard` intercepting
+        #: reads/writes for fault injection + ECC; ``None`` (the default)
+        #: keeps every access at a single attribute check.
+        self.guard = None
 
     # ------------------------------------------------------------------
     # Content-change notification (decoded-mirror invalidation)
@@ -133,13 +137,30 @@ class MemoryArray:
         if not 0 <= row < self._rows:
             raise RamModeError(f"row {row} out of range [0, {self._rows})")
 
+    def _check_field(self, msb_offset: int, length: int) -> None:
+        if length <= 0:
+            raise RamModeError(f"field length must be positive: {length}")
+        if msb_offset < 0 or msb_offset + length > self._row_bits:
+            raise RamModeError(
+                f"field [{msb_offset}, {msb_offset + length}) exceeds the "
+                f"{self._row_bits}-bit row"
+            )
+
     def read_row(self, row: int) -> int:
-        """Read a full row as an MSB-first bit vector (integer)."""
+        """Read a full row as an MSB-first bit vector (integer).
+
+        With a reliability guard installed, the read passes through fault
+        injection and the ECC check — it returns corrected data or raises
+        :class:`~repro.errors.CorruptionError`, never silently wrong bits.
+        """
         self._check_row(row)
         self.stats.reads += 1
         if self.tracer is not None:
             self.tracer.emit("bucket_read", row=row)
-        return self._data[row]
+        value = self._data[row]
+        if self.guard is not None:
+            value = self.guard.on_read(row, value)
+        return value
 
     def write_row(self, row: int, value: int) -> None:
         """Overwrite a full row."""
@@ -149,6 +170,8 @@ class MemoryArray:
                 f"value does not fit in a {self._row_bits}-bit row"
             )
         self.stats.writes += 1
+        if self.guard is not None:
+            value = self.guard.on_write(row, value)
         self._data[row] = value
         self._invalidate(row, 1)
 
@@ -157,6 +180,7 @@ class MemoryArray:
 
         Counts as one row read (a real array always fetches the whole row).
         """
+        self._check_field(msb_offset, length)
         value = self.read_row(row)
         return extract_bits(value, self._row_bits, msb_offset, length)
 
@@ -165,6 +189,7 @@ class MemoryArray:
 
         Counts as one read plus one write.
         """
+        self._check_field(msb_offset, length)
         if value < 0 or value > mask_of(length):
             raise RamModeError(f"field value does not fit in {length} bits")
         old = self.read_row(row)
@@ -174,6 +199,19 @@ class MemoryArray:
 
     def peek_row(self, row: int) -> int:
         """Read a row without touching the access counters (for tests/debug)."""
+        self._check_row(row)
+        return self._data[row]
+
+    def verified_peek_row(self, row: int) -> int:
+        """Uncounted row read through the ECC check when a guard is
+        installed (plain :meth:`peek_row` otherwise).
+
+        Maintenance paths (insert/delete read-modify-writes) use this so
+        they never fold silently corrupted row content back into a fresh
+        checkword.
+        """
+        if self.guard is not None:
+            return self.guard.verified_peek(row)
         self._check_row(row)
         return self._data[row]
 
@@ -196,6 +234,8 @@ class MemoryArray:
         if value < 0 or value > mask_of(self._row_bits):
             raise RamModeError(f"value does not fit in a {self._row_bits}-bit row")
         self._data = [value] * self._rows
+        if self.guard is not None:
+            self.guard.on_fill(value)
         self._invalidate(0, self._rows)
 
     def snapshot(self) -> List[int]:
@@ -216,6 +256,8 @@ class MemoryArray:
         for i, value in enumerate(rows):
             if value < 0 or value > limit:
                 raise RamModeError(f"row {offset + i} value does not fit")
+        if self.guard is not None:
+            rows = self.guard.on_load(offset, rows)
         for i, value in enumerate(rows):
             self._data[offset + i] = value
         self.stats.writes += len(rows)

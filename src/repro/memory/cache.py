@@ -100,7 +100,7 @@ class CacheSimulator:
         Misses allocate the line, evicting the LRU way when the set is full.
         """
         if address < 0:
-            raise ValueError(f"address must be non-negative, got {address}")
+            raise ConfigurationError(f"address must be non-negative, got {address}")
         line = address // self._line_bytes
         index = line % self._set_count
         tag = line // self._set_count

@@ -59,6 +59,12 @@ def words_for_bits(bits: int) -> int:
 
 def int_to_words(value: int, word_count: int) -> List[int]:
     """Split an unsigned integer into ``word_count`` little-endian words."""
+    if value < 0:
+        raise KeyFormatError(f"value must be non-negative: {value}")
+    if value >> (KEY_WORD_BITS * word_count):
+        raise KeyFormatError(
+            f"value {value:#x} does not fit in {word_count} words"
+        )
     return [
         (value >> (KEY_WORD_BITS * w)) & _WORD_MASK for w in range(word_count)
     ]
@@ -266,8 +272,15 @@ class DecodedMirror:
                 slot_base = slice_id * slice_slots
             else:
                 slot_base = 0
+            # With a reliability guard installed the decode source is the
+            # ECC-verified read: the mirror never adopts silently corrupt
+            # rows (an uncorrectable row raises before its last-good decode
+            # here is overwritten, which is what makes the mirror the
+            # recovery source of truth for quarantine).
+            guard = array.guard
+            row_reader = array.peek_row if guard is None else guard.verified_peek
             for row in dirty_rows.tolist():
-                row_value = array.peek_row(row)
+                row_value = row_reader(row)
                 if self._horizontal:
                     bucket = row
                 else:
@@ -324,6 +337,10 @@ class DecodedMirror:
             raise ConfigurationError(
                 f"key-word shape {key_words.shape} != {self.key_words.shape}"
             )
+        if mask_words.shape != self.mask_words.shape:
+            raise ConfigurationError(
+                f"mask-word shape {mask_words.shape} != {self.mask_words.shape}"
+            )
         if reach.shape != (self.buckets,):
             raise ConfigurationError(
                 f"reach shape {reach.shape} != ({self.buckets},)"
@@ -358,7 +375,24 @@ class DecodedMirror:
 
         Returns:
             ``(B, slots)`` bool match matrix, slot 0 first.
+
+        Raises:
+            ConfigurationError: on out-of-range bucket ids (negative ids
+                would otherwise wrap around silently) or a query matrix
+                whose word width does not match the stored keys.
         """
+        ids = np.asarray(bucket_ids)
+        if ids.size and (
+            int(ids.min()) < 0 or int(ids.max()) >= self.buckets
+        ):
+            raise ConfigurationError(
+                f"bucket ids out of range [0, {self.buckets})"
+            )
+        if query_words.ndim != 2 or query_words.shape[1] != self._word_count:
+            raise ConfigurationError(
+                f"query matrix must be (B, {self._word_count}), "
+                f"got {query_words.shape}"
+            )
         stored = self.key_words[bucket_ids]
         stored_mask = self.mask_words[bucket_ids]
         if query_mask_words is None:

@@ -1,0 +1,53 @@
+"""Reliability layer: fault injection, row ECC, and graceful degradation.
+
+The paper targets SRAM and embedded-DRAM substrates, where soft errors and
+manufacturing defects are first-order concerns.  This package adds the
+protection a production deployment of the substrate would carry:
+
+* :mod:`repro.reliability.ecc` — per-row SECDED-style codewords (single-bit
+  correction, double-bit detection), scalar and vectorized encoders;
+* :mod:`repro.reliability.faults` — a deterministic, seedable fault
+  injector (transient bit flips, stuck-at cells, dead rows);
+* :mod:`repro.reliability.guard` — the per-array read/write guard that
+  injects faults and enforces the detect-or-correct contract;
+* :mod:`repro.reliability.manager` — slice/group-level policy: scrubbing,
+  row quarantine with victim-store remapping, and retry-on-detect;
+* :mod:`repro.reliability.soak` — the chaos-soak harness driving the IP
+  and trigram workloads under swept fault rates.
+
+Enable it on a built slice or group with
+``slice.enable_reliability(policy, faults)``; with no call the layer adds a
+single ``is None`` check to the hot paths.
+"""
+
+from repro.reliability.ecc import (
+    ECC_CLEAN,
+    ECC_CORRECTED,
+    ECC_DETECTED,
+    ECC_SEGMENT_BITS,
+    bits_to_checkwords,
+    check_row,
+    checkwords_for_rows,
+    encode_row,
+    segment_count,
+)
+from repro.reliability.faults import FaultConfig, FaultInjector
+from repro.reliability.guard import RowGuard
+from repro.reliability.manager import ReliabilityManager, ReliabilityPolicy
+
+__all__ = [
+    "ECC_CLEAN",
+    "ECC_CORRECTED",
+    "ECC_DETECTED",
+    "ECC_SEGMENT_BITS",
+    "encode_row",
+    "check_row",
+    "checkwords_for_rows",
+    "bits_to_checkwords",
+    "segment_count",
+    "FaultConfig",
+    "FaultInjector",
+    "RowGuard",
+    "ReliabilityManager",
+    "ReliabilityPolicy",
+]

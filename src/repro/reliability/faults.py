@@ -1,0 +1,261 @@
+"""Deterministic, seedable fault injection for memory arrays.
+
+Models the three fault classes of the SRAM/embedded-DRAM substrates the
+paper targets:
+
+* **transient bit flips** (soft errors) — sampled per row *access* at
+  ``bit_flip_rate`` per bit; once flipped, a cell stays wrong until
+  rewritten (the guard persists flips into the array), so undetected
+  errors accumulate exactly as they would in a real array;
+* **stuck-at cells** — specific ``(row, bit)`` positions pinned to 0 or 1;
+  applied at *write* time, so the stored value differs from the intended
+  one by the stuck bits (ECC is computed over the intended value, making a
+  single stuck cell correctable on every read);
+* **dead rows** — whole rows whose reads return garbage.  Modeled as a
+  transient two-bit overlay on every read, which a SECDED code always
+  *detects* and never miscorrects, forcing the row into quarantine.
+
+All randomness flows from ``numpy.random.default_rng(seed + salt)`` — the
+same configuration and access sequence reproduces the same faults bit for
+bit, which is what makes the chaos-soak acceptance gate deterministic.
+
+Quarantining a row calls :meth:`FaultInjector.retire_row`: the reliability
+layer *spares* the row (replaces it with a pristine spare, the classic
+row-sparing repair), so its stuck/dead faults stop applying while the
+transient flip rate continues to cover the spare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """One array's fault model (all fields deterministic given ``seed``).
+
+    Attributes:
+        seed: base RNG seed; each array salts it with its index.
+        bit_flip_rate: per-bit probability of a transient flip, applied
+            once per row access.
+        stuck_cells: explicit ``(row, bit, value)`` stuck-at cells.
+        stuck_cell_count: additional randomly-placed stuck cells.
+        dead_rows: explicit dead row indices.
+        dead_row_count: additional randomly-chosen dead rows.
+    """
+
+    seed: int = 0
+    bit_flip_rate: float = 0.0
+    stuck_cells: Tuple[Tuple[int, int, int], ...] = ()
+    stuck_cell_count: int = 0
+    dead_rows: Tuple[int, ...] = ()
+    dead_row_count: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.bit_flip_rate <= 1.0:
+            raise ConfigurationError(
+                f"bit_flip_rate must be in [0, 1]: {self.bit_flip_rate}"
+            )
+        if self.stuck_cell_count < 0 or self.dead_row_count < 0:
+            raise ConfigurationError("fault counts must be non-negative")
+        for row, bit, value in self.stuck_cells:
+            if value not in (0, 1):
+                raise ConfigurationError(
+                    f"stuck cell value must be 0 or 1: {value}"
+                )
+            if row < 0 or bit < 0:
+                raise ConfigurationError(
+                    f"stuck cell ({row}, {bit}) must be non-negative"
+                )
+
+    @property
+    def any_faults(self) -> bool:
+        return bool(
+            self.bit_flip_rate
+            or self.stuck_cells
+            or self.stuck_cell_count
+            or self.dead_rows
+            or self.dead_row_count
+        )
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did (per array)."""
+
+    bit_flips: int = 0
+    dead_row_reads: int = 0
+    stuck_cell_count: int = 0
+    dead_row_count: int = 0
+    retired_rows: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "bit_flips": self.bit_flips,
+            "dead_row_reads": self.dead_row_reads,
+            "stuck_cell_count": self.stuck_cell_count,
+            "dead_row_count": self.dead_row_count,
+            "retired_rows": self.retired_rows,
+        }
+
+
+class FaultInjector:
+    """Seedable fault source for one physical memory array.
+
+    Args:
+        config: the fault model.
+        rows / row_bits: the protected array's geometry.
+        salt: mixed into the seed (the array's index within its group), so
+            every array draws an independent stream.
+    """
+
+    def __init__(
+        self, config: FaultConfig, rows: int, row_bits: int, salt: int = 0
+    ) -> None:
+        if rows <= 0 or row_bits <= 0:
+            raise ConfigurationError("rows and row_bits must be positive")
+        self._config = config
+        self._rows = rows
+        self._row_bits = row_bits
+        self._rng = np.random.default_rng(config.seed + 0x9E3779B1 * salt)
+        self.stats = FaultStats()
+
+        # Stuck cells: per-row OR (stuck-at-1) and inverted AND (stuck-at-0)
+        # masks over LSB bit positions.
+        self._stuck_or: Dict[int, int] = {}
+        self._stuck_clear: Dict[int, int] = {}
+        cells = [
+            (row, bit, value)
+            for row, bit, value in config.stuck_cells
+            if row < rows and bit < row_bits
+        ]
+        if config.stuck_cell_count:
+            chosen = self._rng.choice(
+                rows * row_bits,
+                size=min(config.stuck_cell_count, rows * row_bits),
+                replace=False,
+            )
+            for flat in np.sort(chosen).tolist():
+                cells.append(
+                    (flat // row_bits, flat % row_bits, int(self._rng.integers(2)))
+                )
+        for row, bit, value in cells:
+            mask = 1 << bit
+            if value:
+                self._stuck_or[row] = self._stuck_or.get(row, 0) | mask
+            else:
+                self._stuck_clear[row] = self._stuck_clear.get(row, 0) | mask
+        self.stats.stuck_cell_count = len(cells)
+
+        # Dead rows: a deterministic two-bit read overlay per row.
+        dead = {row for row in config.dead_rows if row < rows}
+        if config.dead_row_count:
+            extra = self._rng.choice(
+                rows, size=min(config.dead_row_count, rows), replace=False
+            )
+            dead.update(int(r) for r in extra.tolist())
+        self._dead_overlays: Dict[int, int] = {
+            row: self._dead_overlay(row) for row in dead
+        }
+        self.stats.dead_row_count = len(self._dead_overlays)
+
+    # ------------------------------------------------------------------
+    # Fault application
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> FaultConfig:
+        return self._config
+
+    def _dead_overlay(self, row: int) -> int:
+        """A fixed two-bit corruption mask for a dead row.
+
+        The two flipped bits are an adjacent even/odd pair, which always
+        falls inside one 64-bit ECC segment — a double flip the segment's
+        SECDED code *detects* and never miscorrects, so a dead row
+        deterministically surfaces.
+        """
+        if self._row_bits < 2:
+            return 1
+        a = ((row * 7919 + 13) % self._row_bits) & ~1
+        b = a + 1
+        if b >= self._row_bits:
+            a, b = a - 2, a - 1
+        return (1 << a) | (1 << b)
+
+    def flips_for_read(self, row: int) -> int:
+        """Sample this access's soft-error flip mask (0 = no fault)."""
+        rate = self._config.bit_flip_rate
+        if not rate:
+            return 0
+        count = int(self._rng.binomial(self._row_bits, rate))
+        if not count:
+            return 0
+        positions = self._rng.choice(self._row_bits, size=count, replace=False)
+        mask = 0
+        for bit in positions.tolist():
+            mask |= 1 << int(bit)
+        self.stats.bit_flips += count
+        return mask
+
+    def flip_counts_for_reads(self, count: int) -> np.ndarray:
+        """Per-access flip counts for a batch of ``count`` row accesses."""
+        rate = self._config.bit_flip_rate
+        if not rate or not count:
+            return np.zeros(count, dtype=np.int64)
+        return self._rng.binomial(self._row_bits, rate, size=count).astype(
+            np.int64
+        )
+
+    def flip_mask(self, bit_count: int) -> int:
+        """Draw a ``bit_count``-bit flip mask (used by the batch path)."""
+        if not bit_count:
+            return 0
+        positions = self._rng.choice(
+            self._row_bits, size=bit_count, replace=False
+        )
+        mask = 0
+        for bit in positions.tolist():
+            mask |= 1 << int(bit)
+        self.stats.bit_flips += bit_count
+        return mask
+
+    def read_overlay(self, row: int) -> int:
+        """Transient corruption a read of this row sees (dead rows)."""
+        overlay = self._dead_overlays.get(row, 0)
+        if overlay:
+            self.stats.dead_row_reads += 1
+        return overlay
+
+    def is_dead(self, row: int) -> bool:
+        return row in self._dead_overlays
+
+    def apply_write(self, row: int, value: int) -> int:
+        """The value actually stored when ``value`` is written to ``row``
+        (stuck cells override the written bits)."""
+        or_mask = self._stuck_or.get(row)
+        if or_mask is not None:
+            value |= or_mask
+        clear_mask = self._stuck_clear.get(row)
+        if clear_mask is not None:
+            value &= ~clear_mask
+        return value
+
+    def retire_row(self, row: int) -> None:
+        """Spare a row: its stuck/dead faults stop applying (row sparing).
+
+        Transient flips still cover the replacement row.
+        """
+        was_dead = self._dead_overlays.pop(row, None) is not None
+        was_stuck_1 = self._stuck_or.pop(row, None) is not None
+        was_stuck_0 = self._stuck_clear.pop(row, None) is not None
+        if was_dead or was_stuck_1 or was_stuck_0:
+            self.stats.retired_rows += 1
+
+
+__all__ = ["FaultConfig", "FaultInjector", "FaultStats"]

@@ -23,8 +23,12 @@ emitted by the stack:
 ``dma_burst``
     A DMA-style bulk row load into a memory array.
 ``lookup`` / ``lookup_batch`` / ``lookup_batch_varied`` / ``insert`` /
-``insert_batch`` / ``delete`` / ``probe_walk`` / ``scalar_fallback``
-    The :class:`~repro.core.stats.SearchStats` mutation stream.  These
+``insert_batch`` / ``delete`` / ``probe_walk`` / ``scalar_fallback`` /
+``fault_inject`` / ``ecc_correct`` / ``corruption_detect`` /
+``quarantine`` / ``victim_hit`` / ``lookup_retry``
+    The :class:`~repro.core.stats.SearchStats` mutation stream (the last
+    six are the reliability layer's fault/correction/degradation events).
+    These
     carry exactly the arguments of the corresponding ``record_*`` call, so
     a trace **replays**: :func:`replay_search_stats` folds them back into a
     fresh ``SearchStats`` whose counters are bit-identical to the ones
@@ -202,6 +206,12 @@ STATS_EVENT_KINDS = frozenset(
         "delete",
         "probe_walk",
         "scalar_fallback",
+        "fault_inject",
+        "ecc_correct",
+        "corruption_detect",
+        "quarantine",
+        "victim_hit",
+        "lookup_retry",
     }
 )
 
@@ -251,6 +261,18 @@ def replay_search_stats(events: Iterable[TraceEvent]):
             stats.record_probe_walk(int(payload["keys"]))
         elif kind == "scalar_fallback":
             stats.record_scalar_fallbacks(int(payload["count"]))
+        elif kind == "fault_inject":
+            stats.record_fault_injected()
+        elif kind == "ecc_correct":
+            stats.record_ecc_correction()
+        elif kind == "corruption_detect":
+            stats.record_corruption_detected()
+        elif kind == "quarantine":
+            stats.record_quarantine(int(payload["records"]))
+        elif kind == "victim_hit":
+            stats.record_victim_hit()
+        elif kind == "lookup_retry":
+            stats.record_lookup_retry()
     return stats
 
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
+from repro.errors import ConfigurationError
+
 
 def mask_of(width: int) -> int:
     """Return a mask with the low ``width`` bits set.
@@ -19,7 +21,7 @@ def mask_of(width: int) -> int:
     15
     """
     if width < 0:
-        raise ValueError(f"width must be non-negative, got {width}")
+        raise ConfigurationError(f"width must be non-negative, got {width}")
     return (1 << width) - 1
 
 
@@ -30,7 +32,7 @@ def bit_length_for(count: int) -> int:
     11
     """
     if count <= 0:
-        raise ValueError(f"count must be positive, got {count}")
+        raise ConfigurationError(f"count must be positive, got {count}")
     return (count - 1).bit_length() if count > 1 else 0
 
 
@@ -46,7 +48,7 @@ def extract_bits(value: int, width: int, msb_offset: int, length: int) -> int:
     6
     """
     if msb_offset < 0 or length < 0 or msb_offset + length > width:
-        raise ValueError(
+        raise ConfigurationError(
             f"cannot extract bits [{msb_offset}, {msb_offset + length}) "
             f"from a {width}-bit value"
         )
@@ -78,7 +80,7 @@ def to_bit_list(value: int, width: int) -> List[int]:
     [0, 1, 0, 1]
     """
     if value < 0 or value > mask_of(width):
-        raise ValueError(f"value {value} does not fit in {width} bits")
+        raise ConfigurationError(f"value {value} does not fit in {width} bits")
     return [(value >> (width - 1 - i)) & 1 for i in range(width)]
 
 
@@ -91,7 +93,7 @@ def from_bit_list(bits: Iterable[int]) -> int:
     value = 0
     for bit in bits:
         if bit not in (0, 1):
-            raise ValueError(f"bits must be 0 or 1, got {bit!r}")
+            raise ConfigurationError(f"bits must be 0 or 1, got {bit!r}")
         value = (value << 1) | bit
     return value
 

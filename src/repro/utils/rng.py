@@ -12,6 +12,8 @@ from typing import List, Union
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+
 SeedLike = Union[int, np.random.Generator, None]
 
 DEFAULT_SEED = 0x5EED_CA_4A
@@ -38,7 +40,7 @@ def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
     another.
     """
     if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
+        raise ConfigurationError(f"count must be non-negative, got {count}")
     root = np.random.SeedSequence(
         seed if isinstance(seed, int) else DEFAULT_SEED
     )

@@ -1,0 +1,114 @@
+"""The typed error hierarchy and its CLI exit-code contract."""
+
+import pytest
+
+from repro.errors import (
+    CaRamError,
+    CapacityError,
+    ConfigError,
+    ConfigurationError,
+    CorruptionError,
+    KeyFormatError,
+    LookupError_,
+    RamModeError,
+    ReliabilityError,
+    ReproError,
+)
+
+EXPECTED_EXIT_CODES = {
+    CaRamError: 1,
+    ConfigurationError: 3,
+    CapacityError: 4,
+    KeyFormatError: 5,
+    LookupError_: 6,
+    RamModeError: 7,
+    ReliabilityError: 8,
+    CorruptionError: 9,
+}
+
+
+class TestHierarchy:
+    def test_every_class_derives_from_base(self):
+        for cls in EXPECTED_EXIT_CODES:
+            assert issubclass(cls, CaRamError)
+
+    def test_exit_codes_distinct_and_stable(self):
+        for cls, code in EXPECTED_EXIT_CODES.items():
+            assert cls.exit_code == code
+        codes = [cls.exit_code for cls in EXPECTED_EXIT_CODES]
+        assert len(set(codes)) == len(codes)
+        assert 0 not in codes and 2 not in codes  # 0=ok, 2=argparse
+
+    def test_value_error_compatibility(self):
+        """Errors that replaced historical ``ValueError`` raises must stay
+        catchable as ``ValueError``."""
+        for cls in (ConfigurationError, KeyFormatError, RamModeError):
+            assert issubclass(cls, ValueError)
+            with pytest.raises(ValueError):
+                raise cls("boom")
+        assert not issubclass(CapacityError, ValueError)
+
+    def test_aliases(self):
+        assert ReproError is CaRamError
+        assert ConfigError is ConfigurationError
+
+    def test_corruption_error_carries_location(self):
+        error = CorruptionError("bad row", array_index=2, row=17)
+        assert error.array_index == 2
+        assert error.row == 17
+        assert isinstance(error, ReliabilityError)
+        bare = CorruptionError("unknown site")
+        assert bare.array_index is None and bare.row is None
+
+
+class TestLibraryRaisesTypedErrors:
+    def test_configuration_error_from_bad_config(self):
+        from repro.core.config import SliceConfig
+        from repro.core.record import RecordFormat
+
+        with pytest.raises(ConfigurationError):
+            SliceConfig(
+                index_bits=0,
+                row_bits=64,
+                record_format=RecordFormat(key_bits=8, data_bits=4),
+            )
+
+    def test_key_format_error_from_oversized_key(self):
+        from repro.memory.mirror import keys_to_words
+
+        with pytest.raises(KeyFormatError):
+            keys_to_words([1 << 16], 16)
+
+    def test_ram_mode_error_from_bad_row(self):
+        from repro.memory.array import MemoryArray
+
+        with pytest.raises(RamModeError):
+            MemoryArray(8, 32).read_row(99)
+
+
+class TestCliExitCodes:
+    def test_library_error_maps_to_class_exit_code(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["reliability", "soak", "--queries", "-5", "--rates", "1e-4"]
+        )
+        assert code == ConfigurationError.exit_code
+        assert "error:" in capsys.readouterr().err
+
+    def test_success_exits_zero(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "reliability",
+                "soak",
+                "--queries",
+                "200",
+                "--rates",
+                "1e-4",
+                "--workloads",
+                "ip",
+            ]
+        )
+        assert code == 0

@@ -1,0 +1,219 @@
+"""Graceful degradation end to end: restore, quarantine, victim overlay.
+
+Drives a small CARAMSlice and a SliceGroup through manufactured faults
+and checks the layer's one contract — detect or correct, never lie —
+plus the bookkeeping around it (victims, retries, rebuild, telemetry).
+"""
+
+import pytest
+
+from repro.core.config import Arrangement, SliceConfig
+from repro.core.index import make_index_generator
+from repro.core.record import RecordFormat
+from repro.core.slice import CARAMSlice
+from repro.core.subsystem import SliceGroup
+from repro.errors import ConfigurationError, ReliabilityError
+from repro.hashing.base import ModuloHash
+from repro.hashing.bit_select import BitSelectHash
+from repro.reliability.faults import FaultConfig
+from repro.reliability.manager import ReliabilityPolicy
+from repro.utils.rng import make_rng
+
+INDEX_BITS = 6
+KEY_BITS = 32
+DATA_BITS = 16
+
+
+def _build_slice():
+    config = SliceConfig(
+        index_bits=INDEX_BITS,
+        row_bits=256,
+        record_format=RecordFormat(key_bits=KEY_BITS, data_bits=DATA_BITS),
+    )
+    positions = range(KEY_BITS - INDEX_BITS, KEY_BITS)
+    gen = make_index_generator(BitSelectHash(KEY_BITS, list(positions)))
+    return CARAMSlice(config, gen)
+
+
+def _build_group(arrangement=Arrangement.HORIZONTAL, slice_count=2):
+    config = SliceConfig(
+        index_bits=INDEX_BITS,
+        row_bits=256,
+        record_format=RecordFormat(key_bits=KEY_BITS, data_bits=DATA_BITS),
+    )
+    buckets = (
+        config.rows * slice_count
+        if arrangement is Arrangement.VERTICAL
+        else config.rows
+    )
+    return SliceGroup(
+        config=config,
+        slice_count=slice_count,
+        arrangement=arrangement,
+        hash_function=ModuloHash(buckets),
+    )
+
+
+def _stored_keys(target, seed=42):
+    rng = make_rng(seed)
+    keys = []
+    seen = set()
+    while len(keys) < target:
+        key = int(rng.integers(0, 1 << KEY_BITS))
+        if key not in seen:
+            seen.add(key)
+            keys.append(key)
+    return keys
+
+
+@pytest.fixture
+def loaded_slice():
+    slice_ = _build_slice()
+    keys = _stored_keys(int(slice_.config.capacity_records * 0.5))
+    slice_.bulk_load([(k, k & 0xFFFF) for k in keys])
+    return slice_, keys
+
+
+def _home(slice_, key):
+    return slice_.index_generator.index(key)
+
+
+class TestEnableDisable:
+    def test_enable_installs_guards(self, loaded_slice):
+        slice_, _ = loaded_slice
+        manager = slice_.enable_reliability()
+        assert slice_.reliability is manager
+        assert slice_.memory.guard is not None
+        slice_.disable_reliability()
+        assert slice_.reliability is None
+        assert slice_.memory.guard is None
+
+    def test_lookups_unchanged_with_clean_layer(self, loaded_slice):
+        slice_, keys = loaded_slice
+        expected = [slice_.search(k).data for k in keys[:50]]
+        slice_.enable_reliability()
+        assert [slice_.search(k).data for k in keys[:50]] == expected
+
+
+class TestRestore:
+    def test_detected_corruption_restored_in_place(self, loaded_slice):
+        slice_, keys = loaded_slice
+        slice_.search_batch(keys[:4])  # warm the mirror (last-good copy)
+        slice_.enable_reliability()
+        target = _home(slice_, keys[0])
+        expected = slice_.search(keys[0]).data
+        slice_.memory._data[target] ^= 0b11  # double flip, one segment
+        assert slice_.search(keys[0]).data == expected
+        manager = slice_.reliability
+        assert manager.restores == 1
+        assert not manager.quarantined_buckets
+        assert slice_.stats.lookup_retries >= 1
+
+    def test_restore_budget_escalates_to_quarantine(self, loaded_slice):
+        slice_, keys = loaded_slice
+        slice_.search_batch(keys[:4])
+        slice_.enable_reliability(ReliabilityPolicy(restore_attempts=0))
+        target = _home(slice_, keys[0])
+        expected = slice_.search(keys[0]).data
+        slice_.memory._data[target] ^= 0b11
+        assert slice_.search(keys[0]).data == expected
+        assert target in slice_.reliability.quarantined_buckets
+
+
+class TestQuarantine:
+    def test_dead_row_records_still_found(self, loaded_slice):
+        slice_, keys = loaded_slice
+        target = _home(slice_, keys[0])
+        slice_.enable_reliability(faults=FaultConfig(dead_rows=(target,)))
+        for key in keys:
+            result = slice_.search(key)
+            assert result.hit and result.data == key & 0xFFFF
+        manager = slice_.reliability
+        assert target in manager.quarantined_buckets
+        assert manager.victims
+        assert slice_.stats.quarantines >= 1
+        assert slice_.stats.victim_hits >= 1
+
+    def test_batch_equals_scalar_under_quarantine(self, loaded_slice):
+        slice_, keys = loaded_slice
+        target = _home(slice_, keys[0])
+        slice_.enable_reliability(faults=FaultConfig(dead_rows=(target,)))
+        rng = make_rng(9)
+        queries = keys + [
+            int(k) for k in rng.integers(0, 1 << KEY_BITS, size=100)
+        ]
+        scalar = [
+            (r.hit, r.data if r.hit else None)
+            for r in map(slice_.search, queries)
+        ]
+        batch = [
+            (r.hit, r.data if r.hit else None)
+            for r in slice_.search_batch(queries)
+        ]
+        assert batch == scalar
+
+    def test_victim_store_capacity_enforced(self, loaded_slice):
+        slice_, keys = loaded_slice
+        target = _home(slice_, keys[0])
+        slice_.enable_reliability(
+            ReliabilityPolicy(victim_capacity=0, restore_attempts=0),
+            FaultConfig(dead_rows=(target,)),
+        )
+        with pytest.raises(ReliabilityError):
+            slice_.search(keys[0])
+
+    def test_rebuild_reabsorbs_victims(self, loaded_slice):
+        slice_, keys = loaded_slice
+        target = _home(slice_, keys[0])
+        slice_.enable_reliability(faults=FaultConfig(dead_rows=(target,)))
+        slice_.search(keys[0])  # trigger the quarantine
+        manager = slice_.reliability
+        assert manager.victims
+        slice_.rebuild()
+        assert not manager.victims
+        assert not manager.quarantined_buckets
+        for key in keys:
+            assert slice_.search(key).data == key & 0xFFFF
+
+
+class TestGroupDegradation:
+    @pytest.mark.parametrize(
+        "arrangement", [Arrangement.HORIZONTAL, Arrangement.VERTICAL]
+    )
+    def test_dead_row_survival_both_arrangements(self, arrangement):
+        group = _build_group(arrangement)
+        keys = _stored_keys(int(group.capacity_records * 0.4))
+        group.bulk_load([(k, k & 0xFFFF) for k in keys])
+        group.enable_reliability(
+            faults=FaultConfig(dead_rows=(3, 17), dead_row_count=1, seed=2)
+        )
+        for key in keys:
+            result = group.search(key)
+            assert result.hit and result.data == key & 0xFFFF
+        scalar = [(r.hit, r.data) for r in map(group.search, keys)]
+        batch = [(r.hit, r.data) for r in group.search_batch(keys)]
+        assert batch == scalar
+
+    def test_telemetry_provider_exports_reliability(self):
+        from repro.telemetry.metrics import MetricsRegistry
+
+        group = _build_group()
+        keys = _stored_keys(20)
+        group.bulk_load([(k, 1) for k in keys])
+        registry = MetricsRegistry()
+        group.register_telemetry(registry, prefix="g")
+        group.enable_reliability(faults=FaultConfig(dead_rows=(0,)))
+        snapshot = registry.snapshot()
+        assert snapshot["stats"]["g.reliability"]["ecc"] is True
+
+
+class TestPolicyValidation:
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReliabilityPolicy(quarantine_threshold=0)
+        with pytest.raises(ConfigurationError):
+            ReliabilityPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            ReliabilityPolicy(restore_attempts=-1)
+        with pytest.raises(ConfigurationError):
+            ReliabilityPolicy(victim_capacity=-1)

@@ -1,0 +1,116 @@
+"""Segmented SECDED: encode/check contracts, scalar == vectorized."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability.ecc import (
+    ECC_CLEAN,
+    ECC_CORRECTED,
+    ECC_DETECTED,
+    ECC_SEGMENT_BITS,
+    bits_to_checkwords,
+    check_row,
+    checkwords_for_rows,
+    encode_row,
+    segment_count,
+)
+from repro.utils.rng import make_rng
+
+ROW_BITS = 200  # three full segments + one 8-bit partial
+
+
+def _random_rows(count, row_bits=ROW_BITS, seed=3):
+    rng = make_rng(seed)
+    return [
+        int.from_bytes(rng.bytes((row_bits + 7) // 8), "big")
+        & ((1 << row_bits) - 1)
+        for _ in range(count)
+    ]
+
+
+class TestSegmentation:
+    def test_segment_count(self):
+        assert segment_count(1) == 1
+        assert segment_count(64) == 1
+        assert segment_count(65) == 2
+        assert segment_count(ROW_BITS) == 4
+
+    def test_invalid_row_bits(self):
+        with pytest.raises(ConfigurationError):
+            segment_count(0)
+
+    def test_checkword_length(self):
+        assert len(encode_row(0, ROW_BITS)) == segment_count(ROW_BITS)
+
+    def test_value_must_fit(self):
+        with pytest.raises(ConfigurationError):
+            encode_row(1 << 64, 64)
+        with pytest.raises(ConfigurationError):
+            encode_row(-1, 64)
+
+
+class TestCheckRow:
+    def test_clean(self):
+        for value in _random_rows(10):
+            cw = encode_row(value, ROW_BITS)
+            assert check_row(value, cw, ROW_BITS) == (ECC_CLEAN, value, None)
+
+    def test_single_flip_corrected_every_position(self):
+        value = _random_rows(1)[0]
+        cw = encode_row(value, ROW_BITS)
+        for bit in range(ROW_BITS):
+            status, corrected, flipped = check_row(
+                value ^ (1 << bit), cw, ROW_BITS
+            )
+            assert status == ECC_CORRECTED
+            assert corrected == value
+            assert flipped == (bit,)
+
+    def test_double_flip_same_segment_detected(self):
+        value = _random_rows(1)[0]
+        cw = encode_row(value, ROW_BITS)
+        for base in (0, ECC_SEGMENT_BITS, 2 * ECC_SEGMENT_BITS):
+            corrupted = value ^ (1 << base) ^ (1 << (base + 1))
+            status, returned, flipped = check_row(corrupted, cw, ROW_BITS)
+            assert status == ECC_DETECTED
+            assert returned == corrupted
+            assert flipped is None
+
+    def test_flips_in_distinct_segments_all_corrected(self):
+        """The payoff of segmentation: one error per segment is fine."""
+        value = _random_rows(1)[0]
+        cw = encode_row(value, ROW_BITS)
+        positions = (3, ECC_SEGMENT_BITS + 60, 2 * ECC_SEGMENT_BITS + 17, 197)
+        corrupted = value
+        for bit in positions:
+            corrupted ^= 1 << bit
+        status, corrected, flipped = check_row(corrupted, cw, ROW_BITS)
+        assert status == ECC_CORRECTED
+        assert corrected == value
+        assert set(flipped) == set(positions)
+
+    def test_checkword_shape_enforced(self):
+        with pytest.raises(ConfigurationError):
+            check_row(0, (0,), ROW_BITS)
+
+
+class TestVectorizedEncoders:
+    def test_checkwords_for_rows_matches_scalar(self):
+        rows = _random_rows(50)
+        vectorized = checkwords_for_rows(rows, ROW_BITS, chunk_rows=16)
+        assert vectorized == [encode_row(v, ROW_BITS) for v in rows]
+
+    def test_bits_to_checkwords_matches_scalar(self):
+        rows = _random_rows(20, row_bits=70, seed=9)
+        nbytes = (70 + 7) // 8
+        buf = b"".join(v.to_bytes(nbytes, "big") for v in rows)
+        matrix = np.frombuffer(buf, dtype=np.uint8).reshape(len(rows), nbytes)
+        bits = np.unpackbits(matrix, axis=1)[:, nbytes * 8 - 70 :]
+        assert bits_to_checkwords(bits) == [encode_row(v, 70) for v in rows]
+
+    def test_bad_matrix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bits_to_checkwords(np.zeros(8, dtype=np.uint8))
+        with pytest.raises(ConfigurationError):
+            checkwords_for_rows([0], 0)

@@ -1,0 +1,113 @@
+"""Fault injector: determinism, stuck cells, dead rows, row sparing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability.ecc import (
+    ECC_DETECTED,
+    ECC_SEGMENT_BITS,
+    check_row,
+    encode_row,
+)
+from repro.reliability.faults import FaultConfig, FaultInjector
+
+ROWS = 64
+ROW_BITS = 160
+
+
+class TestFaultConfig:
+    def test_defaults_are_fault_free(self):
+        assert not FaultConfig().any_faults
+
+    def test_any_faults(self):
+        assert FaultConfig(bit_flip_rate=1e-4).any_faults
+        assert FaultConfig(dead_rows=(3,)).any_faults
+        assert FaultConfig(stuck_cells=((0, 1, 1),)).any_faults
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(bit_flip_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultConfig(stuck_cell_count=-1)
+        with pytest.raises(ConfigurationError):
+            FaultConfig(stuck_cells=((0, 1, 2),))
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        config = FaultConfig(seed=11, bit_flip_rate=0.01, dead_row_count=2)
+        a = FaultInjector(config, ROWS, ROW_BITS)
+        b = FaultInjector(config, ROWS, ROW_BITS)
+        assert [a.flips_for_read(r % ROWS) for r in range(50)] == [
+            b.flips_for_read(r % ROWS) for r in range(50)
+        ]
+        assert sorted(a._dead_overlays) == sorted(b._dead_overlays)
+
+    def test_salt_decorrelates_arrays(self):
+        config = FaultConfig(seed=11, bit_flip_rate=0.05)
+        a = FaultInjector(config, ROWS, ROW_BITS, salt=0)
+        b = FaultInjector(config, ROWS, ROW_BITS, salt=1)
+        assert [a.flips_for_read(0) for _ in range(30)] != [
+            b.flips_for_read(0) for _ in range(30)
+        ]
+
+
+class TestStuckCells:
+    def test_applied_at_write(self):
+        config = FaultConfig(stuck_cells=((2, 5, 1), (2, 7, 0)))
+        injector = FaultInjector(config, ROWS, ROW_BITS)
+        stored = injector.apply_write(2, 0)
+        assert stored == 1 << 5
+        stored = injector.apply_write(2, (1 << 7) | (1 << 3))
+        assert stored == (1 << 3) | (1 << 5)
+
+    def test_other_rows_untouched(self):
+        config = FaultConfig(stuck_cells=((2, 5, 1),))
+        injector = FaultInjector(config, ROWS, ROW_BITS)
+        assert injector.apply_write(3, 42) == 42
+
+    def test_random_cells_counted(self):
+        injector = FaultInjector(
+            FaultConfig(seed=1, stuck_cell_count=5), ROWS, ROW_BITS
+        )
+        assert injector.stats.stuck_cell_count == 5
+
+
+class TestDeadRows:
+    def test_overlay_always_detected_by_segmented_ecc(self):
+        """The two overlay bits share one segment, so every segment size
+        of real rows sees a guaranteed-detected double flip."""
+        injector = FaultInjector(
+            FaultConfig(dead_rows=tuple(range(ROWS))), ROWS, ROW_BITS
+        )
+        for row in range(ROWS):
+            overlay = injector.read_overlay(row)
+            assert bin(overlay).count("1") == 2
+            low = (overlay & -overlay).bit_length() - 1
+            assert overlay == 0b11 << low
+            assert low // ECC_SEGMENT_BITS == (low + 1) // ECC_SEGMENT_BITS
+            value = 0x5A5A
+            cw = encode_row(value, ROW_BITS)
+            status, _, _ = check_row(value ^ overlay, cw, ROW_BITS)
+            assert status == ECC_DETECTED
+
+    def test_is_dead(self):
+        injector = FaultInjector(FaultConfig(dead_rows=(4,)), ROWS, ROW_BITS)
+        assert injector.is_dead(4)
+        assert not injector.is_dead(5)
+        assert injector.read_overlay(5) == 0
+
+
+class TestRetireRow:
+    def test_retire_clears_hard_faults(self):
+        config = FaultConfig(dead_rows=(4,), stuck_cells=((4, 1, 1),))
+        injector = FaultInjector(config, ROWS, ROW_BITS)
+        injector.retire_row(4)
+        assert not injector.is_dead(4)
+        assert injector.apply_write(4, 0) == 0
+        assert injector.stats.retired_rows == 1
+
+    def test_retire_healthy_row_is_noop(self):
+        injector = FaultInjector(FaultConfig(dead_rows=(4,)), ROWS, ROW_BITS)
+        injector.retire_row(9)
+        assert injector.stats.retired_rows == 0

@@ -1,0 +1,197 @@
+"""Property-based tests for the reliability-critical codecs.
+
+Three invariants Hypothesis explores that example tests cannot cover
+exhaustively:
+
+* the mirror's encode/decode pair (``keys_to_words`` → ``words_to_bits``
+  → ``rows_from_bits``) round-trips every value and *rejects* corrupted
+  widths instead of silently truncating;
+* segmented SECDED corrects any single flip and detects any same-segment
+  double flip, at every geometry;
+* quarantining a bucket never breaks batch ≡ scalar agreement.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, KeyFormatError
+from repro.memory.mirror import (
+    KEY_WORD_BITS,
+    int_to_words,
+    keys_to_words,
+    rows_from_bits,
+    words_for_bits,
+    words_to_bits,
+)
+from repro.reliability.ecc import (
+    ECC_CLEAN,
+    ECC_CORRECTED,
+    ECC_DETECTED,
+    ECC_SEGMENT_BITS,
+    check_row,
+    encode_row,
+)
+
+
+@st.composite
+def values_and_bits(draw, max_bits=200):
+    bits = draw(st.integers(min_value=1, max_value=max_bits))
+    values = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << bits) - 1),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    return values, bits
+
+
+class TestMirrorCodecRoundTrip:
+    @given(values_and_bits())
+    @settings(max_examples=60, deadline=None)
+    def test_words_to_bits_rows_from_bits_round_trip(self, case):
+        values, bits = case
+        words = keys_to_words(values, bits)
+        bit_matrix = words_to_bits(words, bits)
+        assert rows_from_bits(bit_matrix, bits) == values
+
+    @given(values_and_bits())
+    @settings(max_examples=40, deadline=None)
+    def test_int_to_words_inverts_packing(self, case):
+        values, bits = case
+        word_count = words_for_bits(bits)
+        words = keys_to_words(values, bits)
+        for i, value in enumerate(values):
+            assert words[i].tolist() == int_to_words(value, word_count)
+
+    @given(values_and_bits(max_bits=120))
+    @settings(max_examples=40, deadline=None)
+    def test_oversized_keys_rejected(self, case):
+        values, bits = case
+        oversized = values + [1 << bits]
+        with pytest.raises(KeyFormatError):
+            keys_to_words(oversized, bits)
+
+    @given(
+        values_and_bits(max_bits=120),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_corrupted_width_rejected(self, case, delta):
+        """A bit matrix that does not match the declared row width must be
+        rejected, never reinterpreted."""
+        values, bits = case
+        bit_matrix = words_to_bits(keys_to_words(values, bits), bits)
+        with pytest.raises(ConfigurationError):
+            rows_from_bits(bit_matrix, bits + delta)
+        word_count = words_for_bits(bits)
+        with pytest.raises(ConfigurationError):
+            words_to_bits(
+                keys_to_words(values, bits),
+                word_count * KEY_WORD_BITS + delta,
+            )
+
+
+class TestSegmentedSecdedProperties:
+    @given(
+        st.integers(min_value=1, max_value=300),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_single_flip_always_corrected(self, row_bits, data):
+        value = data.draw(
+            st.integers(min_value=0, max_value=(1 << row_bits) - 1)
+        )
+        bit = data.draw(st.integers(min_value=0, max_value=row_bits - 1))
+        checkword = encode_row(value, row_bits)
+        status, corrected, flipped = check_row(
+            value ^ (1 << bit), checkword, row_bits
+        )
+        assert status == ECC_CORRECTED
+        assert corrected == value
+        assert flipped == (bit,)
+
+    @given(
+        st.integers(min_value=2, max_value=300),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_same_segment_double_flip_always_detected(self, row_bits, data):
+        value = data.draw(
+            st.integers(min_value=0, max_value=(1 << row_bits) - 1)
+        )
+        # Draw two distinct LSB positions inside one segment.
+        segment = data.draw(
+            st.integers(
+                min_value=0, max_value=(row_bits - 1) // ECC_SEGMENT_BITS
+            )
+        )
+        low = segment * ECC_SEGMENT_BITS
+        high = min(row_bits, low + ECC_SEGMENT_BITS) - 1
+        bit_a = data.draw(st.integers(min_value=low, max_value=high))
+        bit_b = data.draw(st.integers(min_value=low, max_value=high))
+        if bit_a == bit_b:
+            return  # single flip: covered by the property above
+        corrupted = value ^ (1 << bit_a) ^ (1 << bit_b)
+        status, returned, flipped = check_row(
+            corrupted, encode_row(value, row_bits), row_bits
+        )
+        assert status == ECC_DETECTED
+        assert returned == corrupted
+        assert flipped is None
+
+    @given(st.integers(min_value=1, max_value=300), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_clean_rows_verify_clean(self, row_bits, data):
+        value = data.draw(
+            st.integers(min_value=0, max_value=(1 << row_bits) - 1)
+        )
+        assert check_row(value, encode_row(value, row_bits), row_bits) == (
+            ECC_CLEAN,
+            value,
+            None,
+        )
+
+
+class TestBatchScalarAgreementUnderQuarantine:
+    @given(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_quarantined_bucket_keeps_paths_agreeing(self, dead_row, seed):
+        from repro.core.config import SliceConfig
+        from repro.core.index import make_index_generator
+        from repro.core.record import RecordFormat
+        from repro.core.slice import CARAMSlice
+        from repro.hashing.bit_select import BitSelectHash
+        from repro.reliability.faults import FaultConfig
+        from repro.utils.rng import make_rng
+
+        config = SliceConfig(
+            index_bits=6,
+            row_bits=256,
+            record_format=RecordFormat(key_bits=32, data_bits=16),
+        )
+        gen = make_index_generator(BitSelectHash(32, list(range(26, 32))))
+        slice_ = CARAMSlice(config, gen)
+        rng = make_rng(seed)
+        keys = sorted(
+            {int(k) for k in rng.integers(0, 1 << 32, size=120)}
+        )
+        slice_.bulk_load([(k, k & 0xFFFF) for k in keys])
+        slice_.enable_reliability(faults=FaultConfig(dead_rows=(dead_row,)))
+        queries = keys + [int(k) for k in rng.integers(0, 1 << 32, size=40)]
+        scalar = [
+            (r.hit, r.data if r.hit else None)
+            for r in map(slice_.search, queries)
+        ]
+        batch = [
+            (r.hit, r.data if r.hit else None)
+            for r in slice_.search_batch(queries)
+        ]
+        assert batch == scalar
+        for key in keys:
+            assert slice_.search(key).data == key & 0xFFFF

@@ -1,0 +1,145 @@
+"""Chaos-soak harness: invariant enforcement, sweep plumbing, chaos mode.
+
+Small query counts keep these fast; the full 10k-per-workload gate runs
+in ``benchmarks/bench_fault_soak.py``.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability.manager import ReliabilityPolicy
+from repro.reliability.soak import (
+    SoakReport,
+    WorkloadReport,
+    format_sweep_table,
+    run_soak,
+    run_soak_sweep,
+)
+
+
+class TestRunSoak:
+    def test_ip_workload_detect_or_correct(self):
+        report = run_soak("ip", bit_flip_rate=1e-4, queries=600, seed=3)
+        assert report.name == "ip"
+        assert report.queries == 600
+        assert report.silent_wrong == 0
+        assert report.faults_injected > 0
+
+    def test_trigram_workload_detect_or_correct(self):
+        report = run_soak("trigram", bit_flip_rate=1e-4, queries=400, seed=3)
+        assert report.silent_wrong == 0
+        assert report.faults_injected > 0
+
+    def test_zero_rate_is_penalty_free_of_faults(self):
+        report = run_soak(
+            "ip",
+            bit_flip_rate=0.0,
+            queries=300,
+            seed=1,
+            stuck_cells=0,
+            dead_rows=0,
+        )
+        assert report.silent_wrong == 0
+        assert report.faults_injected == 0
+        assert report.ecc_corrections == 0
+        assert report.quarantines == 0
+
+    def test_deterministic_given_seed(self):
+        a = run_soak("ip", bit_flip_rate=1e-3, queries=300, seed=11)
+        b = run_soak("ip", bit_flip_rate=1e-3, queries=300, seed=11)
+        assert a.faults_injected == b.faults_injected
+        assert a.ecc_corrections == b.ecc_corrections
+        assert a.quarantines == b.quarantines
+        assert a.silent_wrong == b.silent_wrong == 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_soak("bogus", bit_flip_rate=1e-4, queries=100)
+
+    def test_nonpositive_queries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_soak("ip", bit_flip_rate=1e-4, queries=0)
+        with pytest.raises(ConfigurationError):
+            run_soak("ip", bit_flip_rate=1e-4, queries=-5)
+
+    def test_chaos_mode_ecc_off_runs(self):
+        """With ECC disabled the harness must still run and *count* the
+        silent corruptions it can no longer prevent."""
+        policy = ReliabilityPolicy(ecc=False, victim_capacity=4096)
+        report = run_soak(
+            "ip", bit_flip_rate=1e-3, queries=500, seed=3, policy=policy
+        )
+        assert report.queries == 500
+        assert report.silent_wrong >= 0  # counted, not asserted zero
+
+    def test_as_dict_round_trips_json(self):
+        import json
+
+        report = run_soak("ip", bit_flip_rate=1e-4, queries=200, seed=5)
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["name"] == "ip"
+        assert payload["silent_wrong"] == 0
+        assert "amal_penalty" in payload
+
+
+class TestSweep:
+    def test_sweep_covers_rates_and_workloads(self):
+        reports = run_soak_sweep(
+            rates=(0.0, 1e-4), workloads=("ip",), queries=200, seed=2
+        )
+        assert [r.bit_flip_rate for r in reports] == [0.0, 1e-4]
+        for soak in reports:
+            assert [w.name for w in soak.workloads] == ["ip"]
+            assert soak.silent_wrong == 0
+
+    def test_format_sweep_table(self):
+        reports = run_soak_sweep(
+            rates=(1e-4,), workloads=("ip",), queries=200, seed=2
+        )
+        table = format_sweep_table(reports)
+        lines = table.splitlines()
+        assert "workload" in lines[0]
+        assert any("ip" in line for line in lines[1:])
+        assert any("e-04" in line for line in lines)
+
+
+class TestReportArithmetic:
+    def _workload(self, **kw):
+        base = dict(
+            name="ip",
+            queries=100,
+            silent_wrong=0,
+            clean_amal=1.0,
+            faulty_amal=1.2,
+            clean_seconds=1.0,
+            faulty_seconds=3.0,
+            faults_injected=5,
+            ecc_corrections=4,
+            corruption_detections=1,
+            quarantines=1,
+            victim_records=2,
+            victim_hits=3,
+            lookup_retries=1,
+            restores=1,
+            scrub_corrected=0,
+            scrub_quarantined=0,
+            unrecoverable_rows=0,
+        )
+        base.update(kw)
+        return WorkloadReport(**base)
+
+    def test_penalties(self):
+        report = self._workload()
+        assert report.amal_penalty == pytest.approx(0.2)
+        assert report.latency_penalty == pytest.approx(3.0)
+
+    def test_soak_silent_wrong_sums_workloads(self):
+        soak = SoakReport(
+            bit_flip_rate=1e-4,
+            seed=1,
+            workloads=[
+                self._workload(silent_wrong=2),
+                self._workload(name="trigram", silent_wrong=3),
+            ],
+        )
+        assert soak.silent_wrong == 5

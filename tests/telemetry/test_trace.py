@@ -134,6 +134,12 @@ class TestReplay:
         stats.record_delete()
         stats.record_probe_walk(1)
         stats.record_scalar_fallbacks(1)
+        stats.record_fault_injected()
+        stats.record_ecc_correction()
+        stats.record_corruption_detected()
+        stats.record_quarantine(records=3)
+        stats.record_victim_hit()
+        stats.record_lookup_retry()
         assert {e.kind for e in tracer.events()} == STATS_EVENT_KINDS
 
 
