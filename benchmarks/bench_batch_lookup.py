@@ -1,26 +1,35 @@
-"""Throughput of the vectorized batch-lookup engine vs the scalar path.
+"""Throughput of the vectorized batch-lookup engines vs the scalar path.
 
 The behavioral scalar search decodes every slot of every fetched row
 through arbitrary-precision bit slicing — exact, but slow.  The batch
-engine resolves the same lookups against the decoded NumPy mirror.  This
-benchmark measures both over the same >=100k-key stream on a populated
-slice, checks the answers are identical, and writes the keys/sec figures
-to ``BENCH_batch_lookup.json`` at the repository root.
+path resolves the same lookups against a decoded NumPy mirror, through
+one of two match backends: the slot-major word mirror (``word``) or the
+transposed bit-plane layout (``bitplane``, the DRAMA-style kernel).  This
+benchmark measures the scalar path and each requested engine over two
+>=100k-key streams on a slice at alpha=0.9 — a mixed stream (50% stored
+keys) and uniform traffic (overwhelmingly misses, the regime where the
+reach-driven probe walk dominates) — checks all answers are identical,
+exercises a churn phase so the incremental re-decode shows up in the
+telemetry block, and writes the keys/sec figures to
+``BENCH_batch_lookup.json`` at the repository root.
 
 Run standalone with::
 
-    PYTHONPATH=src python benchmarks/bench_batch_lookup.py
+    PYTHONPATH=src python benchmarks/bench_batch_lookup.py [--engine=bitplane]
 
-or through pytest (asserts the >=10x speedup)::
+or through pytest (asserts the >=10x speedup and engine parity)::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_batch_lookup.py
 """
 
+import argparse
+import gc
 import json
 import time
 
 from harness import finalize, result_path
 from repro.core.config import SliceConfig
+from repro.core.engines import ENGINE_KINDS
 from repro.core.index import IndexGenerator
 from repro.core.record import RecordFormat
 from repro.core.slice import CARAMSlice
@@ -35,13 +44,14 @@ INDEX_BITS = 10          # 1024 buckets
 KEY_BITS = 32
 DATA_BITS = 16
 SLOTS = 32               # the paper's IP designs store 32 keys per row
-LOAD_FACTOR = 0.7
+LOAD_FACTOR = 0.9        # the high-load regime the probe walk exists for
 QUERY_COUNT = 120_000
 HIT_FRACTION = 0.5
+CHURN_ROWS = 12          # rows rewritten between the churn batches
 SEED = 1234
 
 
-def build_slice() -> CARAMSlice:
+def build_slice(engine: str = "word") -> CARAMSlice:
     record_format = RecordFormat(key_bits=KEY_BITS, data_bits=DATA_BITS)
     aux_bits = 8
     config = SliceConfig(
@@ -54,7 +64,9 @@ def build_slice() -> CARAMSlice:
     hash_function = BitSelectHash(
         KEY_BITS, tuple(range(12, 12 + INDEX_BITS))
     )
-    return CARAMSlice(config, IndexGenerator(hash_function, config.rows))
+    return CARAMSlice(
+        config, IndexGenerator(hash_function, config.rows), engine=engine
+    )
 
 
 def populate(slice_: CARAMSlice):
@@ -84,53 +96,152 @@ def make_queries(stored_keys):
     return queries
 
 
-def run_benchmark() -> dict:
-    slice_ = build_slice()
-    stored = populate(slice_)
-    queries = make_queries(stored)
+def make_uniform_queries():
+    rng = make_rng(SEED + 3)
+    return [int(k) for k in rng.integers(0, 1 << KEY_BITS, size=QUERY_COUNT)]
 
-    with enabled_profiler() as profiler:
-        slice_.stats.reset()
+
+def bench_engine(engine, stored, streams, scalars):
+    """Cold, warm, churn, and uniform batch timings for one backend."""
+    mixed, uniform = streams["mixed"], streams["uniform"]
+    slice_ = build_slice(engine)
+    for key in stored:
+        slice_.insert(key, key & 0xFFFF)
+
+    # Cold batch: the first call pays the full mirror decode (and, for the
+    # bit-plane engine, the full transpose).
+    start = time.perf_counter()
+    batch_results = slice_.search_batch(mixed)
+    batch_seconds = time.perf_counter() - start
+
+    # Warm batch: the mirror is already decoded (the steady state).  Best
+    # of two timings — single-shot wall times on shared runners are noisy.
+    warm_seconds = float("inf")
+    for _ in range(2):
         start = time.perf_counter()
-        scalar_results = [slice_.search(key) for key in queries]
-        scalar_seconds = time.perf_counter() - start
-        scalar_stats = slice_.stats
+        warm_results = slice_.search_batch(mixed)
+        warm_seconds = min(warm_seconds, time.perf_counter() - start)
 
-        # Cold batch: the first call pays the full mirror decode.
-        slice_.stats = type(slice_.stats)()
+    assert batch_results == scalars["mixed"]["results"], (
+        f"{engine} batch/scalar result divergence"
+    )
+    assert warm_results == scalars["mixed"]["results"]
+
+    # Uniform traffic: overwhelmingly misses, every one with a reach-driven
+    # extended search — the probe walk's home regime.
+    uniform_seconds = float("inf")
+    for _ in range(2):
         start = time.perf_counter()
-        batch_results = slice_.search_batch(queries)
-        batch_seconds = time.perf_counter() - start
-
-        # Warm batch: the mirror is already decoded (the steady state).
-        start = time.perf_counter()
-        slice_.search_batch(queries)
-        warm_seconds = time.perf_counter() - start
-
-    assert batch_results == scalar_results, "batch/scalar result divergence"
-    assert slice_.stats.lookups == 2 * scalar_stats.lookups
-    assert slice_.stats.hits == 2 * scalar_stats.hits
-    assert (
-        slice_.stats.total_bucket_accesses
-        == 2 * scalar_stats.total_bucket_accesses
+        uniform_results = slice_.search_batch(uniform)
+        uniform_seconds = min(uniform_seconds, time.perf_counter() - start)
+    assert uniform_results == scalars["uniform"]["results"], (
+        f"{engine} uniform batch/scalar result divergence"
     )
 
+    # Churn: rewrite a few rows, then batch again — the steady state of a
+    # live table, where sync() re-decodes (and re-transposes) only the
+    # dirty rows.  This is what puts mirror.incremental_decode on the
+    # profile for every engine.
+    rng = make_rng(SEED + 2)
+    churn_victims = [
+        stored[int(i)]
+        for i in rng.integers(0, len(stored), size=CHURN_ROWS)
+    ]
+    start = time.perf_counter()
+    for key in churn_victims:
+        try:
+            slice_.delete(key)
+            slice_.insert(key, (key + 1) & 0xFFFF)
+        except Exception:
+            pass
+    churn_results = slice_.search_batch(mixed)
+    churn_seconds = time.perf_counter() - start
+    assert sum(r.hit for r in churn_results) == sum(
+        r.hit for r in scalars["mixed"]["results"]
+    )
+
+    mixed_scalar_s = scalars["mixed"]["seconds"]
+    uniform_scalar_s = scalars["uniform"]["seconds"]
+    return slice_, {
+        "mixed": {
+            "batch_keys_per_sec": round(len(mixed) / batch_seconds),
+            "batch_warm_keys_per_sec": round(len(mixed) / warm_seconds),
+            "batch_churn_keys_per_sec": round(len(mixed) / churn_seconds),
+            "speedup": round(mixed_scalar_s / batch_seconds, 2),
+            "speedup_warm": round(mixed_scalar_s / warm_seconds, 2),
+        },
+        "uniform": {
+            "batch_keys_per_sec": round(len(uniform) / uniform_seconds),
+            "speedup": round(uniform_scalar_s / uniform_seconds, 2),
+        },
+    }
+
+
+def run_benchmark(engines=ENGINE_KINDS) -> dict:
+    reference = build_slice()
+    stored = populate(reference)
+    streams = {
+        "mixed": make_queries(stored),
+        "uniform": make_uniform_queries(),
+    }
+
+    # The retained scalar-result lists put ~10^5 objects on the heap; with
+    # the cyclic collector enabled, gen-2 scans during the timed batch
+    # loops dominate the measurement (4x on the allocation-heavy mixed
+    # stream).  Nothing here creates cycles, so pause collection while
+    # timing, exactly as timeit does.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        return _run_benchmark(reference, stored, streams, engines)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+            gc.collect()
+
+
+def _run_benchmark(reference, stored, streams, engines) -> dict:
+    with enabled_profiler() as profiler:
+        scalars = {}
+        for name, queries in streams.items():
+            reference.stats.reset()
+            start = time.perf_counter()
+            results = [reference.search(key) for key in queries]
+            seconds = time.perf_counter() - start
+            scalars[name] = {
+                "results": results,
+                "seconds": seconds,
+                "amal": reference.stats.amal,
+                "hit_rate": reference.stats.hit_rate,
+            }
+
+        engine_sections = {}
+        last_slice = None
+        for engine in engines:
+            last_slice, section = bench_engine(
+                engine, stored, streams, scalars
+            )
+            engine_sections[engine] = section
+
     # Mount telemetry after the run: providers are read lazily at
-    # snapshot() time, and the slice's stats object was swapped between
-    # the scalar and batch phases.
+    # snapshot() time.  The registry reports the last engine measured
+    # (the one a single-engine CI gate asked for).
     registry = MetricsRegistry()
-    slice_.register_telemetry(registry)
+    last_slice.register_telemetry(registry)
 
     result = {
-        "keys": len(queries),
-        "load_factor": round(slice_.load_factor, 3),
-        "amal": round(scalar_stats.amal, 4),
-        "hit_rate": round(scalar_stats.hit_rate, 4),
-        "scalar_keys_per_sec": round(len(queries) / scalar_seconds),
-        "batch_keys_per_sec": round(len(queries) / batch_seconds),
-        "batch_warm_keys_per_sec": round(len(queries) / warm_seconds),
-        "speedup": round(scalar_seconds / batch_seconds, 2),
-        "speedup_warm": round(scalar_seconds / warm_seconds, 2),
+        "keys": len(streams["mixed"]),
+        "load_factor": round(reference.load_factor, 3),
+        "amal": round(scalars["mixed"]["amal"], 4),
+        "hit_rate": round(scalars["mixed"]["hit_rate"], 4),
+        "amal_uniform": round(scalars["uniform"]["amal"], 4),
+        "scalar_keys_per_sec": round(
+            len(streams["mixed"]) / scalars["mixed"]["seconds"]
+        ),
+        "scalar_uniform_keys_per_sec": round(
+            len(streams["uniform"]) / scalars["uniform"]["seconds"]
+        ),
+        "engines": engine_sections,
     }
     return finalize(
         RESULT_PATH, result, registry=registry, profiler=profiler
@@ -140,10 +251,24 @@ def run_benchmark() -> dict:
 def test_batch_lookup_speedup():
     result = run_benchmark()
     assert result["keys"] >= 100_000
-    assert result["speedup"] >= 10, result
+    for engine, section in result["engines"].items():
+        assert section["mixed"]["speedup"] >= 10, (engine, result)
+        assert section["uniform"]["speedup"] >= 10, (engine, result)
+    phases = result["telemetry"]["phases"]
+    assert "mirror.incremental_decode" in phases
+    assert "batch.bitplane_match" in phases
 
 
 if __name__ == "__main__":
-    stats = run_benchmark()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--engine",
+        choices=list(ENGINE_KINDS) + ["both"],
+        default="both",
+        help="match backend(s) to measure (default: both)",
+    )
+    args = parser.parse_args()
+    engines = ENGINE_KINDS if args.engine == "both" else (args.engine,)
+    stats = run_benchmark(engines)
     print(json.dumps(stats, indent=2))
     print(f"\nwrote {RESULT_PATH}")

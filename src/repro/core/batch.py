@@ -39,13 +39,28 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import KeyFormatError
+from repro.errors import ConfigurationError, KeyFormatError
+from repro.core.bitmatch import (
+    SLOT_WORD_BITS,
+    plane_match_rows,
+    priority_encode_packed,
+)
+from repro.core.engines import (
+    ENGINE_KINDS,
+    MIRROR_LAYOUT_CODES,
+    validate_engine,
+)
 from repro.core.index import IndexGenerator, KeyInput
 from repro.core.key import TernaryKey
 from repro.core.match import priority_encode_batch
 from repro.core.probing import ProbingPolicy
 from repro.core.stats import SearchStats
-from repro.memory.mirror import DecodedMirror, keys_to_words, words_for_bits
+from repro.memory.mirror import (
+    DecodedMirror,
+    keys_to_words,
+    words_for_bits,
+    words_to_bits,
+)
 from repro.telemetry.profiling import profile
 from repro.utils.bits import mask_of
 
@@ -55,20 +70,38 @@ DEFAULT_CHUNK_SIZE = 16384
 #: Lower bound — below this the per-chunk Python overhead dominates.
 MIN_CHUNK_SIZE = 256
 
-#: Element budget for the gathered ``(chunk, slots, words)`` intermediates;
-#: the adaptive default keeps peak memory flat as rows get wider.
+#: Element budget for the gathered per-chunk intermediates; the adaptive
+#: default keeps peak memory flat as rows get wider.
 _CHUNK_ELEMENT_BUDGET = 1 << 19
 
 
-def default_chunk_size(slots_per_bucket: int, word_count: int) -> int:
-    """Chunk size scaled to the row geometry.
+def default_chunk_size(
+    slots_per_bucket: int,
+    word_count: int,
+    engine: str = "word",
+    key_bits: Optional[int] = None,
+    ternary: bool = False,
+) -> int:
+    """Chunk size scaled to the row geometry *of the active layout*.
 
     Narrow-key configurations keep the full :data:`DEFAULT_CHUNK_SIZE`;
-    wide rows (e.g. the trigram study's 384-slot x 2-word horizontal
-    buckets) shrink the chunk so the gathered intermediates stay within a
-    fixed element budget instead of growing with ``S x W``.
+    wide rows shrink the chunk so the gathered intermediates stay within a
+    fixed element budget instead of growing with the layout.  The two
+    engines gather different shapes per key:
+
+    * ``word`` — ``slots x words`` stored-key words (e.g. the trigram
+      study's 384-slot x 2-word horizontal buckets);
+    * ``bitplane`` — ``key_bits x ceil(slots / 64)`` plane words, doubled
+      when stored masks add a second plane set.
     """
-    per_key = max(1, slots_per_bucket * word_count)
+    if engine == "bitplane":
+        planes = key_bits if key_bits else word_count * 64
+        if ternary:
+            planes *= 2
+        lanes = -(-slots_per_bucket // SLOT_WORD_BITS)
+        per_key = max(1, planes * lanes)
+    else:
+        per_key = max(1, slots_per_bucket * word_count)
     return int(
         min(
             DEFAULT_CHUNK_SIZE,
@@ -100,6 +133,12 @@ class BatchSearchEngine:
             to charge the physical read counters.
         chunk_size: keys per vectorized chunk; None picks
             :func:`default_chunk_size` from the row geometry.
+        engine: match-backend layout — ``"word"`` (the default slot-major
+            word comparison) or ``"bitplane"`` (the transposed plane kernel
+            of :mod:`repro.core.bitmatch`; the mirror provider must then
+            return a :class:`~repro.memory.bitplane.BitPlaneMirror`).
+        ternary: whether the stored record format carries don't-care
+            masks; only used to size the bit-plane chunk default.
     """
 
     def __init__(
@@ -114,6 +153,8 @@ class BatchSearchEngine:
         probing: ProbingPolicy,
         access_sink: Optional[Callable[[np.ndarray], None]] = None,
         chunk_size: Optional[int] = None,
+        engine: str = "word",
+        ternary: bool = False,
     ) -> None:
         self._index = index_generator
         self._mirror_provider = mirror_provider
@@ -125,15 +166,25 @@ class BatchSearchEngine:
         self._scalar_search = scalar_search
         self._probing = probing
         self._access_sink = access_sink
+        self._engine = validate_engine(engine)
         if chunk_size is None:
             chunk_size = default_chunk_size(
-                slots_per_bucket, words_for_bits(key_bits)
+                slots_per_bucket,
+                words_for_bits(key_bits),
+                engine=engine,
+                key_bits=key_bits,
+                ternary=ternary,
             )
         self._chunk_size = max(1, chunk_size)
 
     @property
     def chunk_size(self) -> int:
         return self._chunk_size
+
+    @property
+    def engine(self) -> str:
+        """The match-backend layout this engine drives."""
+        return self._engine
 
     # The engine-path counters are first-class ``SearchStats`` fields (so
     # subsystem-level ``merge()`` aggregation keeps them); these properties
@@ -169,23 +220,34 @@ class BatchSearchEngine:
         # whole array at once.
         # ------------------------------------------------------------------
         with profile("batch.index"):
-            values: List[int] = [0] * total
+            # Fast path: a batch of plain machine-width ints (the common
+            # case) converts in one shot — a numeric ndarray cannot contain
+            # TernaryKey objects, so the per-key scan is provably skippable.
+            values: Optional[List[int]] = None
             masks: Optional[List[int]] = None
-            for i, key in enumerate(keys):
-                if isinstance(key, TernaryKey):
-                    if key.width != self._key_bits:
-                        raise KeyFormatError(
-                            f"search width {key.width} != stored width "
-                            f"{self._key_bits}"
-                        )
-                    values[i] = key.value
-                    merged = key.mask | search_mask
-                    if merged:
-                        if masks is None:
-                            masks = [search_mask] * total
-                        masks[i] = merged
-                else:
-                    values[i] = int(key)
+            try:
+                key_arr = np.asarray(keys)
+            except (OverflowError, ValueError):
+                key_arr = None
+            if key_arr is not None and key_arr.dtype.kind in "iu":
+                values = key_arr.tolist()
+            if values is None:
+                values = [0] * total
+                for i, key in enumerate(keys):
+                    if isinstance(key, TernaryKey):
+                        if key.width != self._key_bits:
+                            raise KeyFormatError(
+                                f"search width {key.width} != stored width "
+                                f"{self._key_bits}"
+                            )
+                        values[i] = key.value
+                        merged = key.mask | search_mask
+                        if merged:
+                            if masks is None:
+                                masks = [search_mask] * total
+                            masks[i] = merged
+                    else:
+                        values[i] = int(key)
             if masks is None and search_mask:
                 masks = [search_mask] * total
 
@@ -198,14 +260,50 @@ class BatchSearchEngine:
             homes, needs_scalar = self._index.indices_batch(
                 values, masks, words
             )
+            bitplane = self._engine == "bitplane"
+            if bitplane:
+                # The plane kernel consumes query *bits*; unpack the whole
+                # batch once and gather per chunk below.
+                query_bits = words_to_bits(words, self._key_bits)
+                query_mask_bits = (
+                    words_to_bits(mask_words, self._key_bits)
+                    if mask_words is not None
+                    else None
+                )
+            else:
+                query_bits = query_mask_bits = None
         with profile("batch.mirror_sync"):
             mirror = self._mirror_provider()
+        if bitplane and not hasattr(mirror, "key_planes"):
+            raise ConfigurationError(
+                "engine='bitplane' needs a BitPlaneMirror; the provider "
+                f"returned {type(mirror).__name__}"
+            )
+        plane_scratch = (
+            np.empty(
+                (
+                    min(self._chunk_size, total),
+                    self._key_bits,
+                    mirror.lanes,
+                ),
+                dtype=np.uint64,
+            )
+            if bitplane
+            else None
+        )
 
         results: List[Optional[SearchResult]] = [None] * total
         scalar_keys: List[int] = np.flatnonzero(needs_scalar).tolist()
         vectorized = np.flatnonzero(~needs_scalar)
         shared_miss: Optional[SearchResult] = None
         records = mirror.records
+        # SearchResult is a frozen dataclass: its generated __init__ pays
+        # one object.__setattr__ per field.  The hit loop below is the
+        # allocation hot spot of the whole batch path, so build instances
+        # by swapping in the finished __dict__ wholesale (~2x faster,
+        # value-identical; relies on SearchResult not using __slots__).
+        new_result = SearchResult.__new__
+        set_dict = object.__setattr__
 
         # ------------------------------------------------------------------
         # Stage 2: home-row matching, chunked to bound peak memory.
@@ -214,14 +312,29 @@ class BatchSearchEngine:
             with profile("batch.home_match"):
                 chunk = vectorized[start : start + self._chunk_size]
                 chunk_homes = homes[chunk]
-                match = mirror.match_rows(
-                    chunk_homes,
-                    words[chunk],
-                    mask_words[chunk] if mask_words is not None else None,
-                )
-                hit, slot, passes, multiple = priority_encode_batch(
-                    match, self._processors
-                )
+                if bitplane:
+                    with profile("batch.bitplane_match"):
+                        match_words = plane_match_rows(
+                            mirror,
+                            chunk_homes,
+                            query_bits[chunk],
+                            query_mask_bits[chunk]
+                            if query_mask_bits is not None
+                            else None,
+                            scratch=plane_scratch,
+                        )
+                        hit, slot, passes, multiple = priority_encode_packed(
+                            match_words, self._slots, self._processors
+                        )
+                else:
+                    match = mirror.match_rows(
+                        chunk_homes,
+                        words[chunk],
+                        mask_words[chunk] if mask_words is not None else None,
+                    )
+                    hit, slot, passes, multiple = priority_encode_batch(
+                        match, self._processors
+                    )
                 # Every chunk key fetched its home bucket — the probe walk
                 # only adds the extension accesses on top.
                 self._stats.record_match_passes(int(passes.sum()))
@@ -239,20 +352,30 @@ class BatchSearchEngine:
 
                 hit_positions = np.flatnonzero(hit)
                 if hit_positions.size:
-                    for out_i, row_i, slot_i, multi in zip(
+                    hit_rows = chunk_homes[hit_positions]
+                    hit_slots = slot[hit_positions]
+                    hit_records = records[hit_rows, hit_slots]
+                    for out_i, row_i, slot_i, rec, multi in zip(
                         chunk[hit_positions].tolist(),
-                        chunk_homes[hit_positions].tolist(),
-                        slot[hit_positions].tolist(),
+                        hit_rows.tolist(),
+                        hit_slots.tolist(),
+                        hit_records.tolist(),
                         multiple[hit_positions].tolist(),
                     ):
-                        results[out_i] = SearchResult(
-                            hit=True,
-                            record=records[row_i, slot_i],
-                            row=row_i,
-                            slot=slot_i,
-                            bucket_accesses=1,
-                            multiple_matches=multi,
+                        result = new_result(SearchResult)
+                        set_dict(
+                            result,
+                            "__dict__",
+                            {
+                                "hit": True,
+                                "record": rec,
+                                "row": row_i,
+                                "slot": slot_i,
+                                "bucket_accesses": 1,
+                                "multiple_matches": multi,
+                            },
                         )
+                        results[out_i] = result
                 miss_positions = np.flatnonzero(resolved & ~hit)
                 if miss_positions.size:
                     if shared_miss is None:
@@ -285,6 +408,11 @@ class BatchSearchEngine:
                         if mask_words is not None
                         else None,
                         values,
+                        query_bits[pending] if bitplane else None,
+                        query_mask_bits[pending]
+                        if bitplane and query_mask_bits is not None
+                        else None,
+                        plane_scratch,
                     )
 
         # ------------------------------------------------------------------
@@ -309,6 +437,9 @@ class BatchSearchEngine:
         query_words: np.ndarray,
         query_mask_words: Optional[np.ndarray],
         values: Sequence[int],
+        query_bits: Optional[np.ndarray] = None,
+        query_mask_bits: Optional[np.ndarray] = None,
+        plane_scratch: Optional[np.ndarray] = None,
     ) -> None:
         """Resolve home-miss/nonzero-reach keys attempt level by level.
 
@@ -344,36 +475,63 @@ class BatchSearchEngine:
                 tracer.emit(
                     "probe_step", attempt=attempt, keys=int(alive.size)
                 )
-            match = mirror.match_rows(
-                rows,
-                query_words[alive],
-                query_mask_words[alive]
-                if query_mask_words is not None
-                else None,
-            )
-            hit, slot, passes, multiple = priority_encode_batch(
-                match, self._processors
-            )
+            if query_bits is not None:
+                with profile("batch.bitplane_match"):
+                    match_words = plane_match_rows(
+                        mirror,
+                        rows,
+                        query_bits[alive],
+                        query_mask_bits[alive]
+                        if query_mask_bits is not None
+                        else None,
+                        scratch=plane_scratch,
+                    )
+                    hit, slot, passes, multiple = priority_encode_packed(
+                        match_words, self._slots, self._processors
+                    )
+            else:
+                match = mirror.match_rows(
+                    rows,
+                    query_words[alive],
+                    query_mask_words[alive]
+                    if query_mask_words is not None
+                    else None,
+                )
+                hit, slot, passes, multiple = priority_encode_batch(
+                    match, self._processors
+                )
             self._stats.record_match_passes(int(passes.sum()))
             if self._access_sink is not None:
                 self._access_sink(rows)
             accesses = attempt + 1  # the home fetch plus this walk
             hit_positions = np.flatnonzero(hit)
             if hit_positions.size:
-                for a_i, row_i, slot_i, multi in zip(
-                    alive[hit_positions].tolist(),
-                    rows[hit_positions].tolist(),
-                    slot[hit_positions].tolist(),
+                hit_rows = rows[hit_positions]
+                hit_slots = slot[hit_positions]
+                hit_records = records[hit_rows, hit_slots]
+                new_result = SearchResult.__new__
+                set_dict = object.__setattr__
+                for out_i, row_i, slot_i, rec, multi in zip(
+                    key_idx[alive[hit_positions]].tolist(),
+                    hit_rows.tolist(),
+                    hit_slots.tolist(),
+                    hit_records.tolist(),
                     multiple[hit_positions].tolist(),
                 ):
-                    results[int(key_idx[a_i])] = SearchResult(
-                        hit=True,
-                        record=records[row_i, slot_i],
-                        row=row_i,
-                        slot=slot_i,
-                        bucket_accesses=accesses,
-                        multiple_matches=multi,
+                    result = new_result(SearchResult)
+                    set_dict(
+                        result,
+                        "__dict__",
+                        {
+                            "hit": True,
+                            "record": rec,
+                            "row": row_i,
+                            "slot": slot_i,
+                            "bucket_accesses": accesses,
+                            "multiple_matches": multi,
+                        },
                     )
+                    results[out_i] = result
             exhausted = ~hit & (reach[alive] == attempt)
             miss_positions = np.flatnonzero(exhausted)
             if miss_positions.size:
@@ -400,6 +558,9 @@ class BatchSearchEngine:
 __all__ = [
     "BatchSearchEngine",
     "DEFAULT_CHUNK_SIZE",
+    "ENGINE_KINDS",
     "MIN_CHUNK_SIZE",
+    "MIRROR_LAYOUT_CODES",
     "default_chunk_size",
+    "validate_engine",
 ]

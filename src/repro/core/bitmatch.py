@@ -1,0 +1,221 @@
+"""Bit-sliced ternary match kernel over transposed key planes.
+
+The word-mirror match (:meth:`~repro.memory.mirror.DecodedMirror.match_rows`)
+compares every gathered slot word-by-word and hands a ``(batch, slots)``
+boolean matrix to :func:`~repro.core.match.priority_encode_batch`.  The
+bit-plane layout (:class:`~repro.memory.bitplane.BitPlaneMirror`) transposes
+the same content — key bit ``i`` of *all* slots of a bucket lives packed in
+``ceil(slots / 64)`` uint64 words — so one ternary match over a whole bucket
+is a handful of wide XOR/AND ops and an OR-reduction across the planes, the
+software rendering of DRAMA's bit-serial in-DRAM search (PAPERS.md).
+
+Two things make the packed domain pay off:
+
+* the per-plane comparison never materializes a per-slot boolean matrix —
+  a query bit broadcasts as an all-ones/all-zeros word, don't-care planes
+  (stored or search-side) simply clear mismatch bits;
+* priority encoding stays packed: the winning slot falls out of the lowest
+  set bit (``w & -w`` is a power of two, and ``frexp`` recovers its exponent
+  exactly), and the ``multiple_matches`` flag out of clearing that bit and
+  testing the remainder — no per-slot cumsum, no popcount.
+
+Figure 4(b) semantics are preserved bit-for-bit:
+``mismatch_i = (K_i ^ q_i) & ~TM_i & ~M_i`` per plane, a slot matches when
+no plane flags it, and :func:`priority_encode_packed` reproduces
+:func:`~repro.core.match.priority_encode_batch` — including pipelined pass
+counts and the scanned-slots-only visibility of ``multiple_matches``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, KeyFormatError
+
+#: Slots per packed match word (one uint64 lane of the bit-plane layout).
+SLOT_WORD_BITS = 64
+
+_FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
+_ZERO_WORD = np.uint64(0)
+_ONE_WORD = np.uint64(1)
+
+#: ``_PREFIX_MASKS[t]`` keeps slot positions ``< t`` within one word; the
+#: 65th entry is the full word (``1 << 64`` would overflow uint64).
+_PREFIX_MASKS = np.array(
+    [(1 << t) - 1 for t in range(SLOT_WORD_BITS + 1)], dtype=np.uint64
+)
+
+
+def plane_match(
+    key_planes: np.ndarray,
+    valid_words: np.ndarray,
+    query_bits: np.ndarray,
+    mask_planes: Optional[np.ndarray] = None,
+    query_mask_bits: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Ternary-match a batch of queries against gathered bit planes.
+
+    Args:
+        key_planes: ``(B, N, Ws)`` uint64 — stored key bit ``i`` of slot
+            ``s`` is bit ``s % 64`` of ``key_planes[b, i, s // 64]``.  Plane
+            order follows :func:`~repro.memory.mirror.words_to_bits`
+            columns: plane 0 is the key MSB.
+        valid_words: ``(B, Ws)`` uint64 packed slot-occupancy words.
+        query_bits: ``(B, N)`` bool query bits, MSB first.
+        mask_planes: ``(B, N, Ws)`` stored don't-care planes, or None when
+            no stored key carries a mask (binary formats skip the AND).
+        query_mask_bits: ``(B, N)`` bool search-side don't-care bits, or
+            None for all-binary searches.
+
+    Returns:
+        ``(B, Ws)`` uint64 match words — slot ``s`` matched iff bit
+        ``s % 64`` of word ``s // 64`` is set.
+    """
+    if key_planes.ndim != 3:
+        raise ConfigurationError(
+            f"key planes must be (B, N, Ws), got {key_planes.shape}"
+        )
+    if query_bits.ndim != 2 or query_bits.shape != key_planes.shape[:2]:
+        raise ConfigurationError(
+            f"query bits must be {key_planes.shape[:2]}, "
+            f"got {query_bits.shape}"
+        )
+    # A query bit compares against all 64 slots of a lane at once: broadcast
+    # it to an all-ones/all-zeros word and XOR against the stored plane.
+    query_words = np.where(query_bits, _FULL_WORD, _ZERO_WORD)[:, :, None]
+    mismatch = key_planes ^ query_words
+    if mask_planes is not None:
+        mismatch &= ~mask_planes
+    if query_mask_bits is not None:
+        mismatch &= np.where(query_mask_bits, _ZERO_WORD, _FULL_WORD)[
+            :, :, None
+        ]
+    return ~np.bitwise_or.reduce(mismatch, axis=1) & valid_words
+
+
+def plane_match_rows(
+    mirror,
+    bucket_ids: np.ndarray,
+    query_bits: np.ndarray,
+    query_mask_bits: Optional[np.ndarray] = None,
+    scratch: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Gather-and-match against a :class:`BitPlaneMirror`'s planes.
+
+    The packed analogue of
+    :meth:`~repro.memory.mirror.DecodedMirror.match_rows`, with the same
+    bucket-id range checks.
+
+    ``scratch`` is an optional reusable ``(>=B, N, Ws)`` uint64 buffer.
+    When provided, the plane gather and the per-plane mismatch are fused
+    in place into it — the batch engine passes one per run so the hot
+    loop stops allocating a multi-MB intermediate per chunk.  The result
+    is identical to the pure :func:`plane_match` path.
+    """
+    ids = np.asarray(bucket_ids)
+    if ids.size and (int(ids.min()) < 0 or int(ids.max()) >= mirror.buckets):
+        raise ConfigurationError(
+            f"bucket ids out of range [0, {mirror.buckets})"
+        )
+    if scratch is None:
+        mask_planes = (
+            mirror.mask_planes[ids] if mirror.has_stored_masks else None
+        )
+        return plane_match(
+            mirror.key_planes[ids],
+            mirror.valid_words[ids],
+            query_bits,
+            mask_planes,
+            query_mask_bits,
+        )
+    buf = scratch[: ids.size]
+    np.take(mirror.key_planes, ids, axis=0, out=buf)
+    query_words = np.where(query_bits, _FULL_WORD, _ZERO_WORD)[:, :, None]
+    np.bitwise_xor(buf, query_words, out=buf)
+    if mirror.has_stored_masks:
+        np.bitwise_and(buf, ~mirror.mask_planes[ids], out=buf)
+    if query_mask_bits is not None:
+        np.bitwise_and(
+            buf,
+            np.where(query_mask_bits, _ZERO_WORD, _FULL_WORD)[:, :, None],
+            out=buf,
+        )
+    return ~np.bitwise_or.reduce(buf, axis=1) & mirror.valid_words[ids]
+
+
+def priority_encode_packed(
+    match_words: np.ndarray,
+    slots: int,
+    processors: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Packed-domain :func:`~repro.core.match.priority_encode_batch`.
+
+    Consumes the uint64 match words of :func:`plane_match` directly and
+    returns the identical ``(hit, slot, passes, multiple)`` arrays the
+    boolean-matrix encoder would have produced for the unpacked matrix —
+    pipelined pass counts and scanned-slot ``multiple_matches`` visibility
+    included — without ever expanding per-slot booleans.
+    """
+    if processors is not None and processors <= 0:
+        raise KeyFormatError(f"processors must be positive: {processors}")
+    batch, word_count = match_words.shape
+    chunk = slots if processors is None or processors >= slots else processors
+    total_passes = -(-slots // chunk)
+    if word_count == 1:
+        # Single-lane layouts (slots <= 64) skip the per-row lane search
+        # and the lane-visibility masking entirely.
+        first_words = match_words[:, 0]
+        hit = first_words != 0
+        lowest = first_words & (~first_words + _ONE_WORD)
+        first = np.frexp(lowest.astype(np.float64))[1] - 1
+        slot = np.where(hit, first, -1)
+        passes = np.where(hit, first // chunk + 1, total_passes).astype(
+            np.int64
+        )
+        scanned = np.minimum(
+            np.where(hit, (first // chunk + 1) * chunk, slots), slots
+        )
+        visible = first_words & _PREFIX_MASKS[scanned]
+        # The winner is the lowest set bit of the visible prefix; clearing
+        # it leaves any second visible match.
+        multiple = (visible & (visible - _ONE_WORD)) != 0
+        return hit, slot, passes, multiple
+    rows = np.arange(batch)
+    nonzero = match_words != 0
+    hit = nonzero.any(axis=1)
+    word_idx = np.argmax(nonzero, axis=1)
+    first_words = match_words[rows, word_idx]
+    # Lowest set bit is a power of two; frexp recovers its exponent exactly
+    # (no popcount, no float-log rounding hazard).
+    lowest = first_words & (~first_words + _ONE_WORD)
+    bit_pos = np.frexp(lowest.astype(np.float64))[1] - 1
+    first = word_idx * SLOT_WORD_BITS + bit_pos
+    slot = np.where(hit, first, -1)
+    passes = np.where(hit, first // chunk + 1, total_passes).astype(np.int64)
+    # Slots visible to the pipeline: every chunk up to and including the
+    # one that produced the first match (all of them on a miss).
+    scanned = np.minimum(
+        np.where(hit, (first // chunk + 1) * chunk, slots), slots
+    )
+    # Mask each lane to its scanned prefix, clear the winning bit, and any
+    # surviving bit means a second match was visible.
+    lane_bits = np.clip(
+        scanned[:, None] - np.arange(word_count) * SLOT_WORD_BITS,
+        0,
+        SLOT_WORD_BITS,
+    )
+    visible = match_words & _PREFIX_MASKS[lane_bits]
+    winner_lane = visible[rows, word_idx]
+    visible[rows, word_idx] = winner_lane & (winner_lane - _ONE_WORD)
+    multiple = (visible != 0).any(axis=1) & hit
+    return hit, slot, passes, multiple
+
+
+__all__ = [
+    "SLOT_WORD_BITS",
+    "plane_match",
+    "plane_match_rows",
+    "priority_encode_packed",
+]

@@ -1,0 +1,39 @@
+"""Batch match-backend registry: the ``engine=`` knob's vocabulary.
+
+Kept import-light (errors only) so slices, groups, the batch engine, and
+telemetry can all share the engine names without import cycles.
+
+* ``"word"`` — the slot-major word mirror
+  (:class:`~repro.memory.mirror.DecodedMirror` +
+  :meth:`~repro.memory.mirror.DecodedMirror.match_rows`): one stored-key
+  word comparison per slot, boolean-matrix priority encode.
+* ``"bitplane"`` — the transposed bit-plane mirror
+  (:class:`~repro.memory.bitplane.BitPlaneMirror` +
+  :mod:`repro.core.bitmatch`): key bit ``i`` of all slots packed in uint64
+  lanes, matched plane-wise and priority-encoded without unpacking.
+
+Both backends produce bit-identical results and ``SearchStats``; the knob
+only trades memory layout for match-kernel shape.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Match-backend layouts ``search_batch`` can run on.
+ENGINE_KINDS = ("word", "bitplane")
+
+#: Gauge encoding of the active layout (the ``mirror_layout`` metric).
+MIRROR_LAYOUT_CODES = {"word": 0, "bitplane": 1}
+
+
+def validate_engine(engine: str) -> str:
+    """Return ``engine`` if known, raise ``ConfigurationError`` otherwise."""
+    if engine not in ENGINE_KINDS:
+        raise ConfigurationError(
+            f"unknown batch engine {engine!r}; expected one of {ENGINE_KINDS}"
+        )
+    return engine
+
+
+__all__ = ["ENGINE_KINDS", "MIRROR_LAYOUT_CODES", "validate_engine"]

@@ -39,6 +39,7 @@ from typing import (
 )
 
 from repro.errors import CapacityError, ConfigurationError, LookupError_
+from repro.core.engines import MIRROR_LAYOUT_CODES, validate_engine
 from repro.core.config import SliceConfig
 from repro.core.index import IndexGenerator, KeyInput
 from repro.core.key import TernaryKey
@@ -101,6 +102,10 @@ class CARAMSlice:
         batch_chunk_size: keys per vectorized batch-lookup chunk; None
             derives a default from the row geometry
             (:func:`repro.core.batch.default_chunk_size`).
+        engine: batch match backend — ``"word"`` (slot-major word mirror,
+            the default) or ``"bitplane"`` (transposed bit-plane mirror +
+            plane kernel); switchable later through the :attr:`engine`
+            property.  Scalar searches are unaffected.
     """
 
     def __init__(
@@ -111,6 +116,7 @@ class CARAMSlice:
         slot_priority: Optional[Callable[[Record], float]] = None,
         account_reads: bool = False,
         batch_chunk_size: Optional[int] = None,
+        engine: str = "word",
     ) -> None:
         if index_generator.rows != config.rows:
             raise CapacityError(
@@ -129,6 +135,8 @@ class CARAMSlice:
         self._batch_engine: Optional["BatchSearchEngine"] = None
         self._last_bulk_plan: Optional["BulkPlan"] = None
         self._batch_chunk_size = batch_chunk_size
+        self._engine_kind = validate_engine(engine)
+        self._engine_gauges: List = []
         self.account_reads = account_reads
         self.stats = SearchStats()
         self._reliability: Optional["ReliabilityManager"] = None
@@ -224,6 +232,9 @@ class CARAMSlice:
         """
         registry.register_provider(f"{prefix}.search", self.stats)
         registry.register_provider(f"{prefix}.memory", self._memory.stats)
+        layout_gauge = registry.gauge(f"{prefix}.mirror_layout")
+        layout_gauge.set(MIRROR_LAYOUT_CODES[self._engine_kind])
+        self._engine_gauges.append(layout_gauge)
         registry.register_provider(
             f"{prefix}.occupancy",
             lambda: {
@@ -267,6 +278,36 @@ class CARAMSlice:
     # Decoded mirror (the batch-lookup substrate)
     # ------------------------------------------------------------------
 
+    @property
+    def engine(self) -> str:
+        """The batch match backend (``"word"`` or ``"bitplane"``)."""
+        return self._engine_kind
+
+    @engine.setter
+    def engine(self, kind: str) -> None:
+        kind = validate_engine(kind)
+        if kind == self._engine_kind:
+            return
+        self._engine_kind = kind
+        # Drop the cached mirror and engine; both are rebuilt lazily with
+        # the new layout (the old mirror stops receiving invalidations).
+        if self._mirror is not None:
+            self._mirror.detach()
+            self._mirror = None
+        self._batch_engine = None
+        for gauge in self._engine_gauges:
+            gauge.set(MIRROR_LAYOUT_CODES[kind])
+
+    def _make_mirror(self) -> "DecodedMirror":
+        """Build the decoded mirror matching the active engine layout."""
+        if self._engine_kind == "bitplane":
+            from repro.memory.bitplane import BitPlaneMirror
+
+            return BitPlaneMirror([self._memory], self._layout)
+        from repro.memory.mirror import DecodedMirror
+
+        return DecodedMirror([self._memory], self._layout)
+
     def _synced_mirror(self) -> "DecodedMirror":
         """The decoded NumPy mirror of this slice's array, freshly synced.
 
@@ -275,9 +316,7 @@ class CARAMSlice:
         lookups between writes re-decode nothing.
         """
         if self._mirror is None:
-            from repro.memory.mirror import DecodedMirror
-
-            self._mirror = DecodedMirror([self._memory], self._layout)
+            self._mirror = self._make_mirror()
         self._mirror.sync()
         return self._mirror
 
@@ -336,6 +375,8 @@ class CARAMSlice:
                 probing=self._probing,
                 access_sink=self._mirror_access_sink,
                 chunk_size=self._batch_chunk_size,
+                engine=self._engine_kind,
+                ternary=self._config.record_format.ternary,
             )
         results = self._batch_engine.search(keys, search_mask)
         if self._reliability is not None:
@@ -537,7 +578,6 @@ class CARAMSlice:
         if not fast:
             return sum(self.insert(key, data) for key, data in pairs)
         from repro.core.bulk import build_bulk_image
-        from repro.memory.mirror import DecodedMirror
 
         max_reach = self._layout.max_reach if self._layout.aux_bits else 0
         image = build_bulk_image(
@@ -563,7 +603,7 @@ class CARAMSlice:
                 image.plan.record_count, image.plan.copy_count
             )
             if self._mirror is None:
-                self._mirror = DecodedMirror([self._memory], self._layout)
+                self._mirror = self._make_mirror()
             self._mirror.install(
                 image.mirror_valid,
                 image.mirror_key_words,

@@ -37,6 +37,7 @@ from typing import (
 )
 
 from repro.errors import CapacityError, ConfigurationError, LookupError_
+from repro.core.engines import MIRROR_LAYOUT_CODES, validate_engine
 from repro.core.config import Arrangement, SliceConfig
 from repro.core.index import IndexGenerator, KeyInput
 from repro.core.key import TernaryKey
@@ -88,6 +89,10 @@ class SliceGroup:
             derives a width-aware default
             (:func:`repro.core.batch.default_chunk_size`), which shrinks
             the chunk for wide-bucket groups like the trigram study.
+        engine: batch match backend — ``"word"`` (slot-major word mirror,
+            the default) or ``"bitplane"`` (transposed bit-plane mirror +
+            plane kernel); switchable later through the :attr:`engine`
+            property.  Scalar searches are unaffected.
     """
 
     def __init__(
@@ -101,6 +106,7 @@ class SliceGroup:
         name: str = "db",
         account_reads: bool = False,
         batch_chunk_size: Optional[int] = None,
+        engine: str = "word",
     ) -> None:
         if slice_count <= 0:
             raise ConfigurationError(f"slice_count must be positive: {slice_count}")
@@ -127,6 +133,8 @@ class SliceGroup:
         self._batch_engine: Optional["BatchSearchEngine"] = None
         self._last_bulk_plan: Optional["BulkPlan"] = None
         self._batch_chunk_size = batch_chunk_size
+        self._engine_kind = validate_engine(engine)
+        self._engine_gauges: List = []
         self.account_reads = account_reads
         self.stats = SearchStats()
         self.physical_row_fetches = 0
@@ -201,6 +209,9 @@ class SliceGroup:
         if prefix is None:
             prefix = self.name
         registry.register_provider(f"{prefix}.search", self.stats)
+        layout_gauge = registry.gauge(f"{prefix}.mirror_layout")
+        layout_gauge.set(MIRROR_LAYOUT_CODES[self._engine_kind])
+        self._engine_gauges.append(layout_gauge)
         for i, array in enumerate(self._arrays):
             registry.register_provider(f"{prefix}.slice{i}.memory", array.stats)
         registry.register_provider(
@@ -429,6 +440,39 @@ class SliceGroup:
     # Batch lookup (decoded mirror over all slices)
     # ------------------------------------------------------------------
 
+    @property
+    def engine(self) -> str:
+        """The batch match backend (``"word"`` or ``"bitplane"``)."""
+        return self._engine_kind
+
+    @engine.setter
+    def engine(self, kind: str) -> None:
+        kind = validate_engine(kind)
+        if kind == self._engine_kind:
+            return
+        self._engine_kind = kind
+        # Drop the cached mirror and engine; both are rebuilt lazily with
+        # the new layout (the old mirror stops receiving invalidations).
+        if self._mirror is not None:
+            self._mirror.detach()
+            self._mirror = None
+        self._batch_engine = None
+        for gauge in self._engine_gauges:
+            gauge.set(MIRROR_LAYOUT_CODES[kind])
+
+    def _make_mirror(self) -> "DecodedMirror":
+        """Build the decoded mirror matching the active engine layout."""
+        horizontal = self._arrangement is Arrangement.HORIZONTAL
+        if self._engine_kind == "bitplane":
+            from repro.memory.bitplane import BitPlaneMirror
+
+            return BitPlaneMirror(
+                self._arrays, self._layout, horizontal=horizontal
+            )
+        from repro.memory.mirror import DecodedMirror
+
+        return DecodedMirror(self._arrays, self._layout, horizontal=horizontal)
+
     def _synced_mirror(self) -> "DecodedMirror":
         """Decoded mirror over the whole group's logical bucket space.
 
@@ -438,13 +482,7 @@ class SliceGroup:
         ``b`` of the scalar path.
         """
         if self._mirror is None:
-            from repro.memory.mirror import DecodedMirror
-
-            self._mirror = DecodedMirror(
-                self._arrays,
-                self._layout,
-                horizontal=self._arrangement is Arrangement.HORIZONTAL,
-            )
+            self._mirror = self._make_mirror()
         self._mirror.sync()
         return self._mirror
 
@@ -516,6 +554,8 @@ class SliceGroup:
                 probing=self._probing,
                 access_sink=self._mirror_access_sink,
                 chunk_size=self._batch_chunk_size,
+                engine=self._engine_kind,
+                ternary=self._config.record_format.ternary,
             )
         results = self._batch_engine.search(keys, search_mask)
         if self._reliability is not None:
@@ -548,7 +588,6 @@ class SliceGroup:
         if not fast:
             return sum(self.insert(key, data) for key, data in pairs)
         from repro.core.bulk import build_bulk_image
-        from repro.memory.mirror import DecodedMirror
 
         max_reach = self._layout.max_reach if self._layout.aux_bits else 0
         horizontal = self._arrangement is Arrangement.HORIZONTAL
@@ -575,9 +614,7 @@ class SliceGroup:
                 image.plan.record_count, image.plan.copy_count
             )
             if self._mirror is None:
-                self._mirror = DecodedMirror(
-                    self._arrays, self._layout, horizontal=horizontal
-                )
+                self._mirror = self._make_mirror()
             self._mirror.install(
                 image.mirror_valid,
                 image.mirror_key_words,
@@ -869,6 +906,20 @@ class CARAMSubsystem:
         if group not in self._groups:
             raise ConfigurationError(f"no group named {group!r}")
         self._overflow[group] = store
+
+    def set_engine(self, engine: str, group: Optional[str] = None) -> None:
+        """Select the batch match backend for one group (or all of them).
+
+        ``engine`` is ``"word"`` or ``"bitplane"`` — the same knob as the
+        per-group :attr:`SliceGroup.engine` property; scalar searches are
+        unaffected and result parity is maintained either way.
+        """
+        validate_engine(engine)
+        if group is not None:
+            self.group(group).engine = engine
+            return
+        for name in sorted(self._groups):
+            self._groups[name].engine = engine
 
     def overflow_store(self, group: str) -> Optional[OverflowStore]:
         return self._overflow.get(group)

@@ -1,0 +1,122 @@
+"""Bit-sliced (transposed) decoded mirror: one uint64 plane per key bit.
+
+:class:`~repro.memory.mirror.DecodedMirror` keeps stored keys slot-major —
+``key_words[bucket, slot, word]`` — which makes the batch match a per-slot
+word comparison.  :class:`BitPlaneMirror` additionally maintains the
+*transpose*: for every bucket, key bit ``i`` of all ``S`` slots packed into
+``ceil(S / 64)`` uint64 words (slot ``s`` is bit ``s % 64`` of lane
+``s // 64``).  That is the layout DRAMA uses for bit-serial search over
+commodity DRAM arrays (PAPERS.md), and it turns a whole-bucket ternary
+match into ``N`` XOR/AND ops plus one OR-reduction — evaluated by
+:mod:`repro.core.bitmatch` without ever expanding a per-slot boolean
+matrix.
+
+The planes ride the *same* coherence protocol as the word matrices: the
+base class re-decodes dirty rows on :meth:`~DecodedMirror.sync` and then
+calls the :meth:`~DecodedMirror._buckets_updated` hook with exactly the
+buckets that changed, so the transpose is refreshed incrementally — churn
+cost stays proportional to the dirty set for both layouts.  Bulk-build
+:meth:`~DecodedMirror.install` triggers the same hook over all buckets.
+
+Stored don't-care planes are maintained only once a synced bucket actually
+carries a masked key (``has_stored_masks``); all-binary stores skip the
+mask gather and AND entirely on the match hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.memory.mirror import DecodedMirror, words_to_bits
+
+#: Slots per packed lane — one uint64 word of the transposed layout.
+SLOT_WORD_BITS = 64
+
+
+def pack_slot_axis(bits: np.ndarray) -> np.ndarray:
+    """Pack the trailing slot axis into LSB-first uint64 lanes.
+
+    Slot ``s`` becomes bit ``s % 64`` of lane ``s // 64`` — the bit order
+    :func:`~repro.core.bitmatch.priority_encode_packed` expects (lowest set
+    bit = lowest slot = highest match priority).
+    """
+    slot_count = bits.shape[-1]
+    lanes = -(-slot_count // SLOT_WORD_BITS)
+    pad = lanes * SLOT_WORD_BITS - slot_count
+    matrix = bits.astype(np.uint8)
+    if pad:
+        matrix = np.concatenate(
+            [matrix, np.zeros(bits.shape[:-1] + (pad,), dtype=np.uint8)],
+            axis=-1,
+        )
+    packed = np.packbits(matrix, axis=-1, bitorder="little")
+    return np.ascontiguousarray(packed).view("<u8").astype(
+        np.uint64, copy=False
+    )
+
+
+class BitPlaneMirror(DecodedMirror):
+    """Decoded mirror that also keeps the bit-plane transpose of the keys.
+
+    Additional attributes (all coherent after :meth:`sync`):
+        key_planes: ``(buckets, key_bits, lanes)`` uint64 — stored key bit
+            ``i`` (plane 0 = MSB, matching ``words_to_bits`` columns) of
+            slot ``s`` is bit ``s % 64`` of ``key_planes[b, i, s // 64]``.
+        mask_planes: same shape — stored don't-care bits (all zero until a
+            masked key is synced; see ``has_stored_masks``).
+        valid_words: ``(buckets, lanes)`` uint64 packed slot occupancy.
+        has_stored_masks: True once any synced bucket carries a stored
+            mask; the match kernel skips the mask planes while False.
+        plane_refreshes: number of incremental transpose refreshes.
+    """
+
+    def __init__(
+        self,
+        arrays: Sequence,
+        layout,
+        horizontal: bool = False,
+    ) -> None:
+        super().__init__(arrays, layout, horizontal)
+        self.lanes = -(-self.slots // SLOT_WORD_BITS)
+        plane_shape = (self.buckets, self._key_bits, self.lanes)
+        self.key_planes = np.zeros(plane_shape, dtype=np.uint64)
+        self.mask_planes = np.zeros(plane_shape, dtype=np.uint64)
+        self.valid_words = np.zeros(
+            (self.buckets, self.lanes), dtype=np.uint64
+        )
+        self.has_stored_masks = False
+        self.plane_refreshes = 0
+
+    def _buckets_updated(self, bucket_ids: np.ndarray) -> None:
+        ids = np.asarray(bucket_ids)
+        if not ids.size:
+            return
+        count = ids.size
+        slots = self.slots
+        key_bits = self._key_bits
+        word_count = self._word_count
+        key_bit_matrix = words_to_bits(
+            self.key_words[ids].reshape(count * slots, word_count), key_bits
+        ).reshape(count, slots, key_bits)
+        self.key_planes[ids] = pack_slot_axis(
+            np.swapaxes(key_bit_matrix, 1, 2)
+        )
+        stored_masks = self.mask_words[ids]
+        if self.has_stored_masks or stored_masks.any():
+            # Once any stored mask exists the mask planes are maintained for
+            # every refreshed bucket (including clearing stale ones); the
+            # flag never reverts, which only costs the AND, never parity.
+            self.has_stored_masks = True
+            mask_bit_matrix = words_to_bits(
+                stored_masks.reshape(count * slots, word_count), key_bits
+            ).reshape(count, slots, key_bits)
+            self.mask_planes[ids] = pack_slot_axis(
+                np.swapaxes(mask_bit_matrix, 1, 2)
+            )
+        self.valid_words[ids] = pack_slot_axis(self.valid[ids])
+        self.plane_refreshes += 1
+
+
+__all__ = ["BitPlaneMirror", "pack_slot_axis", "SLOT_WORD_BITS"]

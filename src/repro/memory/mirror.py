@@ -14,7 +14,13 @@ The mirror stays coherent through *dirty-row invalidation*: it subscribes to
 ``write_row`` / ``load`` / ``fill`` marks the affected rows dirty.  A
 :meth:`DecodedMirror.sync` before each batch operation re-decodes only the
 dirty rows, so a read-heavy workload pays the decode cost once per mutation,
-not once per lookup.
+not once per lookup.  The re-decode itself is vectorized: the dirty row
+values are serialized to bytes once, bit-unpacked as one matrix, and every
+slot field (valid, key value, don't-care mask, data) is sliced out as a
+column and re-packed through the same word codecs the bulk-build pipeline
+uses — only the per-valid-slot ``Record`` construction stays in Python.
+Subclasses hook :meth:`DecodedMirror._buckets_updated` to maintain derived
+layouts (the bit-plane transpose) from the same incremental dirty set.
 
 Keys wider than 64 bits (e.g. the trigram study's 128-bit keys) are held as
 little-endian 64-bit *word* columns; the ternary comparison is an exact
@@ -144,6 +150,28 @@ def words_to_bits(words: np.ndarray, bits: int) -> np.ndarray:
     return bit_rows[:, word_count * KEY_WORD_BITS - bits :].astype(bool)
 
 
+def bits_to_words(bit_matrix: np.ndarray, bits: int) -> np.ndarray:
+    """Pack MSB-first bit columns into little-endian uint64 word columns.
+
+    The exact inverse of :func:`words_to_bits`: column 0 of ``bit_matrix``
+    holds each value's MSB; word 0 of the result holds the low 64 bits.
+    Accepts any 0/1-valued dtype.
+    """
+    if bit_matrix.ndim != 2 or bit_matrix.shape[1] != bits:
+        raise ConfigurationError(
+            f"bit matrix must be (n, {bits}), got {bit_matrix.shape}"
+        )
+    word_count = words_for_bits(bits)
+    n = bit_matrix.shape[0]
+    padded = np.zeros((n, word_count * KEY_WORD_BITS), dtype=np.uint8)
+    padded[:, word_count * KEY_WORD_BITS - bits :] = bit_matrix
+    byte_rows = np.packbits(padded, axis=1)
+    # Bytes are MSB-first per word and words are big-endian ordered here;
+    # reverse the word axis back to little-endian storage order.
+    words_be = np.ascontiguousarray(byte_rows).view(">u8")
+    return words_be[:, ::-1].astype(np.uint64)
+
+
 def rows_from_bits(bit_matrix: np.ndarray, row_bits: int) -> List[int]:
     """Pack an MSB-first bit matrix into one Python integer per row.
 
@@ -163,6 +191,16 @@ def rows_from_bits(bit_matrix: np.ndarray, row_bits: int) -> List[int]:
         int.from_bytes(data[i * nbytes : (i + 1) * nbytes], "big") >> pad
         for i in range(bit_matrix.shape[0])
     ]
+
+
+def _words_to_int(words: Sequence[int]) -> int:
+    """Rebuild a Python int from little-endian word values (plain ints)."""
+    if len(words) == 1:
+        return words[0]
+    value = 0
+    for word in reversed(words):
+        value = (value << KEY_WORD_BITS) | word
+    return value
 
 
 class DecodedMirror:
@@ -227,8 +265,11 @@ class DecodedMirror:
         self._any_dirty = True
         self.sync_count = 0
         self.rows_decoded = 0
+        self._listeners: List[Callable[[int, int], None]] = []
         for slice_id, array in enumerate(self._arrays):
-            array.subscribe_invalidation(self._listener_for(slice_id))
+            listener = self._listener_for(slice_id)
+            self._listeners.append(listener)
+            array.subscribe_invalidation(listener)
 
     # ------------------------------------------------------------------
     # Invalidation / synchronization
@@ -260,57 +301,169 @@ class DecodedMirror:
         """Re-decode every dirty row; returns the number of rows decoded."""
         if not self._any_dirty:
             return 0
-        layout = self._layout
-        slice_slots = self._slice_slots
+        from repro.telemetry.profiling import profile
+
         decoded = 0
-        for slice_id, array in enumerate(self._arrays):
-            dirty = self._dirty[slice_id]
-            dirty_rows = np.flatnonzero(dirty)
-            if not dirty_rows.size:
-                continue
-            if self._horizontal:
-                slot_base = slice_id * slice_slots
-            else:
-                slot_base = 0
-            # With a reliability guard installed the decode source is the
-            # ECC-verified read: the mirror never adopts silently corrupt
-            # rows (an uncorrectable row raises before its last-good decode
-            # here is overwritten, which is what makes the mirror the
-            # recovery source of truth for quarantine).
-            guard = array.guard
-            row_reader = array.peek_row if guard is None else guard.verified_peek
-            for row in dirty_rows.tolist():
-                row_value = row_reader(row)
+        updated: List[np.ndarray] = []
+        with profile("mirror.incremental_decode"):
+            for slice_id, array in enumerate(self._arrays):
+                dirty = self._dirty[slice_id]
+                dirty_rows = np.flatnonzero(dirty)
+                if not dirty_rows.size:
+                    continue
+                # With a reliability guard installed the decode source is
+                # the ECC-verified read: the mirror never adopts silently
+                # corrupt rows.  All dirty rows are read *before* any mirror
+                # state is overwritten, so an uncorrectable row raises while
+                # the last-good decode is still intact — which is what makes
+                # the mirror the recovery source of truth for quarantine.
+                guard = array.guard
+                row_reader = (
+                    array.peek_row if guard is None else guard.verified_peek
+                )
+                row_values = [row_reader(row) for row in dirty_rows.tolist()]
                 if self._horizontal:
-                    bucket = row
+                    buckets = dirty_rows
+                    slot_base = slice_id * self._slice_slots
                 else:
-                    bucket = slice_id * self._rows + row
+                    buckets = slice_id * self._rows + dirty_rows
+                    slot_base = 0
                 # The logical bucket's reach lives in its first physical
                 # row — slice 0 for horizontal arrangements.
-                if not self._horizontal or slice_id == 0:
-                    self.reach[bucket] = layout.read_aux(row_value)
-                for slot in range(slice_slots):
-                    column = slot_base + slot
-                    slot_valid, record = layout.read_slot(row_value, slot)
-                    self.valid[bucket, column] = slot_valid
-                    if slot_valid:
-                        self.records[bucket, column] = record
-                        self.key_words[bucket, column] = int_to_words(
-                            record.key.value, self._word_count
-                        )
-                        self.mask_words[bucket, column] = int_to_words(
-                            record.key.mask, self._word_count
-                        )
-                    else:
-                        self.records[bucket, column] = None
-                        self.key_words[bucket, column] = 0
-                        self.mask_words[bucket, column] = 0
-                decoded += 1
-            dirty[:] = False
+                self._decode_rows(
+                    row_values,
+                    buckets,
+                    slot_base,
+                    read_reach=not self._horizontal or slice_id == 0,
+                )
+                decoded += dirty_rows.size
+                dirty[:] = False
+                updated.append(buckets)
         self._any_dirty = False
         self.sync_count += 1
         self.rows_decoded += decoded
+        if updated:
+            self._buckets_updated(
+                np.unique(np.concatenate(updated))
+                if len(updated) > 1
+                else updated[0]
+            )
         return decoded
+
+    def _decode_rows(
+        self,
+        row_values: List[int],
+        buckets: np.ndarray,
+        slot_base: int,
+        read_reach: bool,
+    ) -> None:
+        """Batched decode of whole physical rows into the mirror matrices.
+
+        One bytes round-trip plus ``unpackbits`` turns the dirty rows into a
+        bit matrix; every slot field is then a column slice re-packed through
+        :func:`bits_to_words` — the decode direction of the bulk-build
+        codecs.  Semantically identical to per-slot ``layout.read_slot``.
+        """
+        from repro.core.key import TernaryKey
+        from repro.core.record import Record
+
+        layout = self._layout
+        fmt = layout.record_format
+        n = len(row_values)
+        if not n:
+            return
+        row_bits = layout.row_bits
+        nbytes = (row_bits + 7) // 8
+        buf = bytearray(n * nbytes)
+        for i, value in enumerate(row_values):
+            buf[i * nbytes : (i + 1) * nbytes] = value.to_bytes(nbytes, "big")
+        bit_rows = np.unpackbits(
+            np.frombuffer(bytes(buf), dtype=np.uint8).reshape(n, nbytes),
+            axis=1,
+        )[:, nbytes * 8 - row_bits :]
+
+        if read_reach:
+            aux_bits = layout.aux_bits
+            if not aux_bits:
+                self.reach[buckets] = 0
+            elif aux_bits <= KEY_WORD_BITS:
+                aux_words = bits_to_words(bit_rows[:, :aux_bits], aux_bits)
+                self.reach[buckets] = aux_words[:, 0].astype(np.int64)
+            else:
+                self.reach[buckets] = [
+                    layout.read_aux(value) for value in row_values
+                ]
+
+        slots = self._slice_slots
+        slot_bits = fmt.slot_bits
+        key_bits = fmt.key_bits
+        word_count = self._word_count
+        region = bit_rows[
+            :, layout.aux_bits : layout.aux_bits + slots * slot_bits
+        ].reshape(n, slots, slot_bits)
+        valid = region[:, :, 0].astype(bool)
+        key_cols = region[:, :, 1 : 1 + key_bits]
+        if fmt.ternary:
+            mask_cols = region[:, :, 1 + key_bits : 1 + 2 * key_bits]
+            # TernaryKey normalizes the value under don't-care positions;
+            # mirror the normalization so key_words matches record.key.value.
+            key_cols = key_cols & (1 - mask_cols)
+            mask_matrix = bits_to_words(
+                mask_cols.reshape(n * slots, key_bits), key_bits
+            ).reshape(n, slots, word_count)
+            mask_matrix[~valid] = 0
+        else:
+            mask_matrix = np.zeros((n, slots, word_count), dtype=np.uint64)
+        key_matrix = bits_to_words(
+            key_cols.reshape(n * slots, key_bits), key_bits
+        ).reshape(n, slots, word_count)
+        key_matrix[~valid] = 0
+
+        columns = slice(slot_base, slot_base + slots)
+        self.valid[buckets, columns] = valid
+        self.key_words[buckets, columns] = key_matrix
+        self.mask_words[buckets, columns] = mask_matrix
+
+        recs = np.full((n, slots), None, dtype=object)
+        positions = np.argwhere(valid).tolist()
+        if positions:
+            data_bits = fmt.data_bits
+            if data_bits:
+                data_start = 1 + fmt.key_storage_bits
+                data_matrix = bits_to_words(
+                    region[:, :, data_start : data_start + data_bits].reshape(
+                        n * slots, data_bits
+                    ),
+                    data_bits,
+                ).reshape(n, slots, -1)
+            else:
+                data_matrix = None
+            key_list = key_matrix.tolist()
+            mask_list = mask_matrix.tolist()
+            data_list = data_matrix.tolist() if data_matrix is not None else None
+            for i, j in positions:
+                value = _words_to_int(key_list[i][j])
+                mask = _words_to_int(mask_list[i][j])
+                data = _words_to_int(data_list[i][j]) if data_list else 0
+                recs[i][j] = Record(
+                    key=TernaryKey(value=value, mask=mask, width=key_bits),
+                    data=data,
+                )
+        self.records[buckets, columns] = recs
+
+    def _buckets_updated(self, bucket_ids: np.ndarray) -> None:
+        """Hook: the listed logical buckets were just re-decoded.
+
+        The base mirror has nothing derived to maintain; subclasses (the
+        bit-plane transpose) refresh their layouts from the fresh matrices.
+        """
+
+    def detach(self) -> None:
+        """Unsubscribe from the arrays' invalidation streams (called when a
+        slice/group swaps its mirror layout for another engine)."""
+        for array, listener in zip(self._arrays, self._listeners):
+            array.unsubscribe_invalidation(listener)
+        self._listeners = []
 
     def install(
         self,
@@ -354,6 +507,7 @@ class DecodedMirror:
             dirty[:] = False
         self._any_dirty = False
         self.sync_count += 1
+        self._buckets_updated(np.arange(self.buckets))
 
     # ------------------------------------------------------------------
     # Vectorized ternary matching (Figure 4(b), word-wise)
@@ -442,5 +596,6 @@ __all__ = [
     "int_to_words",
     "keys_to_words",
     "words_to_bits",
+    "bits_to_words",
     "rows_from_bits",
 ]

@@ -11,6 +11,8 @@ import random
 from dataclasses import replace
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cam.tcam import TCAM
 from repro.core.config import Arrangement, SliceConfig
@@ -20,7 +22,7 @@ from repro.core.record import RecordFormat
 from repro.core.slice import CARAMSlice
 from repro.core.stats import SearchStats
 from repro.core.subsystem import CARAMSubsystem, SliceGroup
-from repro.errors import KeyFormatError
+from repro.errors import ConfigurationError, KeyFormatError
 from repro.hashing.base import ModuloHash
 from repro.hashing.bit_select import BitSelectHash
 
@@ -445,6 +447,27 @@ class TestChunkSize:
         # Degenerate widths clamp at the floor.
         assert default_chunk_size(1 << 20, 4) == MIN_CHUNK_SIZE
 
+    def test_bitplane_chunk_accounts_for_planes(self):
+        from repro.core.batch import (
+            DEFAULT_CHUNK_SIZE,
+            MIN_CHUNK_SIZE,
+            default_chunk_size,
+        )
+
+        # Narrow geometry: 16 planes x 1 lane is cheaper than 4 slots x 1
+        # word, so the legacy default survives.
+        assert (
+            default_chunk_size(4, 1, engine="bitplane", key_bits=16)
+            == DEFAULT_CHUNK_SIZE
+        )
+        # Wide ternary bucket: 2*128 planes x 6 lanes per key dwarfs the
+        # word footprint, so the bit-plane chunk shrinks further.
+        word = default_chunk_size(384, 2)
+        plane = default_chunk_size(
+            384, 2, engine="bitplane", key_bits=128, ternary=True
+        )
+        assert MIN_CHUNK_SIZE <= plane < word
+
 
 class TestSubsystemBatch:
     def test_overflow_store_consulted_on_misses(self):
@@ -472,3 +495,230 @@ class TestSubsystemBatch:
         group.insert(77, 1)
         results = sub.search_batch("batch-test", [77, 78])
         assert results[0].hit and not results[1].hit
+
+
+class TestBitPlaneEngine:
+    """The bit-plane backend must be a pure layout change: bit-identical
+    results and SearchStats versus both the scalar path and the word
+    engine, on every workload shape the word engine is tested on."""
+
+    @pytest.mark.parametrize("processors", [None, 1, 3])
+    def test_slice_spills_differential(self, processors):
+        rng = random.Random(41)
+        slice_ = make_slice(
+            index_bits=3,
+            slots=2,
+            match_processors=processors,
+            bit_select=False,
+            engine="bitplane",
+        )
+        stored = fill_to(slice_, rng, 0.85)
+        results = assert_differential(slice_, mixed_queries(rng, stored, 300))
+        assert any(r.hit for r in results)
+        assert any(r.bucket_accesses > 1 for r in results)
+        assert slice_.batch_engine.engine == "bitplane"
+
+    def test_ternary_differential(self):
+        rng = random.Random(42)
+        slice_ = make_slice(index_bits=4, slots=4, ternary=True, engine="bitplane")
+        hash_mask = slice_.index_generator.hash_function.position_mask
+        in_hash = hash_mask & -hash_mask
+        out_of_hash = (0b11 << 6) & ~hash_mask
+        stored = []
+        for _ in range(28):
+            value = rng.randrange(1 << KEY_BITS)
+            choice = rng.random()
+            if choice < 0.4:
+                key = value
+            else:
+                mask = out_of_hash if choice < 0.7 else in_hash
+                key = TernaryKey(value=value, mask=mask, width=KEY_BITS)
+            try:
+                slice_.insert(key, rng.randrange(256))
+                stored.append(key)
+            except Exception:
+                pass
+        queries = mixed_queries(rng, [getattr(k, "value", k) for k in stored], 100)
+        queries += [
+            TernaryKey(
+                value=rng.randrange(1 << KEY_BITS), mask=out_of_hash, width=KEY_BITS
+            )
+            for _ in range(20)
+        ]
+        assert_differential(slice_, queries)
+        assert_differential(slice_, queries, search_mask=out_of_hash)
+
+    @pytest.mark.parametrize(
+        "arrangement", [Arrangement.VERTICAL, Arrangement.HORIZONTAL]
+    )
+    def test_group_differential(self, arrangement):
+        rng = random.Random(43)
+        group = make_group(arrangement, engine="bitplane")
+        stored = fill_to(group, rng, 0.9)
+        assert_differential(
+            group, mixed_queries(rng, stored, 400), check_fetches=True
+        )
+        assert group.batch_engine.scalar_fallbacks == 0
+        assert group.batch_engine.probe_walk_keys > 0
+
+    def test_post_churn_resync_parity(self):
+        """Interleaved mutations keep the planes coherent round after round."""
+        rng = random.Random(44)
+        slice_ = make_slice(index_bits=4, slots=4, engine="bitplane")
+        live = []
+        for _ in range(6):
+            for _ in range(8):
+                key = rng.randrange(1 << KEY_BITS)
+                try:
+                    slice_.insert(key, key & 0xFF)
+                    live.append(key)
+                except Exception:
+                    pass
+            for _ in range(min(3, len(live) - 1)):
+                victim = live.pop(rng.randrange(len(live)))
+                try:
+                    slice_.delete(victim)
+                except Exception:
+                    pass
+            assert_differential(slice_, mixed_queries(rng, live, 60))
+        mirror = slice_._synced_mirror()
+        assert mirror.plane_refreshes > 1  # incremental, not rebuilt once
+
+    def test_engine_switch_midlife(self):
+        rng = random.Random(45)
+        slice_ = make_slice(index_bits=4, slots=4)
+        stored = fill_to(slice_, rng, 0.7)
+        queries = mixed_queries(rng, stored, 100)
+        word_results = assert_differential(slice_, queries)
+        assert slice_.engine == "word"
+        slice_.engine = "bitplane"
+        plane_results = assert_differential(slice_, queries)
+        assert plane_results == word_results
+        slice_.engine = "word"
+        assert assert_differential(slice_, queries) == word_results
+
+    def test_subsystem_set_engine(self):
+        sub = CARAMSubsystem()
+        group = make_group(Arrangement.VERTICAL)
+        sub.add_group(group)
+        keys = [5 + 32 * i for i in range(8)]
+        for key in keys:
+            sub.insert("batch-test", key, key & 0xFF)
+        before = sub.search_batch("batch-test", keys + [9999])
+        sub.set_engine("bitplane")
+        assert group.engine == "bitplane"
+        assert sub.search_batch("batch-test", keys + [9999]) == before
+        sub.set_engine("word", group="batch-test")
+        assert group.engine == "word"
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_slice(engine="simd")
+        slice_ = make_slice()
+        with pytest.raises(ConfigurationError):
+            slice_.engine = "simd"
+        sub = CARAMSubsystem()
+        with pytest.raises(ConfigurationError):
+            sub.set_engine("simd")
+
+    def test_reliability_overlay_parity(self):
+        """Quarantine + victim overlay must behave identically under the
+        bit-plane engine: batch == scalar, and bitplane == word."""
+        from repro.reliability.faults import FaultConfig
+
+        outcomes = {}
+        for engine in ("word", "bitplane"):
+            rng = random.Random(46)
+            slice_ = make_slice(
+                index_bits=3, slots=2, bit_select=False, engine=engine
+            )
+            stored = fill_to(slice_, rng, 0.6)
+            slice_.search_batch(stored[:4])  # warm the mirror (last-good copy)
+            target = slice_.index_generator.index(stored[0])
+            slice_.enable_reliability(faults=FaultConfig(dead_rows=(target,)))
+            queries = stored + mixed_queries(rng, stored, 80)
+            scalar = [
+                (r.hit, r.data if r.hit else None)
+                for r in map(slice_.search, queries)
+            ]
+            batch = [
+                (r.hit, r.data if r.hit else None)
+                for r in slice_.search_batch(queries)
+            ]
+            assert batch == scalar
+            assert target in slice_.reliability.quarantined_buckets
+            outcomes[engine] = batch
+        assert outcomes["bitplane"] == outcomes["word"]
+
+
+def _ternary_or_binary(value, mask):
+    return TernaryKey(value=value, mask=mask, width=KEY_BITS) if mask else value
+
+
+class TestEngineEquivalenceProperty:
+    """Hypothesis: under any interleaving of inserts, deletes, syncs, and
+    batch searches, the word and bit-plane engines stay bit-identical to
+    the scalar path and to each other — results and stats."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("insert"),
+                    st.integers(0, (1 << KEY_BITS) - 1),
+                    st.sampled_from([0, 0b11 << 6, 1 << 12, 0b101]),
+                ),
+                st.tuples(st.just("delete"), st.integers(0, 1 << 20)),
+                st.tuples(st.just("search"), st.integers(0, 1 << 20)),
+            ),
+            min_size=5,
+            max_size=30,
+        )
+    )
+    def test_random_interleavings(self, ops):
+        stores = {
+            engine: make_slice(
+                index_bits=4, slots=4, ternary=True, engine=engine
+            )
+            for engine in ("word", "bitplane")
+        }
+        live = []
+        for op in ops:
+            if op[0] == "insert":
+                _, value, mask = op
+                key = _ternary_or_binary(value, mask)
+                outcomes = set()
+                for store in stores.values():
+                    try:
+                        store.insert(key, value & 0xFF)
+                        outcomes.add(True)
+                    except Exception as exc:
+                        outcomes.add(type(exc).__name__)
+                assert len(outcomes) == 1
+                if outcomes == {True}:
+                    live.append(key)
+            elif op[0] == "delete":
+                if not live:
+                    continue
+                victim = live.pop(op[1] % len(live))
+                outcomes = set()
+                for store in stores.values():
+                    try:
+                        store.delete(victim)
+                        outcomes.add(True)
+                    except Exception as exc:
+                        outcomes.add(type(exc).__name__)
+                assert len(outcomes) == 1
+            else:
+                rng = random.Random(op[1])
+                values = [getattr(k, "value", k) for k in live] or [0]
+                queries = mixed_queries(rng, values, 20)
+                word = assert_differential(stores["word"], queries)
+                plane = assert_differential(stores["bitplane"], queries)
+                assert plane == word
+                assert stores["word"].stats == stores["bitplane"].stats
+        final = [getattr(k, "value", k) for k in live] or [1]
+        word = assert_differential(stores["word"], final)
+        plane = assert_differential(stores["bitplane"], final)
+        assert plane == word

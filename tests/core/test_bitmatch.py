@@ -1,0 +1,130 @@
+"""Unit tests for the packed bit-plane match kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitmatch import (
+    SLOT_WORD_BITS,
+    plane_match,
+    priority_encode_packed,
+)
+from repro.core.match import priority_encode_batch
+from repro.errors import ConfigurationError, KeyFormatError
+from repro.memory.bitplane import pack_slot_axis
+
+
+def unpack_words(words, slots):
+    """Expand packed match words back to a (batch, slots) bool matrix."""
+    batch, lanes = words.shape
+    out = np.zeros((batch, slots), dtype=bool)
+    for slot in range(slots):
+        lane, bit = divmod(slot, SLOT_WORD_BITS)
+        out[:, slot] = (words[:, lane] >> np.uint64(bit)) & np.uint64(1) == 1
+    return out
+
+
+def naive_plane_match(key_planes, valid_words, query_bits, mask_planes, query_mask_bits):
+    """Slot-at-a-time reference for plane_match."""
+    batch, planes, lanes = key_planes.shape
+    slots = lanes * SLOT_WORD_BITS
+    out = np.zeros((batch, lanes), dtype=np.uint64)
+    for b in range(batch):
+        for slot in range(slots):
+            lane, bit = divmod(slot, SLOT_WORD_BITS)
+            if not (valid_words[b, lane] >> np.uint64(bit)) & np.uint64(1):
+                continue
+            ok = True
+            for plane in range(planes):
+                stored = int(key_planes[b, plane, lane] >> np.uint64(bit)) & 1
+                tm = (
+                    int(mask_planes[b, plane, lane] >> np.uint64(bit)) & 1
+                    if mask_planes is not None
+                    else 0
+                )
+                qm = (
+                    int(query_mask_bits[b, plane])
+                    if query_mask_bits is not None
+                    else 0
+                )
+                if not (tm or qm) and stored != int(query_bits[b, plane]):
+                    ok = False
+                    break
+            if ok:
+                out[b, lane] |= np.uint64(1 << bit)
+    return out
+
+
+class TestPlaneMatch:
+    @pytest.mark.parametrize("with_masks", [False, True])
+    @pytest.mark.parametrize("slots", [5, 64, 70])
+    def test_matches_naive_reference(self, slots, with_masks):
+        rng = np.random.default_rng(slots + with_masks)
+        batch, planes = 12, 10
+        key_bits = rng.random((batch, slots, planes)) < 0.5
+        mask_bits = rng.random((batch, slots, planes)) < 0.2 if with_masks else None
+        valid_bits = rng.random((batch, slots)) < 0.7
+        key_planes = pack_slot_axis(np.swapaxes(key_bits, 1, 2))
+        mask_planes = (
+            pack_slot_axis(np.swapaxes(mask_bits, 1, 2)) if with_masks else None
+        )
+        valid_words = pack_slot_axis(valid_bits)
+        query_bits = rng.random((batch, planes)) < 0.5
+        query_mask_bits = (
+            (rng.random((batch, planes)) < 0.2) if with_masks else None
+        )
+        got = plane_match(
+            key_planes, valid_words, query_bits, mask_planes, query_mask_bits
+        )
+        want = naive_plane_match(
+            key_planes, valid_words, query_bits, mask_planes, query_mask_bits
+        )
+        assert (got == want).all()
+
+    def test_rejects_bad_shapes(self):
+        planes = np.zeros((2, 4, 1), dtype=np.uint64)
+        valid = np.zeros((2, 1), dtype=np.uint64)
+        with pytest.raises(ConfigurationError):
+            plane_match(planes[0], valid, np.zeros((2, 4), dtype=bool))
+        with pytest.raises(ConfigurationError):
+            plane_match(planes, valid, np.zeros((2, 3), dtype=bool))
+
+
+class TestPriorityEncodePacked:
+    @pytest.mark.parametrize("slots", [1, 5, 64, 70, 130])
+    @pytest.mark.parametrize("processors", [None, 1, 3, 64])
+    def test_equals_boolean_encoder(self, slots, processors):
+        rng = np.random.default_rng(slots * 7 + (processors or 0))
+        # Mix dense, sparse, and empty match vectors.
+        match = rng.random((64, slots)) < rng.uniform(0.0, 0.6, (64, 1))
+        match[:4] = False
+        match[4] = True
+        packed = pack_slot_axis(match)
+        want = priority_encode_batch(match, processors)
+        got = priority_encode_packed(packed, slots, processors)
+        for w, g in zip(want, got):
+            assert (w == g).all()
+
+    def test_bit63_and_lane_boundaries(self):
+        # Winners at word boundaries exercise the frexp/prefix-mask paths.
+        slots = 130
+        match = np.zeros((4, slots), dtype=bool)
+        match[0, 63] = True
+        match[1, 64] = True
+        match[2, 127] = match[2, 128] = True
+        match[3, 129] = True
+        packed = pack_slot_axis(match)
+        hit, slot, passes, multiple = priority_encode_packed(packed, slots)
+        assert hit.all()
+        assert list(slot) == [63, 64, 127, 129]
+        assert list(multiple) == [False, False, True, False]
+        want = priority_encode_batch(match, 2)
+        got = priority_encode_packed(packed, slots, 2)
+        for w, g in zip(want, got):
+            assert (w == g).all()
+
+    def test_rejects_nonpositive_processors(self):
+        packed = np.zeros((1, 1), dtype=np.uint64)
+        with pytest.raises(KeyFormatError):
+            priority_encode_packed(packed, 4, 0)
+        with pytest.raises(KeyFormatError):
+            priority_encode_packed(packed, 4, -2)

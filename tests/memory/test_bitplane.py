@@ -1,0 +1,217 @@
+"""Unit tests for the bit-plane (transposed) mirror layout."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitmatch import plane_match_rows
+from repro.core.bucket import BucketLayout
+from repro.core.key import TernaryKey
+from repro.core.record import Record, RecordFormat
+from repro.memory.array import MemoryArray
+from repro.memory.bitplane import BitPlaneMirror, pack_slot_axis
+from repro.memory.mirror import DecodedMirror, keys_to_words, words_to_bits
+
+FMT = RecordFormat(key_bits=16, data_bits=8, ternary=True)
+LAYOUT = BucketLayout(row_bits=8 + 4 * FMT.slot_bits, record_format=FMT)
+ROWS = 8
+
+
+def make_array():
+    return MemoryArray(ROWS, LAYOUT.row_bits)
+
+
+def record(value, mask=0, data=0):
+    return Record.make(
+        TernaryKey(value=value, mask=mask, width=16) if mask else value,
+        data,
+        FMT,
+    )
+
+
+def reference_planes(mirror):
+    """Brute-force transpose of the word matrices, slot-by-slot."""
+    key_planes = np.zeros_like(mirror.key_planes)
+    mask_planes = np.zeros_like(mirror.mask_planes)
+    valid_words = np.zeros_like(mirror.valid_words)
+    key_bits = mirror.key_bits
+    for bucket in range(mirror.buckets):
+        for slot in range(mirror.slots):
+            lane, bit = divmod(slot, 64)
+            if mirror.valid[bucket, slot]:
+                valid_words[bucket, lane] |= np.uint64(1 << bit)
+            rec = mirror.records[bucket, slot]
+            value = rec.key.value if rec is not None else 0
+            mask = rec.key.mask if rec is not None else 0
+            if rec is None:
+                value = mask = 0
+            for plane in range(key_bits):
+                # Plane 0 is the MSB (words_to_bits column order).
+                weight = key_bits - 1 - plane
+                if (value >> weight) & 1:
+                    key_planes[bucket, plane, lane] |= np.uint64(1 << bit)
+                if (mask >> weight) & 1:
+                    mask_planes[bucket, plane, lane] |= np.uint64(1 << bit)
+    return key_planes, mask_planes, valid_words
+
+
+class TestPackSlotAxis:
+    def test_bit_order_is_lsb_first(self):
+        bits = np.zeros((1, 3), dtype=bool)
+        bits[0, 0] = True  # slot 0 -> bit 0
+        packed = pack_slot_axis(bits)
+        assert packed.shape == (1, 1)
+        assert int(packed[0, 0]) == 1
+
+    def test_multi_lane_padding(self):
+        bits = np.zeros((2, 70), dtype=bool)
+        bits[0, 69] = True
+        bits[1, 64] = True
+        packed = pack_slot_axis(bits)
+        assert packed.shape == (2, 2)
+        assert int(packed[0, 1]) == 1 << 5
+        assert int(packed[1, 1]) == 1
+
+    def test_nd_input(self):
+        bits = np.zeros((2, 3, 65), dtype=bool)
+        bits[1, 2, 64] = True
+        packed = pack_slot_axis(bits)
+        assert packed.shape == (2, 3, 2)
+        assert int(packed[1, 2, 1]) == 1
+
+
+class TestPlaneCoherence:
+    def test_planes_match_brute_force_transpose(self):
+        array = make_array()
+        array.write_row(
+            1, LAYOUT.pack([record(0xAA, data=1), record(0xF0F0, mask=0xF)])
+        )
+        array.write_row(5, LAYOUT.pack([None, None, record(0x1234)]))
+        mirror = BitPlaneMirror([array], LAYOUT)
+        mirror.sync()
+        key_ref, mask_ref, valid_ref = reference_planes(mirror)
+        assert (mirror.key_planes == key_ref).all()
+        assert (mirror.mask_planes == mask_ref).all()
+        assert (mirror.valid_words == valid_ref).all()
+        assert mirror.has_stored_masks
+
+    def test_incremental_refresh_touches_only_dirty_buckets(self):
+        array = make_array()
+        for row in range(ROWS):
+            array.write_row(row, LAYOUT.pack([record(row + 1)]))
+        mirror = BitPlaneMirror([array], LAYOUT)
+        mirror.sync()
+        refreshes = mirror.plane_refreshes
+        before = mirror.key_planes.copy()
+        array.write_row(3, LAYOUT.pack([record(0x7777)]))
+        assert mirror.sync() == 1
+        assert mirror.plane_refreshes == refreshes + 1
+        changed = np.flatnonzero(
+            (mirror.key_planes != before).any(axis=(1, 2))
+        )
+        assert list(changed) == [3]
+        key_ref, _, valid_ref = reference_planes(mirror)
+        assert (mirror.key_planes == key_ref).all()
+        assert (mirror.valid_words == valid_ref).all()
+
+    def test_mask_planes_skipped_for_binary_content(self):
+        array = make_array()
+        array.write_row(0, LAYOUT.pack([record(0x42)]))
+        mirror = BitPlaneMirror([array], LAYOUT)
+        mirror.sync()
+        assert not mirror.has_stored_masks
+        assert not mirror.mask_planes.any()
+        # First masked record flips the flag; planes stay coherent after.
+        array.write_row(2, LAYOUT.pack([record(0b1010, mask=0b1)]))
+        mirror.sync()
+        assert mirror.has_stored_masks
+        _, mask_ref, _ = reference_planes(mirror)
+        assert (mirror.mask_planes == mask_ref).all()
+
+    def test_install_refreshes_planes(self):
+        array = make_array()
+        array.write_row(4, LAYOUT.pack([record(0xBEEF, data=9)], reach=2))
+        source = DecodedMirror([array], LAYOUT)
+        source.sync()
+        target = BitPlaneMirror([make_array()], LAYOUT)
+        target.install(
+            source.valid,
+            source.key_words,
+            source.mask_words,
+            source.reach,
+            source.records,
+        )
+        key_ref, _, valid_ref = reference_planes(target)
+        assert (target.key_planes == key_ref).all()
+        assert (target.valid_words == valid_ref).all()
+        assert int(target.reach[4]) == 2
+
+    def test_detach_stops_refreshes(self):
+        array = make_array()
+        mirror = BitPlaneMirror([array], LAYOUT)
+        mirror.sync()
+        mirror.detach()
+        array.write_row(0, LAYOUT.pack([record(1)]))
+        assert mirror.dirty_row_count == 0
+        assert mirror.sync() == 0
+        assert not mirror.valid[0, 0]
+
+
+class TestPlaneMatchParity:
+    @pytest.mark.parametrize(
+        "key_bits,slots", [(16, 4), (128, 2), (32, 70)]
+    )
+    def test_matches_word_mirror(self, key_bits, slots):
+        fmt = RecordFormat(key_bits=key_bits, data_bits=4, ternary=True)
+        layout = BucketLayout(
+            row_bits=8 + slots * fmt.slot_bits, record_format=fmt
+        )
+        array = MemoryArray(ROWS, layout.row_bits)
+        rng = np.random.default_rng(17)
+        top = min(key_bits, 60)
+        for row in range(ROWS):
+            records = []
+            for _ in range(layout.slots_per_bucket):
+                if rng.random() < 0.3:
+                    records.append(None)
+                    continue
+                value = int(rng.integers(0, 1 << top))
+                mask = (
+                    int(rng.integers(0, 1 << top))
+                    if rng.random() < 0.5
+                    else 0
+                )
+                key = (
+                    TernaryKey(value=value, mask=mask, width=key_bits)
+                    if mask
+                    else value
+                )
+                records.append(Record.make(key, int(rng.integers(0, 16)), fmt))
+            array.write_row(row, layout.pack(records))
+        word = DecodedMirror([array], layout)
+        plane = BitPlaneMirror([array], layout)
+        word.sync()
+        plane.sync()
+        batch = 120
+        ids = rng.integers(0, ROWS, batch)
+        values = [int(v) for v in rng.integers(0, 1 << top, batch)]
+        masks = [
+            int(m) if rng.random() < 0.5 else 0
+            for m in rng.integers(0, 1 << top, batch)
+        ]
+        query_words = keys_to_words(values, key_bits)
+        query_masks = keys_to_words(masks, key_bits)
+        expected = word.match_rows(ids, query_words, query_masks)
+        packed = plane_match_rows(
+            plane,
+            ids,
+            words_to_bits(query_words, key_bits),
+            words_to_bits(query_masks, key_bits),
+        )
+        got = np.zeros_like(expected)
+        for lane in range(plane.lanes):
+            for bit in range(64):
+                slot = lane * 64 + bit
+                if slot >= plane.slots:
+                    break
+                got[:, slot] = (packed[:, lane] >> np.uint64(bit)) & np.uint64(1)
+        assert (expected == got).all()

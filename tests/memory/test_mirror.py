@@ -10,9 +10,11 @@ from repro.errors import KeyFormatError
 from repro.memory.array import MemoryArray
 from repro.memory.mirror import (
     DecodedMirror,
+    bits_to_words,
     int_to_words,
     keys_to_words,
     words_for_bits,
+    words_to_bits,
 )
 
 FMT = RecordFormat(key_bits=16, data_bits=8, ternary=True)
@@ -68,6 +70,22 @@ class TestWordPacking:
             keys_to_words([-1], 16)
         with pytest.raises(KeyFormatError):
             keys_to_words([1 << 128], 128)
+
+    @pytest.mark.parametrize("bits", [1, 16, 64, 65, 128])
+    def test_bits_to_words_inverts_words_to_bits(self, bits):
+        rng = np.random.default_rng(bits)
+        words = keys_to_words(
+            [int(v) for v in rng.integers(0, 1 << min(bits, 60), 20)], bits
+        )
+        round_tripped = bits_to_words(words_to_bits(words, bits), bits)
+        assert round_tripped.dtype == np.uint64
+        assert (round_tripped == words).all()
+
+    def test_bits_to_words_rejects_bad_shape(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            bits_to_words(np.zeros((2, 5), dtype=np.uint8), 16)
 
 
 class TestSyncAndInvalidation:
@@ -202,3 +220,114 @@ class TestWideKeyMirror:
             np.array([2, 2]), keys_to_words([key, key + 1], 128)
         )
         assert bool(match[0, 0]) and not bool(match[1, 0])
+
+
+def reference_decode(mirror, arrays, layout, horizontal):
+    """Scalar per-slot decode via the layout readers — the old sync path."""
+    valid = np.zeros_like(mirror.valid)
+    key_words = np.zeros_like(mirror.key_words)
+    mask_words = np.zeros_like(mirror.mask_words)
+    reach = np.zeros_like(mirror.reach)
+    records = np.empty_like(mirror.records)
+    slots = layout.slots_per_bucket
+    word_count = mirror.word_count
+    for slice_id, array in enumerate(arrays):
+        for row in range(array.rows):
+            value = array.peek_row(row)
+            if horizontal:
+                bucket, base = row, slice_id * slots
+                if slice_id == 0:
+                    reach[bucket] = layout.read_aux(value)
+            else:
+                bucket, base = slice_id * array.rows + row, 0
+                reach[bucket] = layout.read_aux(value)
+            for slot in range(slots):
+                is_valid, rec = layout.read_slot(value, slot)
+                col = base + slot
+                valid[bucket, col] = is_valid
+                records[bucket, col] = rec if is_valid else None
+                if is_valid:
+                    key_words[bucket, col] = int_to_words(
+                        rec.key.value, word_count
+                    )
+                    mask_words[bucket, col] = int_to_words(
+                        rec.key.mask, word_count
+                    )
+    return valid, key_words, mask_words, reach, records
+
+
+class TestVectorizedSyncIdentity:
+    """The vectorized decode must reproduce the per-slot readers exactly."""
+
+    @pytest.mark.parametrize("horizontal", [False, True])
+    def test_identical_to_scalar_decode(self, horizontal):
+        rng = np.random.default_rng(99)
+        arrays = [make_array(), make_array()]
+        for array in arrays:
+            for row in range(ROWS):
+                recs = []
+                for _ in range(LAYOUT.slots_per_bucket):
+                    if rng.random() < 0.4:
+                        recs.append(None)
+                        continue
+                    mask = int(rng.integers(0, 16)) if rng.random() < 0.5 else 0
+                    recs.append(
+                        record(
+                            int(rng.integers(0, 1 << 16)),
+                            mask=mask,
+                            data=int(rng.integers(0, 256)),
+                        )
+                    )
+                array.write_row(row, pack(recs, reach=int(rng.integers(0, 4))))
+        mirror = DecodedMirror(arrays, LAYOUT, horizontal=horizontal)
+        mirror.sync()
+        valid, key_words, mask_words, reach, records = reference_decode(
+            mirror, arrays, LAYOUT, horizontal
+        )
+        assert (mirror.valid == valid).all()
+        assert (mirror.key_words == key_words).all()
+        assert (mirror.mask_words == mask_words).all()
+        assert (mirror.reach == reach).all()
+        for bucket in range(mirror.buckets):
+            for slot in range(mirror.slots):
+                got, want = mirror.records[bucket, slot], records[bucket, slot]
+                if want is None:
+                    assert got is None
+                else:
+                    assert got.key == want.key and got.data == want.data
+
+    def test_identical_after_partial_churn(self):
+        array = make_array()
+        mirror = DecodedMirror([array], LAYOUT)
+        mirror.sync()
+        array.write_row(1, pack([record(0xF00D, mask=0b11, data=5)], reach=2))
+        array.write_row(6, pack([None, record(0x1F)]))
+        assert mirror.sync() == 2
+        valid, key_words, mask_words, reach, _ = reference_decode(
+            mirror, [array], LAYOUT, False
+        )
+        assert (mirror.valid == valid).all()
+        assert (mirror.key_words == key_words).all()
+        assert (mirror.mask_words == mask_words).all()
+        assert (mirror.reach == reach).all()
+        # Stored key values are normalized under the stored mask.
+        assert mirror.records[1, 0].key.value == 0xF00D & ~0b11
+
+    def test_wide_key_vectorized_decode(self):
+        fmt = RecordFormat(key_bits=128, data_bits=8, ternary=True)
+        layout = BucketLayout(
+            row_bits=8 + 2 * fmt.slot_bits, record_format=fmt
+        )
+        array = MemoryArray(4, layout.row_bits)
+        key = TernaryKey(
+            value=(0xFACE << 100) | 0xCAFE, mask=(1 << 70) | 1, width=128
+        )
+        array.write_row(1, layout.pack([Record.make(key, 9, fmt)], reach=1))
+        mirror = DecodedMirror([array], layout)
+        mirror.sync()
+        is_valid, rec = layout.read_slot(array.peek_row(1), 0)
+        assert is_valid and mirror.valid[1, 0]
+        assert mirror.records[1, 0].key == rec.key
+        assert list(mirror.key_words[1, 0]) == int_to_words(rec.key.value, 2)
+        assert list(mirror.mask_words[1, 0]) == int_to_words(rec.key.mask, 2)
+        assert int(mirror.reach[1]) == 1
