@@ -13,9 +13,20 @@ exercises a churn phase so the incremental re-decode shows up in the
 telemetry block, and writes the keys/sec figures to
 ``BENCH_batch_lookup.json`` at the repository root.
 
+Each engine is timed twice per stream: ``search_batch`` (columnar kernel
+plus ``SearchResult`` materialization, the legacy representation) and
+``search_batch_columnar`` (the struct-of-arrays result set alone —
+parity against the scalar answers is checked *outside* the timed
+region).  A final leg measures the multi-core ``parallel-bitplane``
+engine at ``--workers`` workers; on hosts with fewer than two CPUs the
+leg is recorded as skipped rather than reporting meaningless
+oversubscribed numbers.  The report carries a ``metadata`` block
+(engines, worker count, result representation) so the telemetry differ
+refuses to compare runs with different configurations.
+
 Run standalone with::
 
-    PYTHONPATH=src python benchmarks/bench_batch_lookup.py [--engine=bitplane]
+    PYTHONPATH=src python benchmarks/bench_batch_lookup.py [--engine=bitplane] [--workers=4]
 
 or through pytest (asserts the >=10x speedup and engine parity)::
 
@@ -25,6 +36,7 @@ or through pytest (asserts the >=10x speedup and engine parity)::
 import argparse
 import gc
 import json
+import os
 import time
 
 from harness import finalize, result_path
@@ -49,6 +61,7 @@ QUERY_COUNT = 120_000
 HIT_FRACTION = 0.5
 CHURN_ROWS = 12          # rows rewritten between the churn batches
 SEED = 1234
+DEFAULT_WORKERS = 4      # parallel-leg pool size (ISSUE target point)
 
 
 def build_slice(engine: str = "word") -> CARAMSlice:
@@ -127,6 +140,18 @@ def bench_engine(engine, stored, streams, scalars):
     )
     assert warm_results == scalars["mixed"]["results"]
 
+    # Columnar-only timing: the struct-of-arrays result set with no
+    # SearchResult materialization — the representation the apps and the
+    # parallel merge consume.  Parity is checked after the clock stops.
+    columnar_seconds = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        columnar_set = slice_.search_batch_columnar(mixed)
+        columnar_seconds = min(columnar_seconds, time.perf_counter() - start)
+    assert columnar_set.results() == scalars["mixed"]["results"], (
+        f"{engine} columnar/scalar result divergence"
+    )
+
     # Uniform traffic: overwhelmingly misses, every one with a reach-driven
     # extended search — the probe walk's home regime.
     uniform_seconds = float("inf")
@@ -136,6 +161,17 @@ def bench_engine(engine, stored, streams, scalars):
         uniform_seconds = min(uniform_seconds, time.perf_counter() - start)
     assert uniform_results == scalars["uniform"]["results"], (
         f"{engine} uniform batch/scalar result divergence"
+    )
+
+    uniform_columnar_seconds = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        uniform_set = slice_.search_batch_columnar(uniform)
+        uniform_columnar_seconds = min(
+            uniform_columnar_seconds, time.perf_counter() - start
+        )
+    assert uniform_set.results() == scalars["uniform"]["results"], (
+        f"{engine} uniform columnar/scalar result divergence"
     )
 
     # Churn: rewrite a few rows, then batch again — the steady state of a
@@ -167,17 +203,72 @@ def bench_engine(engine, stored, streams, scalars):
             "batch_keys_per_sec": round(len(mixed) / batch_seconds),
             "batch_warm_keys_per_sec": round(len(mixed) / warm_seconds),
             "batch_churn_keys_per_sec": round(len(mixed) / churn_seconds),
+            "columnar_keys_per_sec": round(len(mixed) / columnar_seconds),
             "speedup": round(mixed_scalar_s / batch_seconds, 2),
             "speedup_warm": round(mixed_scalar_s / warm_seconds, 2),
+            "speedup_columnar": round(mixed_scalar_s / columnar_seconds, 2),
         },
         "uniform": {
             "batch_keys_per_sec": round(len(uniform) / uniform_seconds),
+            "columnar_keys_per_sec": round(
+                len(uniform) / uniform_columnar_seconds
+            ),
             "speedup": round(uniform_scalar_s / uniform_seconds, 2),
+            "speedup_columnar": round(
+                uniform_scalar_s / uniform_columnar_seconds, 2
+            ),
         },
     }
 
 
-def run_benchmark(engines=ENGINE_KINDS) -> dict:
+def bench_parallel(stored, streams, scalars, workers, baseline_section):
+    """Multi-core fan-out leg; records a skip on single-CPU hosts."""
+    cpu_count = os.cpu_count() or 1
+    if cpu_count < 2 or workers < 2:
+        return {
+            "skipped": True,
+            "reason": (
+                f"parallel leg needs >=2 CPUs and >=2 workers "
+                f"(host has {cpu_count}, requested {workers})"
+            ),
+        }
+    mixed, uniform = streams["mixed"], streams["uniform"]
+    slice_ = build_slice(f"parallel-bitplane:{workers}")
+    for key in stored:
+        slice_.insert(key, key & 0xFFFF)
+    slice_.search_batch_columnar(mixed[:4096])  # decode + fork the pool
+    try:
+        mixed_seconds = float("inf")
+        for _ in range(2):
+            start = time.perf_counter()
+            mixed_set = slice_.search_batch_columnar(mixed)
+            mixed_seconds = min(mixed_seconds, time.perf_counter() - start)
+        assert mixed_set.results() == scalars["mixed"]["results"], (
+            "parallel mixed/scalar result divergence"
+        )
+        uniform_seconds = float("inf")
+        for _ in range(2):
+            start = time.perf_counter()
+            uniform_set = slice_.search_batch_columnar(uniform)
+            uniform_seconds = min(
+                uniform_seconds, time.perf_counter() - start
+            )
+        assert uniform_set.results() == scalars["uniform"]["results"], (
+            "parallel uniform/scalar result divergence"
+        )
+    finally:
+        slice_._close_batch_engine()
+    single = baseline_section["uniform"]["columnar_keys_per_sec"]
+    uniform_kps = len(uniform) / uniform_seconds
+    return {
+        "workers": workers,
+        "mixed_columnar_keys_per_sec": round(len(mixed) / mixed_seconds),
+        "uniform_columnar_keys_per_sec": round(uniform_kps),
+        "uniform_speedup_vs_single_core": round(uniform_kps / single, 2),
+    }
+
+
+def run_benchmark(engines=ENGINE_KINDS, workers=DEFAULT_WORKERS) -> dict:
     reference = build_slice()
     stored = populate(reference)
     streams = {
@@ -193,14 +284,14 @@ def run_benchmark(engines=ENGINE_KINDS) -> dict:
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
-        return _run_benchmark(reference, stored, streams, engines)
+        return _run_benchmark(reference, stored, streams, engines, workers)
     finally:
         if gc_was_enabled:
             gc.enable()
             gc.collect()
 
 
-def _run_benchmark(reference, stored, streams, engines) -> dict:
+def _run_benchmark(reference, stored, streams, engines, workers) -> dict:
     with enabled_profiler() as profiler:
         scalars = {}
         for name, queries in streams.items():
@@ -223,6 +314,13 @@ def _run_benchmark(reference, stored, streams, engines) -> dict:
             )
             engine_sections[engine] = section
 
+        baseline_section = engine_sections.get(
+            "bitplane", engine_sections[engines[-1]]
+        )
+        parallel_section = bench_parallel(
+            stored, streams, scalars, workers, baseline_section
+        )
+
     # Mount telemetry after the run: providers are read lazily at
     # snapshot() time.  The registry reports the last engine measured
     # (the one a single-engine CI gate asked for).
@@ -242,9 +340,19 @@ def _run_benchmark(reference, stored, streams, engines) -> dict:
             len(streams["uniform"]) / scalars["uniform"]["seconds"]
         ),
         "engines": engine_sections,
+        "parallel": parallel_section,
+    }
+    metadata = {
+        "engines": list(engines),
+        "worker_count": workers,
+        "result_representation": "columnar",
     }
     return finalize(
-        RESULT_PATH, result, registry=registry, profiler=profiler
+        RESULT_PATH,
+        result,
+        registry=registry,
+        profiler=profiler,
+        metadata=metadata,
     )
 
 
@@ -254,6 +362,17 @@ def test_batch_lookup_speedup():
     for engine, section in result["engines"].items():
         assert section["mixed"]["speedup"] >= 10, (engine, result)
         assert section["uniform"]["speedup"] >= 10, (engine, result)
+        # The columnar set skips ~10^5 SearchResult allocations, so it
+        # must not be slower than the materializing warm batch (10% slack
+        # for shared-runner noise).
+        assert (
+            section["mixed"]["columnar_keys_per_sec"]
+            >= 0.9 * section["mixed"]["batch_warm_keys_per_sec"]
+        ), (engine, result)
+    parallel = result["parallel"]
+    if not parallel.get("skipped"):
+        assert parallel["uniform_columnar_keys_per_sec"] > 0, result
+    assert result["metadata"]["result_representation"] == "columnar"
     phases = result["telemetry"]["phases"]
     assert "mirror.incremental_decode" in phases
     assert "batch.bitplane_match" in phases
@@ -267,8 +386,15 @@ if __name__ == "__main__":
         default="both",
         help="match backend(s) to measure (default: both)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=DEFAULT_WORKERS,
+        help="parallel-leg worker count (default: 4; leg is skipped on "
+        "hosts with fewer than two CPUs)",
+    )
     args = parser.parse_args()
     engines = ENGINE_KINDS if args.engine == "both" else (args.engine,)
-    stats = run_benchmark(engines)
+    stats = run_benchmark(engines, workers=args.workers)
     print(json.dumps(stats, indent=2))
     print(f"\nwrote {RESULT_PATH}")

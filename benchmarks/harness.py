@@ -44,14 +44,23 @@ def finalize(
     profiler=None,
     tracer=None,
     telemetry: Optional[Dict[str, object]] = None,
+    metadata: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Write a bench report, with telemetry nested under ``"telemetry"``.
 
     The payload's own keys are written untouched (CI gates index into
     them); pass the run's instruments — or a pre-built ``telemetry``
     block — to attach the observability data.
+
+    ``metadata`` records the run *configuration* (engine spec, worker
+    count, result representation) under a single ``"metadata"`` key.  The
+    telemetry differ ignores it as measurement but refuses to compare two
+    reports whose metadata disagrees — a 4-worker run diffed against a
+    single-core baseline is a config change, not a regression.
     """
     out = dict(payload)
+    if metadata:
+        out["metadata"] = dict(metadata)
     block = dict(telemetry) if telemetry else {}
     block.update(collect_telemetry(registry, profiler, tracer))
     if block:

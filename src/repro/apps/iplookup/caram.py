@@ -127,15 +127,14 @@ def lpm_search_batch(
 ) -> List[Optional[int]]:
     """Vectorized LPM over an address stream (one next hop per address).
 
-    Backed by :meth:`SliceGroup.search_batch`, so a long query trace is
-    resolved against the decoded mirror instead of per-address row decodes;
-    results and AMAL statistics are identical to per-address
-    :func:`lpm_search` calls.
+    Backed by :meth:`SliceGroup.search_batch_columnar`, so a long query
+    trace is resolved against the decoded mirror instead of per-address
+    row decodes, and next hops are read straight from the columnar result
+    set's packed data words — no per-address ``SearchResult`` or
+    ``Record`` objects; results and AMAL statistics are identical to
+    per-address :func:`lpm_search` calls.
     """
-    return [
-        result.data if result.hit else None
-        for result in group.search_batch(addresses)
-    ]
+    return group.search_batch_columnar(addresses).data_values()
 
 
 __all__ = [

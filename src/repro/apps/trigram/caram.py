@@ -243,13 +243,12 @@ def trigram_lookup_batch(
     decoded mirror; results and statistics match per-string
     :func:`trigram_lookup` calls.  Keys are packed through the vectorized
     :meth:`StringKeyCodec.encode_batch` rather than one scalar encode per
-    string.
+    string.  Probabilities come straight from the columnar result set's
+    packed data words (:meth:`BatchResultSet.data_values`) — no
+    per-string ``SearchResult`` materialization.
     """
     keys = StringKeyCodec.encode_batch(list(texts))
-    return [
-        result.data if result.hit else None
-        for result in group.search_batch(keys)
-    ]
+    return group.search_batch_columnar(keys).data_values()
 
 
 __all__ = [

@@ -22,19 +22,32 @@ A batch lookup proceeds in three vectorized stages:
    hash positions) fall back to one scalar ``search`` each, counted in
    :attr:`BatchSearchEngine.scalar_fallbacks`.
 
-The result list is **bit-identical** to calling the scalar ``search`` once
-per key, in key order — same hits, same winning records/rows/slots, same
-``bucket_accesses``, ``multiple_matches``, and the same ``SearchStats``
-counters (AMAL, hit rate, access histogram, match passes).  By default the
-physical :class:`~repro.memory.array.ArrayStats` read counters are not
-advanced by mirror-served accesses (the mirror replaces the row fetches);
-slices and groups built with ``account_reads=True`` route every
-mirror-served access through an ``access_sink`` that charges the physical
-counters too, restoring exact parity with the scalar path.
+The engine's native product is **columnar**: :meth:`search_columnar`
+returns a :class:`~repro.core.results.BatchResultSet` whose struct-of-
+arrays columns (hit mask, winning row/slot, per-key access and match-pass
+counts) are written directly by the match kernels — zero per-key Python
+objects on the hot path.  :meth:`search` is a thin wrapper that lazily
+materializes the ``SearchResult`` list, **bit-identical** to calling the
+scalar ``search`` once per key, in key order — same hits, same winning
+records/rows/slots, same ``bucket_accesses``, ``multiple_matches``, and
+the same ``SearchStats`` counters (AMAL, hit rate, access histogram,
+match passes).  By default the physical
+:class:`~repro.memory.array.ArrayStats` read counters are not advanced by
+mirror-served accesses (the mirror replaces the row fetches); slices and
+groups built with ``account_reads=True`` route every mirror-served access
+through an ``access_sink`` that charges the physical counters too,
+restoring exact parity with the scalar path.
+
+The split into :meth:`_prepare` (hashing, key normalization) and the
+chunk-level :meth:`_run_vectorized` also serves the multi-core fan-out:
+:class:`~repro.core.parallel.ParallelBatchEngine` prepares once in the
+parent, then drives ``_run_vectorized`` inside worker processes against a
+shared-memory view of the mirror.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -54,6 +67,7 @@ from repro.core.index import IndexGenerator, KeyInput
 from repro.core.key import TernaryKey
 from repro.core.match import priority_encode_batch
 from repro.core.probing import ProbingPolicy
+from repro.core.results import BatchResultSet
 from repro.core.stats import SearchStats
 from repro.memory.mirror import (
     DecodedMirror,
@@ -74,6 +88,11 @@ MIN_CHUNK_SIZE = 256
 #: default keeps peak memory flat as rows get wider.
 _CHUNK_ELEMENT_BUDGET = 1 << 19
 
+#: Fixed per-key columnar output words (hit/row/slot/accesses/passes
+#: columns), charged against the chunk element budget alongside the
+#: gathered match intermediates.
+_COLUMNAR_FIELD_WORDS = 4
+
 
 def default_chunk_size(
     slots_per_bucket: int,
@@ -81,6 +100,7 @@ def default_chunk_size(
     engine: str = "word",
     key_bits: Optional[int] = None,
     ternary: bool = False,
+    value_words: int = 0,
 ) -> int:
     """Chunk size scaled to the row geometry *of the active layout*.
 
@@ -93,6 +113,12 @@ def default_chunk_size(
       study's 384-slot x 2-word horizontal buckets);
     * ``bitplane`` — ``key_bits x ceil(slots / 64)`` plane words, doubled
       when stored masks add a second plane set.
+
+    On top of the match intermediates every key also carries its columnar
+    output row — the fixed result columns plus ``value_words`` packed
+    data words for wide-value record formats — so configurations with
+    wide payloads chunk smaller instead of blowing the cache with the
+    output alone.
     """
     if engine == "bitplane":
         planes = key_bits if key_bits else word_count * 64
@@ -102,12 +128,33 @@ def default_chunk_size(
         per_key = max(1, planes * lanes)
     else:
         per_key = max(1, slots_per_bucket * word_count)
+    per_key += _COLUMNAR_FIELD_WORDS + max(0, int(value_words))
     return int(
         min(
             DEFAULT_CHUNK_SIZE,
             max(MIN_CHUNK_SIZE, _CHUNK_ELEMENT_BUDGET // per_key),
         )
     )
+
+
+@dataclass
+class PreparedBatch:
+    """Stage-0/1 product: normalized keys, packed words, home buckets.
+
+    Produced by :meth:`BatchSearchEngine._prepare`; consumed either
+    in-process by :meth:`BatchSearchEngine._finish` or shard-wise by the
+    parallel dispatcher.
+    """
+
+    total: int
+    values: List[int]
+    masks: Optional[List[int]]
+    words: np.ndarray                       # (total, W) uint64
+    mask_words: Optional[np.ndarray]        # (total, W) or None
+    homes: np.ndarray                       # (total,) int64
+    needs_scalar: np.ndarray                # (total,) bool
+    query_bits: Optional[np.ndarray]        # (total, key_bits) bool
+    query_mask_bits: Optional[np.ndarray]   # (total, key_bits) or None
 
 
 class BatchSearchEngine:
@@ -139,6 +186,9 @@ class BatchSearchEngine:
             return a :class:`~repro.memory.bitplane.BitPlaneMirror`).
         ternary: whether the stored record format carries don't-care
             masks; only used to size the bit-plane chunk default.
+        value_words: packed data-payload words per record
+            (``words_for_bits(data_bits)``); sizes the columnar output
+            term of the chunk default.
     """
 
     def __init__(
@@ -155,6 +205,7 @@ class BatchSearchEngine:
         chunk_size: Optional[int] = None,
         engine: str = "word",
         ternary: bool = False,
+        value_words: int = 0,
     ) -> None:
         self._index = index_generator
         self._mirror_provider = mirror_provider
@@ -167,6 +218,7 @@ class BatchSearchEngine:
         self._probing = probing
         self._access_sink = access_sink
         self._engine = validate_engine(engine)
+        self._value_words = value_words
         if chunk_size is None:
             chunk_size = default_chunk_size(
                 slots_per_bucket,
@@ -174,8 +226,12 @@ class BatchSearchEngine:
                 engine=engine,
                 key_bits=key_bits,
                 ternary=ternary,
+                value_words=value_words,
             )
         self._chunk_size = max(1, chunk_size)
+        #: Keys resolved through the columnar path (the telemetry counter
+        #: behind ``<prefix>.batch.columnar_rows``).
+        self.columnar_rows = 0
 
     @property
     def chunk_size(self) -> int:
@@ -185,6 +241,10 @@ class BatchSearchEngine:
     def engine(self) -> str:
         """The match-backend layout this engine drives."""
         return self._engine
+
+    @property
+    def stats(self) -> SearchStats:
+        return self._stats
 
     # The engine-path counters are first-class ``SearchStats`` fields (so
     # subsystem-level ``merge()`` aggregation keeps them); these properties
@@ -203,22 +263,50 @@ class BatchSearchEngine:
         return self._stats.probe_walk_keys
 
     def search(self, keys: Sequence[KeyInput], search_mask: int = 0) -> List:
-        """Look up every key; returns one ``SearchResult`` per key, in order."""
-        from repro.core.slice import SearchResult
+        """Look up every key; returns one ``SearchResult`` per key, in order.
 
+        A materializing wrapper over :meth:`search_columnar` — the list is
+        value-identical to the scalar path, built from the columnar form.
+        """
+        return self.search_columnar(keys, search_mask).results()
+
+    def search_columnar(
+        self, keys: Sequence[KeyInput], search_mask: int = 0
+    ) -> BatchResultSet:
+        """Look up every key; returns the columnar ``BatchResultSet``.
+
+        The native form of the batch path: the match kernels write the
+        result columns directly, with zero per-key Python objects.  Call
+        :meth:`BatchResultSet.results` for the ``SearchResult`` list, or
+        consume the columns / ``data_values()`` directly.
+        """
         if not 0 <= search_mask <= self._full_mask:
             raise KeyFormatError(
                 f"search mask {search_mask:#x} does not fit in "
                 f"{self._key_bits} bits"
             )
-        total = len(keys)
-        if total == 0:
-            return []
+        if len(keys) == 0:
+            return BatchResultSet(0)
+        prep = self._prepare(keys, search_mask)
+        return self._finish(keys, search_mask, prep)
 
-        # ------------------------------------------------------------------
-        # Stages 0/1: normalize keys to (value, mask) pairs, then hash the
-        # whole array at once.
-        # ------------------------------------------------------------------
+    # ------------------------------------------------------------------
+    # Stages 0/1: normalize keys to (value, mask) pairs, then hash the
+    # whole array at once.
+    # ------------------------------------------------------------------
+
+    def _prepare(
+        self,
+        keys: Sequence[KeyInput],
+        search_mask: int,
+        compute_bits: bool = True,
+    ) -> PreparedBatch:
+        """Normalize and hash the whole key array (stage 0/1).
+
+        ``compute_bits=False`` skips the bit-plane query unpack — the
+        parallel dispatcher sets it, since workers unpack their own shard.
+        """
+        total = len(keys)
         with profile("batch.index"):
             # Fast path: a batch of plain machine-width ints (the common
             # case) converts in one shot — a numeric ndarray cannot contain
@@ -260,8 +348,8 @@ class BatchSearchEngine:
             homes, needs_scalar = self._index.indices_batch(
                 values, masks, words
             )
-            bitplane = self._engine == "bitplane"
-            if bitplane:
+            query_bits = query_mask_bits = None
+            if compute_bits and self._engine == "bitplane":
                 # The plane kernel consumes query *bits*; unpack the whole
                 # batch once and gather per chunk below.
                 query_bits = words_to_bits(words, self._key_bits)
@@ -270,47 +358,113 @@ class BatchSearchEngine:
                     if mask_words is not None
                     else None
                 )
-            else:
-                query_bits = query_mask_bits = None
+        return PreparedBatch(
+            total=total,
+            values=values,
+            masks=masks,
+            words=words,
+            mask_words=mask_words,
+            homes=homes,
+            needs_scalar=needs_scalar,
+            query_bits=query_bits,
+            query_mask_bits=query_mask_bits,
+        )
+
+    def _checked_mirror(self) -> DecodedMirror:
+        """Fetch the synced mirror, verifying it fits the active layout."""
         with profile("batch.mirror_sync"):
             mirror = self._mirror_provider()
-        if bitplane and not hasattr(mirror, "key_planes"):
+        if self._engine == "bitplane" and not hasattr(mirror, "key_planes"):
             raise ConfigurationError(
                 "engine='bitplane' needs a BitPlaneMirror; the provider "
                 f"returned {type(mirror).__name__}"
             )
-        plane_scratch = (
-            np.empty(
-                (
-                    min(self._chunk_size, total),
-                    self._key_bits,
-                    mirror.lanes,
-                ),
-                dtype=np.uint64,
-            )
-            if bitplane
-            else None
+        return mirror
+
+    def _plane_scratch(self, mirror, total: int) -> Optional[np.ndarray]:
+        if self._engine != "bitplane":
+            return None
+        return np.empty(
+            (min(self._chunk_size, total), self._key_bits, mirror.lanes),
+            dtype=np.uint64,
         )
 
-        results: List[Optional[SearchResult]] = [None] * total
-        scalar_keys: List[int] = np.flatnonzero(needs_scalar).tolist()
-        vectorized = np.flatnonzero(~needs_scalar)
-        shared_miss: Optional[SearchResult] = None
-        records = mirror.records
-        # SearchResult is a frozen dataclass: its generated __init__ pays
-        # one object.__setattr__ per field.  The hit loop below is the
-        # allocation hot spot of the whole batch path, so build instances
-        # by swapping in the finished __dict__ wholesale (~2x faster,
-        # value-identical; relies on SearchResult not using __slots__).
-        new_result = SearchResult.__new__
-        set_dict = object.__setattr__
+    def _finish(
+        self,
+        keys: Sequence[KeyInput],
+        search_mask: int,
+        prep: PreparedBatch,
+    ) -> BatchResultSet:
+        """Stages 2/3 plus the scalar fallback, in-process."""
+        mirror = self._checked_mirror()
+        plane_scratch = self._plane_scratch(mirror, prep.total)
+        rs = BatchResultSet(prep.total, mirror)
+        vectorized = np.flatnonzero(~prep.needs_scalar)
+        self._run_vectorized(
+            mirror,
+            rs,
+            vectorized,
+            prep.homes,
+            prep.words,
+            prep.mask_words,
+            prep.values,
+            prep.query_bits,
+            prep.query_mask_bits,
+            plane_scratch,
+        )
+        self._scalar_fallback(rs, keys, search_mask, prep.needs_scalar)
+        self.columnar_rows += prep.total
+        return rs
 
-        # ------------------------------------------------------------------
-        # Stage 2: home-row matching, chunked to bound peak memory.
-        # ------------------------------------------------------------------
-        for start in range(0, vectorized.size, self._chunk_size):
+    def _scalar_fallback(
+        self,
+        rs: BatchResultSet,
+        keys: Sequence[KeyInput],
+        search_mask: int,
+        needs_scalar: np.ndarray,
+    ) -> None:
+        """Resolve multi-home ternary keys through the scalar search."""
+        scalar_keys: List[int] = np.flatnonzero(needs_scalar).tolist()
+        if not scalar_keys:
+            return
+        self._stats.record_scalar_fallbacks(len(scalar_keys))
+        with profile("batch.scalar_fallback"):
+            for out_i in scalar_keys:
+                rs.set_override(
+                    out_i, self._scalar_search(keys[out_i], search_mask)
+                )
+
+    # ------------------------------------------------------------------
+    # Stage 2: home-row matching, chunked to bound peak memory.
+    # ------------------------------------------------------------------
+
+    def _run_vectorized(
+        self,
+        mirror,
+        rs: BatchResultSet,
+        positions: np.ndarray,
+        homes: np.ndarray,
+        words: np.ndarray,
+        mask_words: Optional[np.ndarray],
+        values: Sequence[int],
+        query_bits: Optional[np.ndarray],
+        query_mask_bits: Optional[np.ndarray],
+        plane_scratch: Optional[np.ndarray],
+    ) -> None:
+        """Resolve the listed key positions into the result columns.
+
+        ``positions`` indexes into the batch-length arrays
+        (``homes``/``words``/...); every outcome is scattered into ``rs``
+        at its global key position.  ``mirror`` only needs the match-kernel
+        surface (``match_rows`` or the plane attributes, plus ``reach`` and
+        ``buckets``) — a shared-memory
+        :class:`~repro.memory.shm.MirrorView` satisfies it inside worker
+        processes.
+        """
+        bitplane = self._engine == "bitplane"
+        for start in range(0, positions.size, self._chunk_size):
             with profile("batch.home_match"):
-                chunk = vectorized[start : start + self._chunk_size]
+                chunk = positions[start : start + self._chunk_size]
                 chunk_homes = homes[chunk]
                 if bitplane:
                     with profile("batch.bitplane_match"):
@@ -340,6 +494,7 @@ class BatchSearchEngine:
                 self._stats.record_match_passes(int(passes.sum()))
                 if self._access_sink is not None:
                     self._access_sink(chunk_homes)
+                rs.match_passes[chunk] = passes
                 # Stage 3 trigger: a home miss with nonzero reach means
                 # records may have spilled along the probe sequence.
                 probe_needed = ~hit & (mirror.reach[chunk_homes] > 0)
@@ -352,44 +507,13 @@ class BatchSearchEngine:
 
                 hit_positions = np.flatnonzero(hit)
                 if hit_positions.size:
-                    hit_rows = chunk_homes[hit_positions]
-                    hit_slots = slot[hit_positions]
-                    hit_records = records[hit_rows, hit_slots]
-                    for out_i, row_i, slot_i, rec, multi in zip(
-                        chunk[hit_positions].tolist(),
-                        hit_rows.tolist(),
-                        hit_slots.tolist(),
-                        hit_records.tolist(),
-                        multiple[hit_positions].tolist(),
-                    ):
-                        result = new_result(SearchResult)
-                        set_dict(
-                            result,
-                            "__dict__",
-                            {
-                                "hit": True,
-                                "record": rec,
-                                "row": row_i,
-                                "slot": slot_i,
-                                "bucket_accesses": 1,
-                                "multiple_matches": multi,
-                            },
-                        )
-                        results[out_i] = result
-                miss_positions = np.flatnonzero(resolved & ~hit)
-                if miss_positions.size:
-                    if shared_miss is None:
-                        # Plain misses are identical immutable values; one
-                        # instance serves the whole batch.
-                        shared_miss = SearchResult(
-                            hit=False,
-                            record=None,
-                            row=None,
-                            slot=None,
-                            bucket_accesses=1,
-                        )
-                    for out_i in chunk[miss_positions].tolist():
-                        results[out_i] = shared_miss
+                    out = chunk[hit_positions]
+                    rs.hit[out] = True
+                    rs.row[out] = chunk_homes[hit_positions]
+                    rs.slot[out] = slot[hit_positions]
+                    rs.multiple_matches[out] = multiple[hit_positions]
+                # Home-row misses with reach 0 keep the column defaults
+                # (hit=False, bucket_accesses=1) — nothing to write.
 
                 # ------------------------------------------------------
                 # Stage 3: vectorized probe walk over this chunk's spills.
@@ -399,8 +523,7 @@ class BatchSearchEngine:
                 with profile("batch.probe_walk"):
                     self._probe_walk(
                         mirror,
-                        SearchResult,
-                        results,
+                        rs,
                         pending,
                         homes[pending],
                         words[pending],
@@ -415,23 +538,10 @@ class BatchSearchEngine:
                         plane_scratch,
                     )
 
-        # ------------------------------------------------------------------
-        # Scalar fallback: only multi-home ternary keys remain.
-        # ------------------------------------------------------------------
-        if scalar_keys:
-            self._stats.record_scalar_fallbacks(len(scalar_keys))
-            with profile("batch.scalar_fallback"):
-                for out_i in scalar_keys:
-                    results[out_i] = self._scalar_search(
-                        keys[out_i], search_mask
-                    )
-        return results
-
     def _probe_walk(
         self,
-        mirror: DecodedMirror,
-        SearchResult,
-        results: List,
+        mirror,
+        rs: BatchResultSet,
         key_idx: np.ndarray,
         homes: np.ndarray,
         query_words: np.ndarray,
@@ -450,7 +560,6 @@ class BatchSearchEngine:
         """
         reach = mirror.reach[homes]
         buckets = mirror.buckets
-        records = mirror.records
         generic_probe = (
             type(self._probing).probe_batch is ProbingPolicy.probe_batch
         )
@@ -458,7 +567,6 @@ class BatchSearchEngine:
         tracer = self._stats.tracer
         alive = np.arange(key_idx.size)
         attempt = 0
-        miss_cache = {}
         while alive.size:
             attempt += 1
             homes_alive = homes[alive]
@@ -503,50 +611,22 @@ class BatchSearchEngine:
             self._stats.record_match_passes(int(passes.sum()))
             if self._access_sink is not None:
                 self._access_sink(rows)
+            # Each still-alive key is distinct, so plain fancy-index
+            # addition accumulates its walk passes exactly once.
+            rs.match_passes[key_idx[alive]] += passes
             accesses = attempt + 1  # the home fetch plus this walk
             hit_positions = np.flatnonzero(hit)
             if hit_positions.size:
-                hit_rows = rows[hit_positions]
-                hit_slots = slot[hit_positions]
-                hit_records = records[hit_rows, hit_slots]
-                new_result = SearchResult.__new__
-                set_dict = object.__setattr__
-                for out_i, row_i, slot_i, rec, multi in zip(
-                    key_idx[alive[hit_positions]].tolist(),
-                    hit_rows.tolist(),
-                    hit_slots.tolist(),
-                    hit_records.tolist(),
-                    multiple[hit_positions].tolist(),
-                ):
-                    result = new_result(SearchResult)
-                    set_dict(
-                        result,
-                        "__dict__",
-                        {
-                            "hit": True,
-                            "record": rec,
-                            "row": row_i,
-                            "slot": slot_i,
-                            "bucket_accesses": accesses,
-                            "multiple_matches": multi,
-                        },
-                    )
-                    results[out_i] = result
+                out = key_idx[alive[hit_positions]]
+                rs.hit[out] = True
+                rs.row[out] = rows[hit_positions]
+                rs.slot[out] = slot[hit_positions]
+                rs.bucket_accesses[out] = accesses
+                rs.multiple_matches[out] = multiple[hit_positions]
             exhausted = ~hit & (reach[alive] == attempt)
             miss_positions = np.flatnonzero(exhausted)
             if miss_positions.size:
-                miss = miss_cache.get(accesses)
-                if miss is None:
-                    miss = SearchResult(
-                        hit=False,
-                        record=None,
-                        row=None,
-                        slot=None,
-                        bucket_accesses=accesses,
-                    )
-                    miss_cache[accesses] = miss
-                for a_i in alive[miss_positions].tolist():
-                    results[int(key_idx[a_i])] = miss
+                rs.bucket_accesses[key_idx[alive[miss_positions]]] = accesses
             done = int(hit_positions.size + miss_positions.size)
             if done:
                 self._stats.record_lookup_batch(
@@ -561,6 +641,7 @@ __all__ = [
     "ENGINE_KINDS",
     "MIN_CHUNK_SIZE",
     "MIRROR_LAYOUT_CODES",
+    "PreparedBatch",
     "default_chunk_size",
     "validate_engine",
 ]

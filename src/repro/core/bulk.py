@@ -122,6 +122,7 @@ class BulkImage:
     mirror_mask_words: np.ndarray         # (buckets, slots, W) uint64
     mirror_reach: np.ndarray              # (buckets,) int64
     mirror_records: np.ndarray            # (buckets, slots) object
+    mirror_data_words: Optional[np.ndarray] = None  # (buckets, slots, Wd)
 
 
 def plan_bulk_build(
@@ -393,6 +394,22 @@ def build_bulk_image(
         record_column[:] = plan.records
         records_grid[b, s] = record_column[plan.copy_record]
 
+        if record_format.data_bits:
+            data_word_count = words_for_bits(record_format.data_bits)
+            data_grid = np.zeros(
+                (bucket_count, slots_per_bucket, data_word_count),
+                dtype=np.uint64,
+            )
+            per_record = keys_to_words(
+                [record.data for record in plan.records],
+                record_format.data_bits,
+            )
+            data_grid[b, s] = per_record[plan.copy_record]
+        else:
+            data_grid = np.zeros(
+                (bucket_count, slots_per_bucket, 0), dtype=np.uint64
+            )
+
     return BulkImage(
         plan=plan,
         array_rows=array_rows,
@@ -401,6 +418,7 @@ def build_bulk_image(
         mirror_mask_words=mask_words,
         mirror_reach=plan.reach.astype(np.int64, copy=True),
         mirror_records=records_grid,
+        mirror_data_words=data_grid,
     )
 
 

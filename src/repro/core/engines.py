@@ -36,4 +36,73 @@ def validate_engine(engine: str) -> str:
     return engine
 
 
-__all__ = ["ENGINE_KINDS", "MIRROR_LAYOUT_CODES", "validate_engine"]
+def parse_engine_spec(spec: str) -> tuple:
+    """Parse an engine spec into ``(layout, worker_count)``.
+
+    The plain layouts run in-process (``worker_count == 0``); the
+    ``parallel`` forms fan batches out across a shared-memory worker pool
+    (:class:`~repro.core.parallel.ParallelBatchEngine`):
+
+    * ``"word"`` / ``"bitplane"`` — single-core, the existing backends;
+    * ``"parallel"`` — bit-plane layout, one worker per available CPU;
+    * ``"parallel:4"`` — bit-plane layout, 4 workers;
+    * ``"parallel-word:4"`` / ``"parallel-bitplane:4"`` — explicit layout.
+
+    A parsed ``worker_count`` below 2 degrades to the single-core engine
+    of the same layout (a pool of one would only add dispatch overhead).
+    """
+    if not isinstance(spec, str):
+        raise ConfigurationError(f"engine spec must be a string: {spec!r}")
+    if spec in ENGINE_KINDS:
+        return spec, 0
+    head, sep, tail = spec.partition(":")
+    if head == "parallel":
+        layout = "bitplane"
+    elif head.startswith("parallel-"):
+        layout = head[len("parallel-"):]
+        if layout not in ENGINE_KINDS:
+            raise ConfigurationError(
+                f"unknown parallel layout {layout!r}; "
+                f"expected one of {ENGINE_KINDS}"
+            )
+    else:
+        raise ConfigurationError(
+            f"unknown batch engine {spec!r}; expected one of "
+            f"{ENGINE_KINDS} or 'parallel[-<layout>][:<workers>]'"
+        )
+    if sep:
+        try:
+            workers = int(tail)
+        except ValueError:
+            raise ConfigurationError(
+                f"worker count in engine spec {spec!r} must be an integer"
+            ) from None
+        if workers < 1:
+            raise ConfigurationError(
+                f"worker count in engine spec {spec!r} must be >= 1"
+            )
+    else:
+        import os
+
+        workers = os.cpu_count() or 1
+    if workers < 2:
+        # One worker cannot beat in-process execution; run single-core.
+        workers = 0
+    return layout, workers
+
+
+def format_engine_spec(layout: str, worker_count: int) -> str:
+    """Inverse of :func:`parse_engine_spec` (canonical spelling)."""
+    validate_engine(layout)
+    if worker_count < 2:
+        return layout
+    return f"parallel-{layout}:{worker_count}"
+
+
+__all__ = [
+    "ENGINE_KINDS",
+    "MIRROR_LAYOUT_CODES",
+    "format_engine_spec",
+    "parse_engine_spec",
+    "validate_engine",
+]

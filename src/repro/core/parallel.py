@@ -1,0 +1,371 @@
+"""Multi-core batch-lookup fan-out over a shared-memory mirror export.
+
+:class:`ParallelBatchEngine` wraps a single-core
+:class:`~repro.core.batch.BatchSearchEngine` and partitions each key batch
+across a **persistent** worker pool — the software analogue of operating
+several independent CA-RAM banks on one search stream (HashMem's
+bank-level parallelism; the CRAM IP-lookup scaling study, PAPERS.md).
+
+Division of labor per batch:
+
+* the parent runs stage 0/1 once (key normalization + batch hashing via
+  :meth:`BatchSearchEngine._prepare`), syncs the mirror, and re-exports it
+  into shared memory when its version stamp moved
+  (:class:`~repro.memory.shm.MirrorExport` — created once, refreshed in
+  place);
+* each worker receives one contiguous shard of the vectorized key
+  positions and drives the *same* chunk kernel
+  (:meth:`BatchSearchEngine._run_vectorized`) against its attached
+  :class:`~repro.memory.shm.MirrorView`, writing a shard-local columnar
+  result set and accounting into a shard-local ``SearchStats``;
+* the parent scatters the returned columns into the batch-level
+  :class:`~repro.core.results.BatchResultSet` and folds every shard's
+  stats into the real ``SearchStats`` **in shard order** — counters
+  commute, so the merged totals (lookups, hits, AMAL, access histogram,
+  match passes) are exactly the single-core batch's, independent of which
+  worker finished first.  Mirror-served accesses collected worker-side
+  replay through the parent's ``access_sink``, preserving
+  ``physical_row_fetches`` / ``account_reads`` parity.
+
+Scalar-fallback keys (multi-home ternary) never leave the parent: they
+run through the inner engine's scalar path after the shards merge, same
+as single-core.  Worker processes carry no tracer — per-attempt
+``probe_step`` events are a single-core observability feature — but all
+replayable *counters* merge exactly.
+
+The pool is forked lazily on the first parallel batch and survives across
+batches; batches smaller than :attr:`ParallelBatchEngine.min_parallel_keys`
+bypass it entirely (dispatch overhead would dominate).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import KeyFormatError
+from repro.core.batch import BatchSearchEngine
+from repro.core.index import KeyInput
+from repro.core.probing import ProbingPolicy
+from repro.core.results import BatchResultSet
+from repro.core.stats import SearchStats
+from repro.memory.mirror import words_to_bits
+from repro.memory.shm import MirrorExport, attach_mirror_view
+from repro.telemetry.profiling import profile
+
+__all__ = ["ParallelBatchEngine"]
+
+#: Below this many keys a batch runs in-process: pickling shards to the
+#: pool costs more than the match work it saves.
+DEFAULT_MIN_PARALLEL_KEYS = 4096
+
+
+class _AccessCollector:
+    """Worker-side ``access_sink``: buffers bucket-id arrays for replay
+    through the parent's real sink at merge time."""
+
+    __slots__ = ("chunks",)
+
+    def __init__(self) -> None:
+        self.chunks: List[np.ndarray] = []
+
+    def __call__(self, buckets) -> None:
+        # Copy: chunk_homes is a view into a task array that the next
+        # task would otherwise alias.
+        self.chunks.append(np.array(buckets, dtype=np.int64, copy=True))
+
+    def drain(self) -> np.ndarray:
+        if not self.chunks:
+            return np.empty(0, dtype=np.int64)
+        out = (
+            np.concatenate(self.chunks)
+            if len(self.chunks) > 1
+            else self.chunks[0]
+        )
+        self.chunks = []
+        return out
+
+
+# Per-worker-process state, installed by the pool initializer.
+_WORKER: Dict[str, object] = {}
+
+
+def _worker_init(config: dict, spec: dict) -> None:
+    """Pool initializer: attach the mirror view, build the shard engine."""
+    view, segments = attach_mirror_view(spec)
+    collector = _AccessCollector()
+    engine = BatchSearchEngine(
+        index_generator=None,
+        mirror_provider=None,
+        slots_per_bucket=config["slots_per_bucket"],
+        match_processors=config["match_processors"],
+        key_bits=config["key_bits"],
+        stats=SearchStats(),
+        scalar_search=None,
+        probing=config["probing"],
+        access_sink=collector,
+        chunk_size=config["chunk_size"],
+        engine=config["layout"],
+    )
+    _WORKER["engine"] = engine
+    _WORKER["view"] = view
+    _WORKER["segments"] = segments
+    _WORKER["collector"] = collector
+
+
+def _worker_run(task: dict) -> dict:
+    """Resolve one shard against the shared-memory view; return columns."""
+    engine: BatchSearchEngine = _WORKER["engine"]
+    view = _WORKER["view"]
+    collector: _AccessCollector = _WORKER["collector"]
+    stats = engine.stats
+    stats.reset()
+    collector.chunks = []
+
+    homes: np.ndarray = task["homes"]
+    words: np.ndarray = task["words"]
+    mask_words: Optional[np.ndarray] = task["mask_words"]
+    n = homes.shape[0]
+    view.has_stored_masks = task["has_stored_masks"]
+
+    query_bits = query_mask_bits = None
+    if engine.engine == "bitplane":
+        query_bits = words_to_bits(words, view.key_bits)
+        if mask_words is not None:
+            query_mask_bits = words_to_bits(mask_words, view.key_bits)
+
+    rs = BatchResultSet(n)
+    engine._run_vectorized(
+        view,
+        rs,
+        np.arange(n),
+        homes,
+        words,
+        mask_words,
+        task["values"] if task["values"] is not None else (),
+        query_bits,
+        query_mask_bits,
+        engine._plane_scratch(view, n),
+    )
+    return {
+        "hit": rs.hit,
+        "row": rs.row,
+        "slot": rs.slot,
+        "bucket_accesses": rs.bucket_accesses,
+        "multiple_matches": rs.multiple_matches,
+        "match_passes": rs.match_passes,
+        "access_buckets": collector.drain(),
+        "stats": {
+            "match_passes": stats.total_match_passes,
+            "probe_walk_keys": stats.probe_walk_keys,
+            "hits": stats.hits,
+            "access_histogram": dict(stats.access_histogram),
+        },
+    }
+
+
+class ParallelBatchEngine:
+    """Shard a batch across worker processes sharing one mirror export.
+
+    Drop-in for :class:`BatchSearchEngine` at the slice/group layer: same
+    ``search`` / ``search_columnar`` surface, bit-identical results and
+    merged ``SearchStats``.  Construction is cheap — the pool and the
+    shared-memory export are created on the first batch large enough to
+    parallelize, and the export is refreshed (never recreated) when the
+    mirror's version stamp advances.
+    """
+
+    def __init__(self, inner: BatchSearchEngine, workers: int) -> None:
+        if workers < 2:
+            raise KeyFormatError(
+                f"ParallelBatchEngine needs >= 2 workers, got {workers}"
+            )
+        self._inner = inner
+        self._workers = workers
+        #: Batches below this size run in-process (settable).
+        self.min_parallel_keys = DEFAULT_MIN_PARALLEL_KEYS
+        self._pool = None
+        self._export: Optional[MirrorExport] = None
+        self._export_mirror = None
+        #: Batches actually fanned out (vs delegated to the inner engine).
+        self.parallel_batches = 0
+
+    # Delegated introspection — the slice/group telemetry providers and
+    # tests read these off whichever engine is installed.
+
+    @property
+    def inner(self) -> BatchSearchEngine:
+        return self._inner
+
+    @property
+    def worker_count(self) -> int:
+        return self._workers
+
+    @property
+    def engine(self) -> str:
+        return self._inner.engine
+
+    @property
+    def chunk_size(self) -> int:
+        return self._inner.chunk_size
+
+    @property
+    def stats(self) -> SearchStats:
+        return self._inner.stats
+
+    @property
+    def scalar_fallbacks(self) -> int:
+        return self._inner.scalar_fallbacks
+
+    @property
+    def probe_walk_keys(self) -> int:
+        return self._inner.probe_walk_keys
+
+    @property
+    def columnar_rows(self) -> int:
+        return self._inner.columnar_rows
+
+    # ------------------------------------------------------------------
+    # Pool / export lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_ready(self, mirror):
+        """Export (or refresh) the mirror and return a live pool."""
+        if self._export is not None and self._export_mirror is not mirror:
+            # The slice swapped mirrors (layout change, rebuild): segment
+            # shapes and names are stale — tear down and re-fork.
+            self.close()
+        if self._export is None:
+            self._export = MirrorExport(mirror)
+            self._export_mirror = mirror
+        else:
+            self._export.refresh(mirror)
+        if self._pool is None:
+            inner = self._inner
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            config = {
+                "slots_per_bucket": inner._slots,
+                "match_processors": inner._processors,
+                "key_bits": inner._key_bits,
+                "probing": inner._probing,
+                "chunk_size": inner._chunk_size,
+                "layout": inner._engine,
+            }
+            self._pool = ctx.Pool(
+                self._workers,
+                initializer=_worker_init,
+                initargs=(config, self._export.spec()),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the shared-memory segments."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        if self._export is not None:
+            self._export.close()
+            self._export = None
+            self._export_mirror = None
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def search(self, keys: Sequence[KeyInput], search_mask: int = 0) -> List:
+        """Materializing wrapper over :meth:`search_columnar`."""
+        return self.search_columnar(keys, search_mask).results()
+
+    def search_columnar(
+        self, keys: Sequence[KeyInput], search_mask: int = 0
+    ) -> BatchResultSet:
+        """Columnar batch lookup, fanned out when the batch is large enough.
+
+        Small batches (below :attr:`min_parallel_keys`) delegate to the
+        inner single-core engine — results and stats are identical either
+        way, the split only decides where the match kernels run.
+        """
+        inner = self._inner
+        if len(keys) < max(1, self.min_parallel_keys):
+            return inner.search_columnar(keys, search_mask)
+        if not 0 <= search_mask <= inner._full_mask:
+            raise KeyFormatError(
+                f"search mask {search_mask:#x} does not fit in "
+                f"{inner._key_bits} bits"
+            )
+        prep = inner._prepare(keys, search_mask, compute_bits=False)
+        mirror = inner._checked_mirror()
+        pool = self._ensure_ready(mirror)
+        rs = BatchResultSet(prep.total, mirror)
+        vectorized = np.flatnonzero(~prep.needs_scalar)
+        shards = [
+            shard
+            for shard in np.array_split(vectorized, self._workers)
+            if shard.size
+        ]
+        generic_probe = (
+            type(inner._probing).probe_batch is ProbingPolicy.probe_batch
+        )
+        has_stored_masks = bool(getattr(mirror, "has_stored_masks", True))
+
+        with profile("batch.pool_dispatch"):
+            pending = [
+                pool.apply_async(
+                    _worker_run,
+                    (
+                        {
+                            "homes": prep.homes[shard],
+                            "words": prep.words[shard],
+                            "mask_words": (
+                                prep.mask_words[shard]
+                                if prep.mask_words is not None
+                                else None
+                            ),
+                            "values": (
+                                [prep.values[i] for i in shard.tolist()]
+                                if generic_probe
+                                else None
+                            ),
+                            "has_stored_masks": has_stored_masks,
+                        },
+                    ),
+                )
+                for shard in shards
+            ]
+            payloads = [task.get() for task in pending]
+
+        with profile("batch.shard_merge"):
+            stats = inner._stats
+            for shard, payload in zip(shards, payloads):
+                rs.hit[shard] = payload["hit"]
+                rs.row[shard] = payload["row"]
+                rs.slot[shard] = payload["slot"]
+                rs.bucket_accesses[shard] = payload["bucket_accesses"]
+                rs.multiple_matches[shard] = payload["multiple_matches"]
+                rs.match_passes[shard] = payload["match_passes"]
+                shard_stats = payload["stats"]
+                stats.record_match_passes(shard_stats["match_passes"])
+                stats.record_probe_walk(shard_stats["probe_walk_keys"])
+                stats.record_lookup_batch_varied(
+                    shard_stats["access_histogram"], shard_stats["hits"]
+                )
+                access_buckets = payload["access_buckets"]
+                if inner._access_sink is not None and access_buckets.size:
+                    inner._access_sink(access_buckets)
+
+        inner._scalar_fallback(rs, keys, search_mask, prep.needs_scalar)
+        inner.columnar_rows += prep.total
+        self.parallel_batches += 1
+        return rs

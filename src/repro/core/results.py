@@ -1,0 +1,295 @@
+"""Columnar (struct-of-arrays) batch-lookup results.
+
+The scalar-compatible ``search_batch`` returns one frozen
+:class:`~repro.core.slice.SearchResult` per key — on the mixed
+high-hit-rate stream that per-hit Python allocation is the throughput
+bound of the whole batch path.  :class:`BatchResultSet` is the columnar
+alternative the vectorized engine produces natively: parallel NumPy
+columns (hit mask, winning row/slot, per-key bucket accesses, the
+multiple-match flag, per-key match-pass and reliability-fault counters)
+with **zero per-key Python objects** on the hot path.
+
+Materialization is lazy and exact: :meth:`results` builds the very
+``SearchResult`` list today's callers receive — same records (the same
+object references, gathered from the decoded mirror), same rows, slots,
+access counts, and flags — so ``search_batch`` is now a thin wrapper over
+``search_batch_columnar(...).results()``.  Columnar-native consumers
+(:func:`~repro.apps.iplookup.caram.lpm_search_batch`,
+:func:`~repro.apps.trigram.caram.trigram_lookup_batch`) skip the object
+layer entirely via :meth:`data_values` / :meth:`value_words`, which read
+the mirror's packed ``data_words`` grid instead of ``Record`` attributes.
+
+Coherence: a result set snapshots its mirror's ``version`` stamp at
+creation; materializing after the mirror re-decoded (a write slipped in
+between the batch and the gather) raises instead of silently pairing
+stale coordinates with fresh content.  Reliability overlays and
+scalar-fallback keys are carried as sparse per-key *overrides*
+(:meth:`set_override`) layered over the columns, keeping the array form
+and the materialized form consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BatchResultSet"]
+
+
+class BatchResultSet:
+    """Struct-of-arrays outcome of one vectorized batch lookup.
+
+    Attributes (all length ``len(self)``, indexed by key position):
+        hit: bool — whether any record matched.
+        row: int64 — winning bucket, ``-1`` on a miss.
+        slot: int64 — priority-encoded winning slot (slot 0 = highest
+            match priority), ``-1`` on a miss.
+        bucket_accesses: int64 — row fetches the lookup performed (the
+            per-key AMAL contribution).
+        multiple_matches: bool — several slots matched in the winning row.
+        match_passes: int64 — pipelined match passes spent on this key.
+        faults: int64 — reliability interventions overlaid on this key
+            (victim-store hits / quarantine overlays); all zero without a
+            reliability manager.
+    """
+
+    __slots__ = (
+        "hit",
+        "row",
+        "slot",
+        "bucket_accesses",
+        "multiple_matches",
+        "match_passes",
+        "faults",
+        "_mirror",
+        "_version",
+        "_overrides",
+        "_results",
+        "_size",
+    )
+
+    def __init__(self, size: int, mirror=None) -> None:
+        self._size = size
+        self.hit = np.zeros(size, dtype=bool)
+        self.row = np.full(size, -1, dtype=np.int64)
+        self.slot = np.full(size, -1, dtype=np.int64)
+        self.bucket_accesses = np.ones(size, dtype=np.int64)
+        self.multiple_matches = np.zeros(size, dtype=bool)
+        self.match_passes = np.zeros(size, dtype=np.int64)
+        self.faults = np.zeros(size, dtype=np.int64)
+        self._mirror = mirror
+        self._version = getattr(mirror, "version", 0)
+        self._overrides: Dict[int, object] = {}
+        self._results: Optional[List] = None
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def hits(self) -> int:
+        """Number of keys that matched."""
+        return int(self.hit.sum())
+
+    @property
+    def overrides(self) -> Dict[int, object]:
+        """Sparse per-key ``SearchResult`` overrides (scalar fallbacks and
+        reliability overlays), keyed by key position."""
+        return self._overrides
+
+    # ------------------------------------------------------------------
+    # Overrides (scalar fallbacks, reliability overlays)
+    # ------------------------------------------------------------------
+
+    def set_override(self, index: int, result) -> None:
+        """Pin one key's outcome to a ready-made ``SearchResult``.
+
+        The columns are updated to agree with the override, so columnar
+        consumers (``data_values`` aside — the override's record wins
+        there too) and :meth:`results` stay consistent.
+        """
+        self._overrides[int(index)] = result
+        self.hit[index] = result.hit
+        self.row[index] = -1 if result.row is None else result.row
+        self.slot[index] = -1 if result.slot is None else result.slot
+        self.bucket_accesses[index] = result.bucket_accesses
+        self.multiple_matches[index] = result.multiple_matches
+        self._results = None
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+
+    def _check_version(self) -> None:
+        if self._mirror is not None and self._mirror.version != self._version:
+            raise ConfigurationError(
+                "stale BatchResultSet: the mirror re-decoded (version "
+                f"{self._mirror.version} != {self._version}) after this "
+                "batch ran; materialize before mutating the table"
+            )
+
+    def result_at(self, index: int):
+        """Materialize a single key's ``SearchResult`` (override-aware)."""
+        from repro.core.slice import SearchResult
+
+        index = int(index)
+        override = self._overrides.get(index)
+        if override is not None:
+            return override
+        if not self.hit[index]:
+            return SearchResult(
+                hit=False,
+                record=None,
+                row=None,
+                slot=None,
+                bucket_accesses=int(self.bucket_accesses[index]),
+            )
+        self._check_version()
+        row = int(self.row[index])
+        slot = int(self.slot[index])
+        return SearchResult(
+            hit=True,
+            record=self._mirror.records[row, slot],
+            row=row,
+            slot=slot,
+            bucket_accesses=int(self.bucket_accesses[index]),
+            multiple_matches=bool(self.multiple_matches[index]),
+        )
+
+    def results(self) -> List:
+        """The full ``SearchResult`` list, bit-identical to the scalar path.
+
+        Hits gather their winning ``Record`` objects from the mirror in one
+        fancy-indexing pass; misses share one immutable instance per
+        distinct access count (the same instance-sharing the row-major
+        engine used).  The list is cached — repeated calls are free.
+        """
+        from repro.core.slice import SearchResult
+
+        if self._results is not None:
+            return self._results
+        results: List[Optional[SearchResult]] = [None] * self._size
+        hit_positions = np.flatnonzero(self.hit)
+        if hit_positions.size:
+            self._check_version()
+            hit_rows = self.row[hit_positions]
+            hit_slots = self.slot[hit_positions]
+            hit_records = self._mirror.records[hit_rows, hit_slots]
+            # SearchResult is a frozen dataclass; building instances by
+            # swapping in the finished __dict__ skips one
+            # object.__setattr__ per field (value-identical).
+            new_result = SearchResult.__new__
+            set_dict = object.__setattr__
+            for out_i, row_i, slot_i, rec, accesses, multi in zip(
+                hit_positions.tolist(),
+                hit_rows.tolist(),
+                hit_slots.tolist(),
+                hit_records.tolist(),
+                self.bucket_accesses[hit_positions].tolist(),
+                self.multiple_matches[hit_positions].tolist(),
+            ):
+                result = new_result(SearchResult)
+                set_dict(
+                    result,
+                    "__dict__",
+                    {
+                        "hit": True,
+                        "record": rec,
+                        "row": row_i,
+                        "slot": slot_i,
+                        "bucket_accesses": accesses,
+                        "multiple_matches": multi,
+                    },
+                )
+                results[out_i] = result
+        miss_positions = np.flatnonzero(~self.hit)
+        if miss_positions.size:
+            miss_cache: Dict[int, SearchResult] = {}
+            for out_i, accesses in zip(
+                miss_positions.tolist(),
+                self.bucket_accesses[miss_positions].tolist(),
+            ):
+                miss = miss_cache.get(accesses)
+                if miss is None:
+                    miss = SearchResult(
+                        hit=False,
+                        record=None,
+                        row=None,
+                        slot=None,
+                        bucket_accesses=accesses,
+                    )
+                    miss_cache[accesses] = miss
+                results[out_i] = miss
+        for index, override in self._overrides.items():
+            results[index] = override
+        self._results = results
+        return results
+
+    # ------------------------------------------------------------------
+    # Columnar value access (no Record objects)
+    # ------------------------------------------------------------------
+
+    def value_words(self) -> np.ndarray:
+        """Matched data payloads as a ``(n, data_word_count)`` uint64 matrix.
+
+        Gathered straight from the mirror's packed ``data_words`` grid —
+        miss rows (and override rows, which carry no mirror coordinates)
+        are all-zero; use :attr:`hit` to distinguish a miss from a stored
+        zero.
+        """
+        mirror = self._mirror
+        width = getattr(mirror, "data_word_count", 0) if mirror else 0
+        out = np.zeros((self._size, width), dtype=np.uint64)
+        hit_positions = np.flatnonzero(self.hit)
+        if width and hit_positions.size:
+            self._check_version()
+            if self._overrides:
+                keep = np.fromiter(
+                    (
+                        int(i) not in self._overrides
+                        for i in hit_positions
+                    ),
+                    dtype=bool,
+                    count=hit_positions.size,
+                )
+                hit_positions = hit_positions[keep]
+            out[hit_positions] = mirror.data_words[
+                self.row[hit_positions], self.slot[hit_positions]
+            ]
+        return out
+
+    def data_values(self) -> List[Optional[int]]:
+        """Per-key matched data (``result.data`` parity): int on a hit,
+        None on a miss — without materializing any ``SearchResult``."""
+        from repro.memory.mirror import _words_to_int
+
+        out: List[Optional[int]] = [None] * self._size
+        hit_positions = np.flatnonzero(self.hit)
+        if hit_positions.size:
+            mirror = self._mirror
+            width = getattr(mirror, "data_word_count", 0) if mirror else 0
+            if width == 0:
+                # Records without a data field read as data == 0.
+                for out_i in hit_positions.tolist():
+                    out[out_i] = 0
+            else:
+                self._check_version()
+                words = mirror.data_words[
+                    self.row[hit_positions], self.slot[hit_positions]
+                ]
+                if width == 1:
+                    for out_i, value in zip(
+                        hit_positions.tolist(), words[:, 0].tolist()
+                    ):
+                        out[out_i] = value
+                else:
+                    word_lists = words.tolist()
+                    for out_i, word_list in zip(
+                        hit_positions.tolist(), word_lists
+                    ):
+                        out[out_i] = _words_to_int(word_list)
+        for index, override in self._overrides.items():
+            out[index] = override.data if override.hit else None
+        return out

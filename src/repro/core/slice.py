@@ -39,7 +39,11 @@ from typing import (
 )
 
 from repro.errors import CapacityError, ConfigurationError, LookupError_
-from repro.core.engines import MIRROR_LAYOUT_CODES, validate_engine
+from repro.core.engines import (
+    MIRROR_LAYOUT_CODES,
+    format_engine_spec,
+    parse_engine_spec,
+)
 from repro.core.config import SliceConfig
 from repro.core.index import IndexGenerator, KeyInput
 from repro.core.key import TernaryKey
@@ -53,6 +57,8 @@ from repro.telemetry.profiling import profile
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.batch import BatchSearchEngine
     from repro.core.bulk import BulkPlan
+    from repro.core.parallel import ParallelBatchEngine
+    from repro.core.results import BatchResultSet
     from repro.memory.mirror import DecodedMirror
     from repro.reliability.faults import FaultConfig
     from repro.reliability.manager import ReliabilityManager, ReliabilityPolicy
@@ -102,10 +108,14 @@ class CARAMSlice:
         batch_chunk_size: keys per vectorized batch-lookup chunk; None
             derives a default from the row geometry
             (:func:`repro.core.batch.default_chunk_size`).
-        engine: batch match backend — ``"word"`` (slot-major word mirror,
-            the default) or ``"bitplane"`` (transposed bit-plane mirror +
-            plane kernel); switchable later through the :attr:`engine`
-            property.  Scalar searches are unaffected.
+        engine: batch match backend spec — ``"word"`` (slot-major word
+            mirror, the default), ``"bitplane"`` (transposed bit-plane
+            mirror + plane kernel), or a ``"parallel[-<layout>][:W]"``
+            form that fans large batches out across ``W`` worker
+            processes sharing a shared-memory mirror export
+            (:func:`~repro.core.engines.parse_engine_spec`); switchable
+            later through the :attr:`engine` property.  Scalar searches
+            are unaffected.
     """
 
     def __init__(
@@ -132,10 +142,10 @@ class CARAMSlice:
         self._matcher = MatchProcessor(config.record_format.key_bits)
         self._record_count = 0
         self._mirror: Optional["DecodedMirror"] = None
-        self._batch_engine: Optional["BatchSearchEngine"] = None
+        self._batch_engine = None
         self._last_bulk_plan: Optional["BulkPlan"] = None
         self._batch_chunk_size = batch_chunk_size
-        self._engine_kind = validate_engine(engine)
+        self._engine_kind, self._engine_workers = parse_engine_spec(engine)
         self._engine_gauges: List = []
         self.account_reads = account_reads
         self.stats = SearchStats()
@@ -259,6 +269,17 @@ class CARAMSlice:
                 else {}
             ),
         )
+        registry.register_provider(
+            f"{prefix}.batch",
+            lambda: {
+                "columnar_rows": (
+                    self._batch_engine.columnar_rows
+                    if self._batch_engine is not None
+                    else 0
+                ),
+                "worker_count": self._engine_workers,
+            },
+        )
 
     @property
     def last_bulk_plan(self) -> Optional["BulkPlan"]:
@@ -280,23 +301,39 @@ class CARAMSlice:
 
     @property
     def engine(self) -> str:
-        """The batch match backend (``"word"`` or ``"bitplane"``)."""
-        return self._engine_kind
+        """The batch engine spec, canonically spelled (``"word"``,
+        ``"bitplane"``, or ``"parallel-<layout>:<workers>"``)."""
+        return format_engine_spec(self._engine_kind, self._engine_workers)
 
     @engine.setter
-    def engine(self, kind: str) -> None:
-        kind = validate_engine(kind)
-        if kind == self._engine_kind:
+    def engine(self, spec: str) -> None:
+        kind, workers = parse_engine_spec(spec)
+        if kind == self._engine_kind and workers == self._engine_workers:
             return
+        layout_changed = kind != self._engine_kind
         self._engine_kind = kind
-        # Drop the cached mirror and engine; both are rebuilt lazily with
-        # the new layout (the old mirror stops receiving invalidations).
-        if self._mirror is not None:
+        self._engine_workers = workers
+        # Drop the cached engine (and, on a layout change, the mirror);
+        # both are rebuilt lazily with the new configuration.  A parallel
+        # engine also owns a worker pool and shared-memory segments —
+        # release them eagerly.
+        self._close_batch_engine()
+        if layout_changed and self._mirror is not None:
             self._mirror.detach()
             self._mirror = None
-        self._batch_engine = None
         for gauge in self._engine_gauges:
             gauge.set(MIRROR_LAYOUT_CODES[kind])
+
+    @property
+    def engine_worker_count(self) -> int:
+        """Configured parallel workers (0 = single-core batch engine)."""
+        return self._engine_workers
+
+    def _close_batch_engine(self) -> None:
+        engine = self._batch_engine
+        self._batch_engine = None
+        if engine is not None and hasattr(engine, "close"):
+            engine.close()
 
     def _make_mirror(self) -> "DecodedMirror":
         """Build the decoded mirror matching the active engine layout."""
@@ -345,9 +382,69 @@ class CARAMSlice:
             self._memory.charge_reads(len(buckets))
 
     @property
-    def batch_engine(self) -> Optional["BatchSearchEngine"]:
-        """The lazily-built batch engine (None before the first batch)."""
+    def batch_engine(self):
+        """The lazily-built batch engine (None before the first batch) —
+        a :class:`BatchSearchEngine`, or a
+        :class:`~repro.core.parallel.ParallelBatchEngine` wrapping one when
+        the engine spec asks for workers."""
         return self._batch_engine
+
+    def _build_batch_engine(self):
+        from repro.core.batch import BatchSearchEngine
+        from repro.memory.mirror import words_for_bits
+
+        record_format = self._config.record_format
+        inner = BatchSearchEngine(
+            index_generator=self._index,
+            mirror_provider=self._mirror_for_batch,
+            slots_per_bucket=self._layout.slots_per_bucket,
+            match_processors=self._config.match_processors,
+            key_bits=record_format.key_bits,
+            stats=self.stats,
+            scalar_search=self.search,
+            probing=self._probing,
+            access_sink=self._mirror_access_sink,
+            chunk_size=self._batch_chunk_size,
+            engine=self._engine_kind,
+            ternary=record_format.ternary,
+            value_words=(
+                words_for_bits(record_format.data_bits)
+                if record_format.data_bits
+                else 0
+            ),
+        )
+        if self._engine_workers < 2:
+            return inner
+        from repro.core.parallel import ParallelBatchEngine
+
+        return ParallelBatchEngine(inner, self._engine_workers)
+
+    def search_batch_columnar(
+        self, keys: Sequence[KeyInput], search_mask: int = 0
+    ) -> "BatchResultSet":
+        """Vectorized lookup returning the columnar ``BatchResultSet``.
+
+        The native product of the batch path: struct-of-arrays columns
+        (hit mask, winning row/slot, per-key access and match-pass
+        counts) written directly by the match kernels.
+        ``BatchResultSet.results()`` materializes the same
+        ``SearchResult`` list :meth:`search_batch` returns;
+        ``data_values()`` skips record objects entirely.
+        """
+        if self._batch_engine is None:
+            self._batch_engine = self._build_batch_engine()
+        if self._reliability is not None and self._engine_workers >= 2:
+            raise ConfigurationError(
+                "parallel batch engines do not compose with the "
+                "reliability layer (fault sampling must see every access "
+                "in-process); use a single-core engine spec"
+            )
+        result_set = self._batch_engine.search_columnar(keys, search_mask)
+        if self._reliability is not None:
+            result_set = self._reliability.overlay_result_set(
+                result_set, keys, search_mask
+            )
+        return result_set
 
     def search_batch(
         self, keys: Sequence[KeyInput], search_mask: int = 0
@@ -360,30 +457,10 @@ class CARAMSlice:
         extended probe walk against the decoded mirror in bulk NumPy
         operations.  Only keys needing the Section-4 multi-row enumeration
         (don't-care bits over hash positions) fall back to the scalar path.
-        """
-        if self._batch_engine is None:
-            from repro.core.batch import BatchSearchEngine
 
-            self._batch_engine = BatchSearchEngine(
-                index_generator=self._index,
-                mirror_provider=self._mirror_for_batch,
-                slots_per_bucket=self._layout.slots_per_bucket,
-                match_processors=self._config.match_processors,
-                key_bits=self._config.record_format.key_bits,
-                stats=self.stats,
-                scalar_search=self.search,
-                probing=self._probing,
-                access_sink=self._mirror_access_sink,
-                chunk_size=self._batch_chunk_size,
-                engine=self._engine_kind,
-                ternary=self._config.record_format.ternary,
-            )
-        results = self._batch_engine.search(keys, search_mask)
-        if self._reliability is not None:
-            results = self._reliability.overlay_results(
-                results, keys, search_mask
-            )
-        return results
+        A materializing wrapper over :meth:`search_batch_columnar`.
+        """
+        return self.search_batch_columnar(keys, search_mask).results()
 
     # ------------------------------------------------------------------
     # CAM mode: search
@@ -610,6 +687,7 @@ class CARAMSlice:
                 image.mirror_mask_words,
                 image.mirror_reach,
                 image.mirror_records,
+                data_words=image.mirror_data_words,
             )
         return image.plan.copy_count
 

@@ -37,7 +37,11 @@ from typing import (
 )
 
 from repro.errors import CapacityError, ConfigurationError, LookupError_
-from repro.core.engines import MIRROR_LAYOUT_CODES, validate_engine
+from repro.core.engines import (
+    MIRROR_LAYOUT_CODES,
+    format_engine_spec,
+    parse_engine_spec,
+)
 from repro.core.config import Arrangement, SliceConfig
 from repro.core.index import IndexGenerator, KeyInput
 from repro.core.key import TernaryKey
@@ -55,6 +59,7 @@ from typing import Callable
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.batch import BatchSearchEngine
     from repro.core.bulk import BulkPlan
+    from repro.core.results import BatchResultSet
     from repro.memory.mirror import DecodedMirror
     from repro.reliability.faults import FaultConfig
     from repro.reliability.manager import ReliabilityManager, ReliabilityPolicy
@@ -89,10 +94,13 @@ class SliceGroup:
             derives a width-aware default
             (:func:`repro.core.batch.default_chunk_size`), which shrinks
             the chunk for wide-bucket groups like the trigram study.
-        engine: batch match backend — ``"word"`` (slot-major word mirror,
-            the default) or ``"bitplane"`` (transposed bit-plane mirror +
-            plane kernel); switchable later through the :attr:`engine`
-            property.  Scalar searches are unaffected.
+        engine: batch match backend spec — ``"word"`` (slot-major word
+            mirror, the default), ``"bitplane"`` (transposed bit-plane
+            mirror + plane kernel), or a ``"parallel[-<layout>][:W]"``
+            form fanning large batches across ``W`` worker processes
+            (:func:`~repro.core.engines.parse_engine_spec`); switchable
+            later through the :attr:`engine` property.  Scalar searches
+            are unaffected.
     """
 
     def __init__(
@@ -130,10 +138,10 @@ class SliceGroup:
         self._matcher = MatchProcessor(config.record_format.key_bits)
         self._record_count = 0
         self._mirror: Optional["DecodedMirror"] = None
-        self._batch_engine: Optional["BatchSearchEngine"] = None
+        self._batch_engine = None
         self._last_bulk_plan: Optional["BulkPlan"] = None
         self._batch_chunk_size = batch_chunk_size
-        self._engine_kind = validate_engine(engine)
+        self._engine_kind, self._engine_workers = parse_engine_spec(engine)
         self._engine_gauges: List = []
         self.account_reads = account_reads
         self.stats = SearchStats()
@@ -240,6 +248,17 @@ class SliceGroup:
                 if self._reliability is not None
                 else {}
             ),
+        )
+        registry.register_provider(
+            f"{prefix}.batch",
+            lambda: {
+                "columnar_rows": (
+                    self._batch_engine.columnar_rows
+                    if self._batch_engine is not None
+                    else 0
+                ),
+                "worker_count": self._engine_workers,
+            },
         )
 
     @property
@@ -442,23 +461,39 @@ class SliceGroup:
 
     @property
     def engine(self) -> str:
-        """The batch match backend (``"word"`` or ``"bitplane"``)."""
-        return self._engine_kind
+        """The batch engine spec, canonically spelled (``"word"``,
+        ``"bitplane"``, or ``"parallel-<layout>:<workers>"``)."""
+        return format_engine_spec(self._engine_kind, self._engine_workers)
 
     @engine.setter
-    def engine(self, kind: str) -> None:
-        kind = validate_engine(kind)
-        if kind == self._engine_kind:
+    def engine(self, spec: str) -> None:
+        kind, workers = parse_engine_spec(spec)
+        if kind == self._engine_kind and workers == self._engine_workers:
             return
+        layout_changed = kind != self._engine_kind
         self._engine_kind = kind
-        # Drop the cached mirror and engine; both are rebuilt lazily with
-        # the new layout (the old mirror stops receiving invalidations).
-        if self._mirror is not None:
+        self._engine_workers = workers
+        # Drop the cached engine (and, on a layout change, the mirror);
+        # both are rebuilt lazily with the new configuration.  A parallel
+        # engine also owns a worker pool and shared-memory segments —
+        # release them eagerly.
+        self._close_batch_engine()
+        if layout_changed and self._mirror is not None:
             self._mirror.detach()
             self._mirror = None
-        self._batch_engine = None
         for gauge in self._engine_gauges:
             gauge.set(MIRROR_LAYOUT_CODES[kind])
+
+    @property
+    def engine_worker_count(self) -> int:
+        """Configured parallel workers (0 = single-core batch engine)."""
+        return self._engine_workers
+
+    def _close_batch_engine(self) -> None:
+        engine = self._batch_engine
+        self._batch_engine = None
+        if engine is not None and hasattr(engine, "close"):
+            engine.close()
 
     def _make_mirror(self) -> "DecodedMirror":
         """Build the decoded mirror matching the active engine layout."""
@@ -525,9 +560,63 @@ class SliceGroup:
                     array.charge_reads(int(reads))
 
     @property
-    def batch_engine(self) -> Optional["BatchSearchEngine"]:
-        """The lazily-built batch engine (None before the first batch)."""
+    def batch_engine(self):
+        """The lazily-built batch engine (None before the first batch) —
+        a :class:`BatchSearchEngine`, or a
+        :class:`~repro.core.parallel.ParallelBatchEngine` wrapping one when
+        the engine spec asks for workers."""
         return self._batch_engine
+
+    def _build_batch_engine(self):
+        from repro.core.batch import BatchSearchEngine
+        from repro.memory.mirror import words_for_bits
+
+        record_format = self._config.record_format
+        inner = BatchSearchEngine(
+            index_generator=self._index,
+            mirror_provider=self._mirror_for_batch,
+            slots_per_bucket=self.slots_per_bucket,
+            match_processors=self._config.match_processors,
+            key_bits=record_format.key_bits,
+            stats=self.stats,
+            scalar_search=self.search,
+            probing=self._probing,
+            access_sink=self._mirror_access_sink,
+            chunk_size=self._batch_chunk_size,
+            engine=self._engine_kind,
+            ternary=record_format.ternary,
+            value_words=(
+                words_for_bits(record_format.data_bits)
+                if record_format.data_bits
+                else 0
+            ),
+        )
+        if self._engine_workers < 2:
+            return inner
+        from repro.core.parallel import ParallelBatchEngine
+
+        return ParallelBatchEngine(inner, self._engine_workers)
+
+    def search_batch_columnar(
+        self, keys: Sequence[KeyInput], search_mask: int = 0
+    ) -> "BatchResultSet":
+        """Vectorized group lookup returning the columnar
+        ``BatchResultSet`` (see
+        :meth:`repro.core.slice.CARAMSlice.search_batch_columnar`)."""
+        if self._batch_engine is None:
+            self._batch_engine = self._build_batch_engine()
+        if self._reliability is not None and self._engine_workers >= 2:
+            raise ConfigurationError(
+                "parallel batch engines do not compose with the "
+                "reliability layer (fault sampling must see every access "
+                "in-process); use a single-core engine spec"
+            )
+        result_set = self._batch_engine.search_columnar(keys, search_mask)
+        if self._reliability is not None:
+            result_set = self._reliability.overlay_result_set(
+                result_set, keys, search_mask
+            )
+        return result_set
 
     def search_batch(
         self, keys: Sequence[KeyInput], search_mask: int = 0
@@ -539,30 +628,10 @@ class SliceGroup:
         in order; both the home-bucket common case and the extended probe
         walk are served by the decoded mirror, fanned across all slices at
         once.
-        """
-        if self._batch_engine is None:
-            from repro.core.batch import BatchSearchEngine
 
-            self._batch_engine = BatchSearchEngine(
-                index_generator=self._index,
-                mirror_provider=self._mirror_for_batch,
-                slots_per_bucket=self.slots_per_bucket,
-                match_processors=self._config.match_processors,
-                key_bits=self._config.record_format.key_bits,
-                stats=self.stats,
-                scalar_search=self.search,
-                probing=self._probing,
-                access_sink=self._mirror_access_sink,
-                chunk_size=self._batch_chunk_size,
-                engine=self._engine_kind,
-                ternary=self._config.record_format.ternary,
-            )
-        results = self._batch_engine.search(keys, search_mask)
-        if self._reliability is not None:
-            results = self._reliability.overlay_results(
-                results, keys, search_mask
-            )
-        return results
+        A materializing wrapper over :meth:`search_batch_columnar`.
+        """
+        return self.search_batch_columnar(keys, search_mask).results()
 
     def bulk_load(self, records) -> int:
         """Insert many ``(key, data)`` pairs at once; returns stored copies.
@@ -621,6 +690,7 @@ class SliceGroup:
                 image.mirror_mask_words,
                 image.mirror_reach,
                 image.mirror_records,
+                data_words=image.mirror_data_words,
             )
         return image.plan.copy_count
 
@@ -908,13 +978,14 @@ class CARAMSubsystem:
         self._overflow[group] = store
 
     def set_engine(self, engine: str, group: Optional[str] = None) -> None:
-        """Select the batch match backend for one group (or all of them).
+        """Select the batch engine for one group (or all of them).
 
-        ``engine`` is ``"word"`` or ``"bitplane"`` — the same knob as the
-        per-group :attr:`SliceGroup.engine` property; scalar searches are
-        unaffected and result parity is maintained either way.
+        ``engine`` is any spec :attr:`SliceGroup.engine` accepts —
+        ``"word"``, ``"bitplane"``, or ``"parallel[-<layout>][:W]"``;
+        scalar searches are unaffected and result parity is maintained
+        either way.
         """
-        validate_engine(engine)
+        parse_engine_spec(engine)  # validate before touching any group
         if group is not None:
             self.group(group).engine = engine
             return
@@ -990,34 +1061,50 @@ class CARAMSubsystem:
             )
         return result
 
-    def search_batch(
+    def search_batch_columnar(
         self, group_name: str, keys: Sequence[KeyInput], search_mask: int = 0
-    ) -> List[SearchResult]:
-        """Batch counterpart of :meth:`search`: vectorized group lookup,
+    ) -> "BatchResultSet":
+        """Columnar counterpart of :meth:`search`: vectorized group lookup,
         with the overflow store consulted for every CA-RAM miss (the
-        parallel victim-TCAM probe, one access either way)."""
+        parallel victim-TCAM probe, one access either way).  Overflow hits
+        are placed as per-key overrides on the returned result set, so
+        ``results()`` and ``data_values()`` both see them."""
         group = self.group(group_name)
         store = self._overflow.get(group_name)
-        results = group.search_batch(keys, search_mask)
+        result_set = group.search_batch_columnar(keys, search_mask)
         if store is None:
-            return results
-        for i, result in enumerate(results):
-            if result.hit:
-                continue
+            return result_set
+        import numpy as np
+
+        for i in np.flatnonzero(~result_set.hit).tolist():
             key = keys[i]
             overflow_hit = store.search(
                 key.value if isinstance(key, TernaryKey) else key
             )
             hit = getattr(overflow_hit, "hit", overflow_hit is not None)
             if hit:
-                results[i] = SearchResult(
-                    hit=True,
-                    record=getattr(overflow_hit, "record", None),
-                    row=None,
-                    slot=None,
-                    bucket_accesses=1,
+                result_set.set_override(
+                    i,
+                    SearchResult(
+                        hit=True,
+                        record=getattr(overflow_hit, "record", None),
+                        row=None,
+                        slot=None,
+                        # Parallel access: the TCAM probe overlaps the
+                        # home fetch.
+                        bucket_accesses=1,
+                    ),
                 )
-        return results
+        return result_set
+
+    def search_batch(
+        self, group_name: str, keys: Sequence[KeyInput], search_mask: int = 0
+    ) -> List[SearchResult]:
+        """Batch counterpart of :meth:`search` — a materializing wrapper
+        over :meth:`search_batch_columnar`."""
+        return self.search_batch_columnar(
+            group_name, keys, search_mask
+        ).results()
 
     def search_port(self, port: str, key: KeyInput, search_mask: int = 0) -> SearchResult:
         """Search through a virtual port binding."""

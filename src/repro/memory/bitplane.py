@@ -118,5 +118,19 @@ class BitPlaneMirror(DecodedMirror):
         self.valid_words[ids] = pack_slot_axis(self.valid[ids])
         self.plane_refreshes += 1
 
+    def shared_export_arrays(self) -> dict:
+        """Arrays a shared-memory export copies for the plane match kernel.
+
+        ``has_stored_masks`` is *not* exported — it is a one-way flag that
+        can flip between exports, so the dispatcher ships its current value
+        per task instead.
+        """
+        return {
+            "key_planes": self.key_planes,
+            "mask_planes": self.mask_planes,
+            "valid_words": self.valid_words,
+            "reach": self.reach,
+        }
+
 
 __all__ = ["BitPlaneMirror", "pack_slot_axis", "SLOT_WORD_BITS"]

@@ -222,6 +222,14 @@ class DecodedMirror:
         reach: ``(buckets,)`` int64 — the auxiliary spill-reach field.
         records: ``(buckets, slots)`` object — decoded ``Record`` instances
             (``None`` in invalid slots), used for winner extraction.
+        data_words: ``(buckets, slots, data_word_count)`` uint64 — stored
+            data payloads as little-endian words (zero columns when the
+            record format carries no data), the numeric source the columnar
+            result set gathers values from without touching ``records``.
+        version: monotonically increasing content stamp, bumped whenever a
+            sync re-decodes rows or a bulk image is installed — the
+            coherence token the shared-memory exporter keys its re-export
+            on.
     """
 
     def __init__(
@@ -252,12 +260,18 @@ class DecodedMirror:
         key_bits = layout.record_format.key_bits
         self._key_bits = key_bits
         self._word_count = words_for_bits(key_bits)
+        data_bits = layout.record_format.data_bits
+        self._data_word_count = words_for_bits(data_bits) if data_bits else 0
         shape = (self.buckets, self.slots, self._word_count)
         self.valid = np.zeros((self.buckets, self.slots), dtype=bool)
         self.key_words = np.zeros(shape, dtype=np.uint64)
         self.mask_words = np.zeros(shape, dtype=np.uint64)
         self.reach = np.zeros(self.buckets, dtype=np.int64)
         self.records = np.empty((self.buckets, self.slots), dtype=object)
+        self.data_words = np.zeros(
+            (self.buckets, self.slots, self._data_word_count), dtype=np.uint64
+        )
+        self.version = 0
         self.width_words = np.array(
             int_to_words(mask_of(key_bits), self._word_count), dtype=np.uint64
         )
@@ -291,6 +305,11 @@ class DecodedMirror:
     @property
     def word_count(self) -> int:
         return self._word_count
+
+    @property
+    def data_word_count(self) -> int:
+        """Words per stored data payload (0 when records carry no data)."""
+        return self._data_word_count
 
     @property
     def dirty_row_count(self) -> int:
@@ -342,6 +361,8 @@ class DecodedMirror:
         self._any_dirty = False
         self.sync_count += 1
         self.rows_decoded += decoded
+        if decoded:
+            self.version += 1
         if updated:
             self._buckets_updated(
                 np.unique(np.concatenate(updated))
@@ -424,20 +445,23 @@ class DecodedMirror:
         self.key_words[buckets, columns] = key_matrix
         self.mask_words[buckets, columns] = mask_matrix
 
+        data_bits = fmt.data_bits
+        if data_bits:
+            data_start = 1 + fmt.key_storage_bits
+            data_matrix = bits_to_words(
+                region[:, :, data_start : data_start + data_bits].reshape(
+                    n * slots, data_bits
+                ),
+                data_bits,
+            ).reshape(n, slots, -1)
+            data_matrix[~valid] = 0
+            self.data_words[buckets, columns] = data_matrix
+        else:
+            data_matrix = None
+
         recs = np.full((n, slots), None, dtype=object)
         positions = np.argwhere(valid).tolist()
         if positions:
-            data_bits = fmt.data_bits
-            if data_bits:
-                data_start = 1 + fmt.key_storage_bits
-                data_matrix = bits_to_words(
-                    region[:, :, data_start : data_start + data_bits].reshape(
-                        n * slots, data_bits
-                    ),
-                    data_bits,
-                ).reshape(n, slots, -1)
-            else:
-                data_matrix = None
             key_list = key_matrix.tolist()
             mask_list = mask_matrix.tolist()
             data_list = data_matrix.tolist() if data_matrix is not None else None
@@ -472,6 +496,7 @@ class DecodedMirror:
         mask_words: np.ndarray,
         reach: np.ndarray,
         records: np.ndarray,
+        data_words: Optional[np.ndarray] = None,
     ) -> None:
         """Adopt a complete decoded image wholesale (encode direction).
 
@@ -503,11 +528,44 @@ class DecodedMirror:
         self.mask_words[...] = mask_words
         self.reach[...] = reach
         self.records[...] = records
+        if self._data_word_count:
+            if data_words is not None:
+                if data_words.shape != self.data_words.shape:
+                    raise ConfigurationError(
+                        f"data-word shape {data_words.shape} != "
+                        f"{self.data_words.shape}"
+                    )
+                self.data_words[...] = data_words
+            else:
+                # Legacy images carry no data grid — derive it from the
+                # record objects so the columnar gather stays coherent.
+                self.data_words[...] = 0
+                dwc = self._data_word_count
+                for i, j in np.argwhere(self.valid):
+                    self.data_words[i, j] = int_to_words(
+                        self.records[i, j].data, dwc
+                    )
         for dirty in self._dirty:
             dirty[:] = False
         self._any_dirty = False
         self.sync_count += 1
+        self.version += 1
         self._buckets_updated(np.arange(self.buckets))
+
+    def shared_export_arrays(self) -> dict:
+        """Arrays a shared-memory export must copy for worker-side matching.
+
+        The word-layout match kernel reads exactly these matrices (plus the
+        scalar geometry shipped in the export spec); ``records`` and
+        ``data_words`` stay parent-side because workers return only
+        hit/row/slot coordinates.
+        """
+        return {
+            "valid": self.valid,
+            "key_words": self.key_words,
+            "mask_words": self.mask_words,
+            "reach": self.reach,
+        }
 
     # ------------------------------------------------------------------
     # Vectorized ternary matching (Figure 4(b), word-wise)

@@ -1,0 +1,244 @@
+"""Shared-memory export of decoded mirrors for multi-core lookup fan-out.
+
+The parallel batch engine (:mod:`repro.core.parallel`) runs the match
+kernels inside a persistent worker pool.  Workers forked at pool creation
+would go stale the moment the parent's mirror re-decodes, and re-forking
+per batch costs far more than the batch itself — so the mirror's match
+surface is exported **once** into named
+:mod:`multiprocessing.shared_memory` segments, and kept coherent by the
+mirror's own dirty-row machinery:
+
+* every :meth:`~repro.memory.mirror.DecodedMirror.sync` that re-decodes
+  rows (and every bulk :meth:`~repro.memory.mirror.DecodedMirror.install`)
+  bumps the mirror's ``version`` stamp;
+* before each parallel batch the dispatcher compares stamps and, when
+  behind, re-copies the arrays into the *same* segments in place
+  (:meth:`MirrorExport.refresh`) — no reattach, no pool restart.  The
+  copy happens strictly between batches (the dispatcher is synchronous),
+  so workers never observe a half-written view.
+
+Workers attach by segment name (:func:`attach_mirror_view`) and get a
+:class:`MirrorView` — a duck-typed stand-in exposing exactly the
+attribute surface the match kernels consume: ``match_rows`` plus
+``reach``/``buckets`` for the word layout, or the
+``key_planes``/``mask_planes``/``valid_words`` plane set
+:func:`~repro.core.bitmatch.plane_match_rows` reads.  ``records`` and
+``data_words`` never cross the process boundary: workers return columnar
+coordinates, and the parent materializes values against its own mirror.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.memory.mirror import int_to_words, words_for_bits
+from repro.utils.bits import mask_of
+
+__all__ = ["MirrorExport", "MirrorView", "attach_mirror_view"]
+
+
+class MirrorExport:
+    """Parent-side owner of a mirror's shared-memory segments.
+
+    Creates one named segment per exported array, copies the mirror's
+    current content in, and remembers the mirror's ``version`` stamp.
+    Call :meth:`refresh` before each dispatch round; :meth:`close` when
+    the owning engine shuts down (segments are unlinked exactly once).
+    """
+
+    def __init__(self, mirror) -> None:
+        self.layout = "bitplane" if hasattr(mirror, "key_planes") else "word"
+        self.version = mirror.version
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._views: Dict[str, np.ndarray] = {}
+        self._spec_arrays: Dict[str, Tuple[str, tuple, str]] = {}
+        self._closed = False
+        try:
+            for name, array in mirror.shared_export_arrays().items():
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(1, array.nbytes)
+                )
+                view = np.ndarray(
+                    array.shape, dtype=array.dtype, buffer=segment.buf
+                )
+                view[...] = array
+                self._segments[name] = segment
+                self._views[name] = view
+                self._spec_arrays[name] = (
+                    segment.name,
+                    tuple(array.shape),
+                    array.dtype.str,
+                )
+        except Exception:
+            self.close()
+            raise
+        self._spec = {
+            "layout": self.layout,
+            "buckets": int(mirror.buckets),
+            "slots": int(mirror.slots),
+            "key_bits": int(mirror.key_bits),
+            "lanes": int(getattr(mirror, "lanes", 0)),
+            "segments": dict(self._spec_arrays),
+        }
+
+    def spec(self) -> dict:
+        """Picklable attach recipe for :func:`attach_mirror_view`."""
+        return self._spec
+
+    def refresh(self, mirror) -> bool:
+        """Re-copy the mirror into the segments if its version moved on.
+
+        Must only be called while no worker task is in flight — the
+        dispatcher guarantees this by collecting every shard before the
+        next batch starts.  Returns True when a re-export happened.
+        """
+        if self._closed:
+            raise ConfigurationError("refresh on a closed MirrorExport")
+        if mirror.version == self.version:
+            return False
+        for name, array in mirror.shared_export_arrays().items():
+            view = self._views[name]
+            if view.shape != array.shape:
+                raise ConfigurationError(
+                    f"mirror geometry changed under export: {name} "
+                    f"{array.shape} != {view.shape}"
+                )
+            view[...] = array
+        self.version = mirror.version
+        return True
+
+    def close(self) -> None:
+        """Release and unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._views.clear()
+        for segment in self._segments.values():
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a named segment without adopting cleanup responsibility.
+
+    The parent owns the segments' lifetime.  On Python < 3.13 merely
+    *attaching* registers the segment with the (shared, forked) resource
+    tracker, so the parent's eventual ``unlink`` would double-unregister
+    and the tracker would log spurious KeyErrors; suppressing the
+    registration for the duration of the attach keeps the tracker's view
+    exactly what the parent registered.
+    """
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+class MirrorView:
+    """Worker-side read-only stand-in for the exported mirror.
+
+    Exposes the duck-typed surface the match kernels need — for the word
+    layout a :meth:`match_rows` replicating
+    :meth:`~repro.memory.mirror.DecodedMirror.match_rows`, for the
+    bit-plane layout the plane attributes
+    :func:`~repro.core.bitmatch.plane_match_rows` reads.
+    ``has_stored_masks`` is dispatcher-provided per task (the parent flag
+    can flip between refreshes).
+    """
+
+    def __init__(self, spec: dict, arrays: Dict[str, np.ndarray]) -> None:
+        self.layout = spec["layout"]
+        self.buckets = spec["buckets"]
+        self.slots = spec["slots"]
+        self.key_bits = spec["key_bits"]
+        self.lanes = spec["lanes"]
+        self.reach = arrays["reach"]
+        self.has_stored_masks = True
+        if self.layout == "bitplane":
+            self.key_planes = arrays["key_planes"]
+            self.mask_planes = arrays["mask_planes"]
+            self.valid_words = arrays["valid_words"]
+        else:
+            self.valid = arrays["valid"]
+            self.key_words = arrays["key_words"]
+            self.mask_words = arrays["mask_words"]
+            self._word_count = words_for_bits(self.key_bits)
+            self.width_words = np.array(
+                int_to_words(mask_of(self.key_bits), self._word_count),
+                dtype=np.uint64,
+            )
+
+    def match_rows(
+        self,
+        bucket_ids: np.ndarray,
+        query_words: np.ndarray,
+        query_mask_words: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Word-layout batch match — the same Figure 4(b) word-wise
+        comparison as :meth:`DecodedMirror.match_rows`."""
+        if self.layout != "word":
+            raise ConfigurationError(
+                "match_rows is the word-layout kernel; this view exports "
+                "bit planes"
+            )
+        ids = np.asarray(bucket_ids)
+        if ids.size and (
+            int(ids.min()) < 0 or int(ids.max()) >= self.buckets
+        ):
+            raise ConfigurationError(
+                f"bucket ids out of range [0, {self.buckets})"
+            )
+        stored = self.key_words[bucket_ids]
+        stored_mask = self.mask_words[bucket_ids]
+        if query_mask_words is None:
+            care = ~stored_mask & self.width_words
+        else:
+            care = (
+                ~(stored_mask | query_mask_words[:, None, :])
+                & self.width_words
+            )
+        diff = (stored ^ query_words[:, None, :]) & care
+        return ~diff.any(axis=2) & self.valid[bucket_ids]
+
+
+def attach_mirror_view(
+    spec: dict,
+) -> Tuple[MirrorView, List[shared_memory.SharedMemory]]:
+    """Attach to an export's segments; returns the view and its handles.
+
+    The returned segment handles must stay referenced as long as the view
+    is used (the ndarrays alias their buffers).
+    """
+    segments: List[shared_memory.SharedMemory] = []
+    arrays: Dict[str, np.ndarray] = {}
+    try:
+        for name, (shm_name, shape, dtype) in spec["segments"].items():
+            segment = _attach_segment(shm_name)
+            segments.append(segment)
+            arrays[name] = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=segment.buf
+            )
+    except Exception:
+        for segment in segments:
+            try:
+                segment.close()
+            except Exception:
+                pass
+        raise
+    return MirrorView(spec, arrays), segments

@@ -313,7 +313,12 @@ class ReliabilityManager:
             mirror.records[bucket, :] = None
             mirror.key_words[bucket, :, :] = 0
             mirror.mask_words[bucket, :, :] = 0
+            if mirror.data_words.size:
+                mirror.data_words[bucket, :, :] = 0
             mirror.reach[bucket] = reach
+            # In-place mutation: stamp the change so cached columnar
+            # result sets (and shared-memory exports) see a new version.
+            mirror.version += 1
         self.owner.stats.record_quarantine(len(records))
         return len(records)
 
@@ -461,6 +466,25 @@ class ReliabilityManager:
         for i, result in enumerate(results):
             results[i] = self.overlay_result(result, keys[i], search_mask)
         return results
+
+    def overlay_result_set(self, result_set, keys: Sequence, search_mask: int):
+        """Columnar counterpart of :meth:`overlay_results`.
+
+        With an empty victim store — the common case — the result set
+        passes through untouched (no per-key work at all).  Otherwise each
+        key's materialized result is merged against the victim store and,
+        where the victim wins, written back as a per-key override; the
+        ``faults`` column counts the overlaid keys.
+        """
+        if not self.victims:
+            return result_set
+        for i in range(len(result_set)):
+            original = result_set.result_at(i)
+            merged = self.overlay_result(original, keys[i], search_mask)
+            if merged is not original:
+                result_set.set_override(i, merged)
+                result_set.faults[i] += 1
+        return result_set
 
     # ------------------------------------------------------------------
     # Batch-access fault fan-out

@@ -17,6 +17,7 @@ The cross-cutting observability layer of the CA-RAM stack:
 
 from repro.telemetry.compare import (
     ComparisonReport,
+    IncomparableRunsError,
     MetricDelta,
     compare_telemetry,
     flatten_numeric,
@@ -67,6 +68,7 @@ __all__ = [
     "enabled_profiler",
     "compare_telemetry",
     "ComparisonReport",
+    "IncomparableRunsError",
     "MetricDelta",
     "flatten_numeric",
     "load_snapshot",

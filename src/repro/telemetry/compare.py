@@ -24,6 +24,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.errors import ConfigurationError
+
 #: Leaf-name suffixes where higher is better (a drop is the regression).
 GOODNESS_SUFFIXES = ("per_sec", "speedup", "hit_rate", "throughput")
 
@@ -31,14 +33,29 @@ GOODNESS_SUFFIXES = ("per_sec", "speedup", "hit_rate", "throughput")
 DEFAULT_THRESHOLD = 0.05
 
 
+class IncomparableRunsError(ConfigurationError):
+    """The two snapshots were produced under different configurations.
+
+    Raised when both snapshots carry a top-level ``"metadata"`` block (the
+    benchmark harness writes the run's engine spec, worker count, and
+    result representation there) and the blocks disagree — diffing a
+    4-worker parallel run against a single-core baseline would report a
+    config change as a perf delta, so the comparison is refused outright.
+    """
+
+
 def flatten_numeric(tree: Dict, prefix: str = "") -> Dict[str, float]:
     """Flatten a nested dict to ``{dotted.path: value}`` numeric leaves.
 
     Booleans and strings are skipped — the diff is over measurements, not
-    configuration echoes.
+    configuration echoes.  For the same reason the top-level ``metadata``
+    block (run configuration written by the benchmark harness) is excluded
+    wholesale; :func:`compare_telemetry` checks it for *equality* instead.
     """
     flat: Dict[str, float] = {}
     for key, value in tree.items():
+        if not prefix and key == "metadata":
+            continue
         path = f"{prefix}.{key}" if prefix else str(key)
         if isinstance(value, dict):
             flat.update(flatten_numeric(value, path))
@@ -135,7 +152,30 @@ def compare_telemetry(
             ``BENCH_*.json`` payloads, phase tables...).
         threshold: relative change that counts as a regression (or an
             improvement) — smaller moves land in ``unchanged``.
+
+    Raises:
+        IncomparableRunsError: both snapshots carry a ``"metadata"``
+            config block and the blocks differ — the runs measured
+            different configurations and a numeric diff would be
+            meaningless.
     """
+    base_meta = baseline.get("metadata")
+    cur_meta = current.get("metadata")
+    if (
+        isinstance(base_meta, dict)
+        and isinstance(cur_meta, dict)
+        and base_meta != cur_meta
+    ):
+        diffs = []
+        for key in sorted(set(base_meta) | set(cur_meta)):
+            left = base_meta.get(key, "<absent>")
+            right = cur_meta.get(key, "<absent>")
+            if left != right:
+                diffs.append(f"{key}: {left!r} != {right!r}")
+        raise IncomparableRunsError(
+            "refusing to diff runs with different configurations "
+            f"({'; '.join(diffs)})"
+        )
     base_flat = flatten_numeric(baseline)
     cur_flat = flatten_numeric(current)
     report = ComparisonReport(threshold=threshold)
@@ -193,16 +233,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="relative change flagged as a regression (default 0.05)",
     )
     args = parser.parse_args(argv)
-    report = compare_telemetry(
-        load_snapshot(args.baseline),
-        load_snapshot(args.current),
-        threshold=args.threshold,
-    )
+    try:
+        report = compare_telemetry(
+            load_snapshot(args.baseline),
+            load_snapshot(args.current),
+            threshold=args.threshold,
+        )
+    except IncomparableRunsError as exc:
+        print(f"error: {exc}")
+        return 2
     print(report.format())
     return 0 if report.ok else 1
 
 
 __all__ = [
+    "IncomparableRunsError",
     "MetricDelta",
     "ComparisonReport",
     "compare_telemetry",

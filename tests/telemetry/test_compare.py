@@ -9,6 +9,7 @@ import json
 import pytest
 
 from repro.telemetry.compare import (
+    IncomparableRunsError,
     compare_telemetry,
     flatten_numeric,
     is_goodness_metric,
@@ -96,6 +97,50 @@ class TestClassification:
     def test_report_as_dict_serializable(self):
         report = compare_telemetry(make_snapshot(), make_snapshot(amal=2.0))
         json.dumps(report.as_dict())
+
+
+class TestMetadataGuard:
+    """The run-configuration block is compared for equality, not diffed."""
+
+    META = {"engines": ["bitplane"], "worker_count": 4}
+
+    def test_metadata_excluded_from_flattening(self):
+        snap = dict(make_snapshot(), metadata={"worker_count": 4})
+        flat = flatten_numeric(snap)
+        assert not any(path.startswith("metadata") for path in flat)
+
+    def test_matching_metadata_compares_normally(self):
+        base = dict(make_snapshot(), metadata=dict(self.META))
+        cur = dict(make_snapshot(amal=2.1), metadata=dict(self.META))
+        report = compare_telemetry(base, cur)
+        assert not report.ok  # the AMAL regression is still flagged
+
+    def test_mismatched_metadata_refuses_comparison(self):
+        base = dict(make_snapshot(), metadata=dict(self.META))
+        cur = dict(
+            make_snapshot(), metadata=dict(self.META, worker_count=1)
+        )
+        with pytest.raises(IncomparableRunsError, match="worker_count"):
+            compare_telemetry(base, cur)
+
+    def test_legacy_snapshot_without_metadata_still_compares(self):
+        base = make_snapshot()
+        cur = dict(make_snapshot(), metadata=dict(self.META))
+        assert compare_telemetry(base, cur).ok
+
+    def test_cli_exit_code_on_incomparable_runs(self, tmp_path, capsys):
+        base_path = tmp_path / "base.json"
+        cur_path = tmp_path / "cur.json"
+        base_path.write_text(
+            json.dumps(dict(make_snapshot(), metadata=dict(self.META)))
+        )
+        cur_path.write_text(
+            json.dumps(
+                dict(make_snapshot(), metadata=dict(self.META, engines=[]))
+            )
+        )
+        assert compare_main([str(base_path), str(cur_path)]) == 2
+        assert "different configurations" in capsys.readouterr().out
 
 
 class TestInjectedAmalRegressionAcceptance:
