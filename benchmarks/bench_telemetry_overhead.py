@@ -9,12 +9,17 @@ same slice/query stream as ``bench_batch_lookup.py`` in three modes —
 * ``disabled`` — no tracer attached (the default everyone runs);
 * ``null_sink`` — tracer attached, events built and dropped;
 * ``ring`` — tracer attached, events retained in the in-memory ring;
+* ``sampler`` — no tracer, but a background :class:`JsonlSampler` writing
+  registry snapshots (latency sketch included) every 50 ms — the
+  serving-mode "scrape while running" configuration;
 
 and writes keys/sec plus the relative overheads to
-``BENCH_telemetry_overhead.json``.  The pytest gate asserts the disabled
-mode stays within 5% of the committed ``BENCH_batch_lookup.json`` warm
-baseline (skipped when no baseline is committed), i.e. that merely
-*having* the instrumentation costs nothing.
+``BENCH_telemetry_overhead.json``.  The pytest gates assert (a) the
+disabled mode stays within 5% of the committed ``BENCH_batch_lookup.json``
+warm baseline (skipped when no baseline is committed), i.e. that merely
+*having* the instrumentation costs nothing, and (b) the enabled sampler
+mode stays within ``SAMPLER_GATE_THRESHOLD`` of the disabled mode — the
+price of live observability is bounded, not just measured.
 
 Run standalone with::
 
@@ -26,12 +31,16 @@ or through pytest (asserts the <5% disabled-mode overhead)::
 """
 
 import json
+import tempfile
 import time
+from pathlib import Path
 
 import pytest
 
 from bench_batch_lookup import build_slice, make_queries, populate
 from harness import finalize, result_path
+from repro.telemetry.export import JsonlSampler
+from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.trace import InMemorySink, NullSink, Tracer
 
 RESULT_PATH = result_path("telemetry_overhead")
@@ -39,6 +48,10 @@ BASELINE_PATH = result_path("batch_lookup")
 
 REPEATS = 3          # best-of to squeeze out scheduler noise
 GATE_THRESHOLD = 0.05
+SAMPLER_INTERVAL = 0.05
+#: The sampler thread snapshots the registry off the hot path, so its cost
+#: is mostly GIL contention during serialization — bounded loosely.
+SAMPLER_GATE_THRESHOLD = 0.25
 
 
 def _measure_warm(slice_, queries) -> float:
@@ -72,26 +85,55 @@ def run_benchmark() -> dict:
 
     slice_.tracer = None
 
+    # Serving mode: latency sketch on, background sampler scraping the
+    # registry while the lookups run.
+    registry = MetricsRegistry()
+    slice_.register_telemetry(registry)
+    slice_.enable_latency_tracking()
+    with tempfile.TemporaryDirectory() as tmp:
+        sampler = JsonlSampler(
+            registry, Path(tmp) / "samples.jsonl", interval=SAMPLER_INTERVAL
+        )
+        with sampler:
+            sampler_mode = _measure_warm(slice_, queries)
+        sampler_samples = sampler.samples_written
+    slice_.disable_latency_tracking()
+
     result = {
         "keys": len(queries),
         "disabled_keys_per_sec": round(disabled),
         "null_sink_keys_per_sec": round(null_sink),
         "ring_keys_per_sec": round(ring),
+        "sampler_keys_per_sec": round(sampler_mode),
         "null_sink_overhead": round(disabled / null_sink - 1, 4),
         "ring_overhead": round(disabled / ring - 1, 4),
+        "sampler_overhead": round(disabled / sampler_mode - 1, 4),
+        "sampler_interval_s": SAMPLER_INTERVAL,
+        "sampler_samples": sampler_samples,
     }
     if BASELINE_PATH.exists():
         baseline = json.loads(BASELINE_PATH.read_text())
-        warm_baseline = baseline["batch_warm_keys_per_sec"]
-        result["baseline_warm_keys_per_sec"] = warm_baseline
-        result["disabled_overhead_vs_baseline"] = round(
-            warm_baseline / disabled - 1, 4
-        )
+        # The batch-lookup report nests warm throughput per engine since
+        # the multi-engine rework; older flat baselines keep working.
+        warm_baseline = baseline.get("batch_warm_keys_per_sec")
+        if warm_baseline is None:
+            warm_baseline = (
+                baseline.get("engines", {})
+                .get("word", {})
+                .get("mixed", {})
+                .get("batch_warm_keys_per_sec")
+            )
+        if warm_baseline is not None:
+            result["baseline_warm_keys_per_sec"] = warm_baseline
+            result["disabled_overhead_vs_baseline"] = round(
+                warm_baseline / disabled - 1, 4
+            )
     return finalize(RESULT_PATH, result, telemetry={"trace": trace_summary})
 
 
 def test_disabled_tracing_overhead():
     result = run_benchmark()
+    assert result["sampler_overhead"] <= SAMPLER_GATE_THRESHOLD, result
     if "disabled_overhead_vs_baseline" not in result:
         pytest.skip("no committed BENCH_batch_lookup.json baseline")
     assert result["disabled_overhead_vs_baseline"] <= GATE_THRESHOLD, result

@@ -57,10 +57,20 @@ def finalize(
     telemetry differ ignores it as measurement but refuses to compare two
     reports whose metadata disagrees — a 4-worker run diffed against a
     single-core baseline is a config change, not a regression.
+
+    Every report carries at least ``metadata.benchmark`` (derived from the
+    file name), so all ``BENCH_*.json`` are self-identifying and the
+    differ can refuse cross-benchmark comparisons.  Only deterministic
+    configuration belongs here — a timestamp would make every rerun
+    incomparable with its own baseline.
     """
     out = dict(payload)
+    full_metadata: Dict[str, object] = {
+        "benchmark": path.stem.removeprefix("BENCH_"),
+    }
     if metadata:
-        out["metadata"] = dict(metadata)
+        full_metadata.update(metadata)
+    out["metadata"] = full_metadata
     block = dict(telemetry) if telemetry else {}
     block.update(collect_telemetry(registry, profiler, tracer))
     if block:

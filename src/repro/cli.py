@@ -9,6 +9,8 @@ Usage::
     python -m repro report          # regenerate EXPERIMENTS.md content
     python -m repro telemetry run --json out.json --trace trace.jsonl
     python -m repro telemetry diff baseline.json current.json
+    python -m repro telemetry serve --port 8787 --max-requests 3
+    python -m repro telemetry health --slo 0.05 --json health.json
     python -m repro reliability soak --rates 1e-5 1e-4 --json soak.json
 
 Failures exit with the error's class-specific code (see
@@ -110,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the event tracer (metrics/profiling still on)",
     )
+    tel_run.add_argument(
+        "--latency",
+        action="store_true",
+        help="record per-chunk lookup latency percentiles "
+        "(slice.search.latency in the report)",
+    )
     tel_diff = telemetry_commands.add_parser(
         "diff", help="compare two telemetry/bench JSON reports"
     )
@@ -120,6 +128,70 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="relative-change threshold (default 0.05)",
+    )
+
+    def add_workload_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--queries", type=int, default=10_000,
+            help="lookup-stream length",
+        )
+        sub.add_argument(
+            "--index-bits", type=int, default=8,
+            help="slice index bits (rows=2^b)",
+        )
+        sub.add_argument(
+            "--slots", type=int, default=16,
+            help="record slots per bucket",
+        )
+        sub.add_argument(
+            "--seed", type=int, default=99, help="workload RNG seed"
+        )
+        sub.add_argument(
+            "--slo", type=float, default=None,
+            help="p99 latency SLO in seconds (enables the SLO burn rule)",
+        )
+
+    tel_serve = telemetry_commands.add_parser(
+        "serve",
+        help="run the synthetic workload and expose a Prometheus scrape "
+        "endpoint (/metrics, /snapshot, /health)",
+    )
+    add_workload_args(tel_serve)
+    tel_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    tel_serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (0 picks a free port; the URL is printed)",
+    )
+    tel_serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=0,
+        help="shut down after this many scrapes (0 = serve until Ctrl-C)",
+    )
+
+    tel_health = telemetry_commands.add_parser(
+        "health",
+        help="evaluate the health rules; exit 0 (ok) / 10 (warn) / 11 "
+        "(critical)",
+    )
+    add_workload_args(tel_health)
+    tel_health.add_argument(
+        "--snapshot",
+        metavar="PATH",
+        help="evaluate an existing telemetry JSON instead of running "
+        "the synthetic workload",
+    )
+    tel_health.add_argument(
+        "--expected-amal",
+        type=float,
+        default=None,
+        help="model AMAL reference for the drift rule (default: computed "
+        "from the occupancy model when the workload runs)",
+    )
+    tel_health.add_argument(
+        "--json", metavar="PATH", help="write the health report as JSON"
     )
 
     reliability = commands.add_parser(
@@ -242,6 +314,7 @@ def cmd_telemetry_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         trace=not args.no_trace,
         trace_path=args.trace,
+        track_latency=args.latency,
     )
     if args.json:
         with open(args.json, "w") as handle:
@@ -259,6 +332,85 @@ def cmd_telemetry_diff(args: argparse.Namespace) -> int:
     if args.threshold is not None:
         argv += ["--threshold", str(args.threshold)]
     return compare_main(argv)
+
+
+def _prepare_serving_slice(args: argparse.Namespace):
+    """Build, load, and exercise the synthetic slice for serve/health.
+
+    Returns ``(slice, registry, model_amal)`` — the third value is the
+    occupancy model's expected AMAL for the stored key set, the reference
+    the drift rule compares the measured AMAL against.
+    """
+    from repro.hashing.analysis import occupancy_report
+    from repro.telemetry.metrics import MetricsRegistry
+    from repro.telemetry.workload import (
+        build_workload_slice,
+        make_keys,
+        make_queries,
+    )
+
+    slice_ = build_workload_slice(args.index_bits, args.slots)
+    registry = MetricsRegistry()
+    slice_.register_telemetry(registry)
+    slice_.enable_latency_tracking()
+    stored = make_keys(slice_, 0.7, args.seed)
+    slice_.bulk_load([(key, key & 0xFFFF) for key in stored])
+    queries = make_queries(stored, args.queries, 0.5, args.seed + 1)
+    slice_.search_batch(queries)
+    homes = [slice_.index_generator.index(key) for key in stored]
+    model = occupancy_report(homes, slice_.config.rows, args.slots)
+    return slice_, registry, model.amal_uniform
+
+
+def cmd_telemetry_serve(args: argparse.Namespace) -> int:
+    from repro.telemetry.export import TelemetryServer
+    from repro.telemetry.health import HealthMonitor, default_rules
+
+    _slice, registry, model_amal = _prepare_serving_slice(args)
+    monitor = HealthMonitor(
+        default_rules(expected_amal=model_amal, slo_seconds=args.slo)
+    )
+    server = TelemetryServer(
+        registry,
+        host=args.host,
+        port=args.port,
+        health_check=lambda: monitor.evaluate(
+            registry.snapshot()
+        ).as_dict(),
+        max_requests=args.max_requests,
+    )
+    print(
+        f"serving telemetry on {server.url} (/metrics, /snapshot, /health)",
+        flush=True,
+    )
+    served = server.serve_until_done()
+    print(f"served {served} requests")
+    return 0
+
+
+def cmd_telemetry_health(args: argparse.Namespace) -> int:
+    from repro.telemetry.health import HealthMonitor, default_rules
+
+    expected_amal = args.expected_amal
+    if args.snapshot:
+        with open(args.snapshot, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    else:
+        _slice, registry, model_amal = _prepare_serving_slice(args)
+        snapshot = registry.snapshot()
+        if expected_amal is None:
+            expected_amal = model_amal
+    monitor = HealthMonitor(
+        default_rules(expected_amal=expected_amal, slo_seconds=args.slo)
+    )
+    report = monitor.evaluate(snapshot)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    print(report.format())
+    return report.exit_code
 
 
 def cmd_reliability_soak(args: argparse.Namespace) -> int:
@@ -316,6 +468,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "telemetry":
             if args.telemetry_command == "run":
                 return cmd_telemetry_run(args)
+            if args.telemetry_command == "serve":
+                return cmd_telemetry_serve(args)
+            if args.telemetry_command == "health":
+                return cmd_telemetry_health(args)
             return cmd_telemetry_diff(args)
         if args.command == "reliability":
             return cmd_reliability_soak(args)

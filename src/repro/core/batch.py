@@ -48,6 +48,7 @@ shared-memory view of the mirror.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -462,7 +463,12 @@ class BatchSearchEngine:
         processes.
         """
         bitplane = self._engine == "bitplane"
+        # Opt-in per-chunk lookup-latency sketch: one observation per
+        # vectorized chunk (home match + probe walk), so serving-tier
+        # percentiles come from the real work quanta, not per-key guesses.
+        latency = self._stats.latency
         for start in range(0, positions.size, self._chunk_size):
+            chunk_started = perf_counter() if latency is not None else 0.0
             with profile("batch.home_match"):
                 chunk = positions[start : start + self._chunk_size]
                 chunk_homes = homes[chunk]
@@ -537,6 +543,8 @@ class BatchSearchEngine:
                         else None,
                         plane_scratch,
                     )
+            if latency is not None:
+                latency.observe(perf_counter() - chunk_started)
 
     def _probe_walk(
         self,

@@ -53,7 +53,13 @@ from repro.core.results import BatchResultSet
 from repro.core.stats import SearchStats
 from repro.memory.mirror import words_to_bits
 from repro.memory.shm import MirrorExport, attach_mirror_view
-from repro.telemetry.profiling import profile
+from repro.telemetry.histogram import LatencyHistogram
+from repro.telemetry.profiling import (
+    PhaseProfiler,
+    get_profiler,
+    profile,
+    set_profiler,
+)
 
 __all__ = ["ParallelBatchEngine"]
 
@@ -124,31 +130,53 @@ def _worker_run(task: dict) -> dict:
     stats.reset()
     collector.chunks = []
 
+    # Cross-process span capture: the parent flags each task with its
+    # current observability state (per-batch, not fork-time — the pool may
+    # predate the parent enabling either feature).  The worker mirrors it
+    # locally and ships the serialized spans/sketch home in the payload.
+    latency_error = task.get("latency_error")
+    if latency_error is not None:
+        stats.enable_latency_tracking(latency_error)
+    else:
+        stats.disable_latency_tracking()
+    span_profiler: Optional[PhaseProfiler] = None
+    previous_profiler: Optional[PhaseProfiler] = None
+    if task.get("profile"):
+        span_profiler = PhaseProfiler(
+            enabled=True,
+            track_latency=task.get("profile_latency", False),
+        )
+        previous_profiler = set_profiler(span_profiler)
+
     homes: np.ndarray = task["homes"]
     words: np.ndarray = task["words"]
     mask_words: Optional[np.ndarray] = task["mask_words"]
     n = homes.shape[0]
     view.has_stored_masks = task["has_stored_masks"]
 
-    query_bits = query_mask_bits = None
-    if engine.engine == "bitplane":
-        query_bits = words_to_bits(words, view.key_bits)
-        if mask_words is not None:
-            query_mask_bits = words_to_bits(mask_words, view.key_bits)
+    try:
+        query_bits = query_mask_bits = None
+        if engine.engine == "bitplane":
+            query_bits = words_to_bits(words, view.key_bits)
+            if mask_words is not None:
+                query_mask_bits = words_to_bits(mask_words, view.key_bits)
 
-    rs = BatchResultSet(n)
-    engine._run_vectorized(
-        view,
-        rs,
-        np.arange(n),
-        homes,
-        words,
-        mask_words,
-        task["values"] if task["values"] is not None else (),
-        query_bits,
-        query_mask_bits,
-        engine._plane_scratch(view, n),
-    )
+        rs = BatchResultSet(n)
+        engine._run_vectorized(
+            view,
+            rs,
+            np.arange(n),
+            homes,
+            words,
+            mask_words,
+            task["values"] if task["values"] is not None else (),
+            query_bits,
+            query_mask_bits,
+            engine._plane_scratch(view, n),
+        )
+    finally:
+        if previous_profiler is not None:
+            set_profiler(previous_profiler)
     return {
         "hit": rs.hit,
         "row": rs.row,
@@ -157,6 +185,12 @@ def _worker_run(task: dict) -> dict:
         "multiple_matches": rs.multiple_matches,
         "match_passes": rs.match_passes,
         "access_buckets": collector.drain(),
+        "phases": (
+            span_profiler.as_dict() if span_profiler is not None else None
+        ),
+        "latency": (
+            stats.latency.as_dict() if stats.latency is not None else None
+        ),
         "stats": {
             "match_passes": stats.total_match_passes,
             "probe_walk_keys": stats.probe_walk_keys,
@@ -191,6 +225,9 @@ class ParallelBatchEngine:
         self._export_mirror = None
         #: Batches actually fanned out (vs delegated to the inner engine).
         self.parallel_batches = 0
+        #: Cumulative per-shard counters (index = shard position within the
+        #: batch split) — the rollup's parallel-worker children.
+        self._shard_stats: List[SearchStats] = []
 
     # Delegated introspection — the slice/group telemetry providers and
     # tests read these off whichever engine is installed.
@@ -226,6 +263,12 @@ class ParallelBatchEngine:
     @property
     def columnar_rows(self) -> int:
         return self._inner.columnar_rows
+
+    @property
+    def shard_stats(self) -> List[SearchStats]:
+        """Cumulative per-shard :class:`SearchStats` (one per worker shard
+        position, summed across parallel batches)."""
+        return self._shard_stats
 
     # ------------------------------------------------------------------
     # Pool / export lifecycle
@@ -319,6 +362,13 @@ class ParallelBatchEngine:
             type(inner._probing).probe_batch is ProbingPolicy.probe_batch
         )
         has_stored_masks = bool(getattr(mirror, "has_stored_masks", True))
+        stats = inner._stats
+        parent_profiler = get_profiler()
+        latency_error = (
+            stats.latency.relative_error
+            if stats.latency is not None
+            else None
+        )
 
         with profile("batch.pool_dispatch"):
             pending = [
@@ -339,6 +389,9 @@ class ParallelBatchEngine:
                                 else None
                             ),
                             "has_stored_masks": has_stored_masks,
+                            "profile": parent_profiler.enabled,
+                            "profile_latency": parent_profiler.track_latency,
+                            "latency_error": latency_error,
                         },
                     ),
                 )
@@ -347,8 +400,11 @@ class ParallelBatchEngine:
             payloads = [task.get() for task in pending]
 
         with profile("batch.shard_merge"):
-            stats = inner._stats
-            for shard, payload in zip(shards, payloads):
+            while len(self._shard_stats) < len(shards):
+                self._shard_stats.append(SearchStats())
+            for position, (shard, payload) in enumerate(
+                zip(shards, payloads)
+            ):
                 rs.hit[shard] = payload["hit"]
                 rs.row[shard] = payload["row"]
                 rs.slot[shard] = payload["slot"]
@@ -356,11 +412,25 @@ class ParallelBatchEngine:
                 rs.multiple_matches[shard] = payload["multiple_matches"]
                 rs.match_passes[shard] = payload["match_passes"]
                 shard_stats = payload["stats"]
-                stats.record_match_passes(shard_stats["match_passes"])
-                stats.record_probe_walk(shard_stats["probe_walk_keys"])
-                stats.record_lookup_batch_varied(
-                    shard_stats["access_histogram"], shard_stats["hits"]
-                )
+                shard_latency = payload.get("latency")
+                for target in (stats, self._shard_stats[position]):
+                    target.record_match_passes(shard_stats["match_passes"])
+                    target.record_probe_walk(shard_stats["probe_walk_keys"])
+                    target.record_lookup_batch_varied(
+                        shard_stats["access_histogram"],
+                        shard_stats["hits"],
+                    )
+                    if shard_latency is not None:
+                        if target.latency is None:
+                            target.enable_latency_tracking(
+                                shard_latency["relative_error"]
+                            )
+                        target.latency.merge(
+                            LatencyHistogram.from_dict(shard_latency)
+                        )
+                phases = payload.get("phases")
+                if phases:
+                    parent_profiler.merge(phases, prefix="worker.")
                 access_buckets = payload["access_buckets"]
                 if inner._access_sink is not None and access_buckets.size:
                     inner._access_sink(access_buckets)

@@ -231,6 +231,16 @@ class CARAMSlice:
         self.stats.tracer = tracer
         self._memory.tracer = tracer
 
+    def enable_latency_tracking(
+        self, relative_error: Optional[float] = None
+    ) -> None:
+        """Record per-chunk lookup latency into the search stats' sketch
+        (parallel workers inherit the setting per batch)."""
+        self.stats.enable_latency_tracking(relative_error)
+
+    def disable_latency_tracking(self) -> None:
+        self.stats.disable_latency_tracking()
+
     def register_telemetry(
         self, registry: "MetricsRegistry", prefix: str = "slice"
     ) -> None:
@@ -238,7 +248,9 @@ class CARAMSlice:
 
         Registers the search statistics, the physical array counters, and
         a live occupancy provider under ``prefix``; each ``snapshot()``
-        re-reads them, so one registration covers the whole run.
+        re-reads them, so one registration covers the whole run.  With a
+        parallel engine, per-shard search stats mount as
+        ``{prefix}.shard{i}.search`` — the rollup's worker children.
         """
         registry.register_provider(f"{prefix}.search", self.stats)
         registry.register_provider(f"{prefix}.memory", self._memory.stats)
@@ -280,6 +292,20 @@ class CARAMSlice:
                 "worker_count": self._engine_workers,
             },
         )
+
+        def _shard_provider(worker: int):
+            def provider() -> dict:
+                shards = getattr(self._batch_engine, "shard_stats", None)
+                if shards is None or worker >= len(shards):
+                    return {}
+                return shards[worker].as_dict()
+
+            return provider
+
+        for worker in range(self._engine_workers):
+            registry.register_provider(
+                f"{prefix}.shard{worker}.search", _shard_provider(worker)
+            )
 
     @property
     def last_bulk_plan(self) -> Optional["BulkPlan"]:

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Sequence, Union
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.histogram import LatencyHistogram
     from repro.telemetry.trace import Tracer
 
 
@@ -60,10 +61,40 @@ class SearchStats:
     victim_records: int = field(default=0, compare=False)
     victim_hits: int = field(default=0, compare=False)
     lookup_retries: int = field(default=0, compare=False)
+    #: Opt-in per-chunk lookup-latency sketch
+    #: (:meth:`enable_latency_tracking`); wall times are nondeterministic,
+    #: so it is excluded from equality like the tracer, but **merges**
+    #: bucket-exactly so shard/subsystem aggregation keeps percentiles.
+    latency: Optional["LatencyHistogram"] = field(
+        default=None, compare=False, repr=False
+    )
     #: Optional structured-event tracer; never part of equality or merges.
     tracer: Optional["Tracer"] = field(
         default=None, compare=False, repr=False
     )
+
+    def enable_latency_tracking(
+        self, relative_error: Optional[float] = None
+    ) -> "LatencyHistogram":
+        """Attach (or return the existing) lookup-latency sketch.
+
+        The batch engines observe one sample per vectorized chunk into it;
+        disabled (the default) the hot path pays one ``is None`` check.
+        """
+        # Imported lazily: repro.telemetry's package init reaches back into
+        # repro.core, so a module-level import here would cycle.
+        from repro.telemetry.histogram import LatencyHistogram
+
+        if self.latency is None:
+            self.latency = (
+                LatencyHistogram(relative_error)
+                if relative_error is not None
+                else LatencyHistogram()
+            )
+        return self.latency
+
+    def disable_latency_tracking(self) -> None:
+        self.latency = None
 
     def record_lookup(self, accesses: int, hit: bool) -> None:
         """Account one search that touched ``accesses`` buckets."""
@@ -286,6 +317,11 @@ class SearchStats:
         self.victim_records += other.victim_records
         self.victim_hits += other.victim_hits
         self.lookup_retries += other.lookup_retries
+        if other.latency is not None:
+            if self.latency is None:
+                self.latency = other.latency.copy()
+            else:
+                self.latency.merge(other.latency)
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -306,6 +342,8 @@ class SearchStats:
         self.victim_records = 0
         self.victim_hits = 0
         self.lookup_retries = 0
+        if self.latency is not None:
+            self.latency.reset()
 
     def as_dict(self) -> Dict[str, object]:
         """Structured export: raw counters plus the derived paper metrics.
@@ -339,6 +377,11 @@ class SearchStats:
             "victim_records": self.victim_records,
             "victim_hits": self.victim_hits,
             "lookup_retries": self.lookup_retries,
+            **(
+                {"latency": self.latency.as_dict()}
+                if self.latency is not None
+                else {}
+            ),
         }
 
 

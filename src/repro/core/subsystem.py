@@ -204,6 +204,16 @@ class SliceGroup:
         for array in self._arrays:
             array.tracer = tracer
 
+    def enable_latency_tracking(
+        self, relative_error: Optional[float] = None
+    ) -> None:
+        """Record per-chunk lookup latency into the group's search stats
+        (parallel workers inherit the setting per batch)."""
+        self.stats.enable_latency_tracking(relative_error)
+
+    def disable_latency_tracking(self) -> None:
+        self.stats.disable_latency_tracking()
+
     def register_telemetry(
         self, registry: "MetricsRegistry", prefix: Optional[str] = None
     ) -> None:
@@ -260,6 +270,20 @@ class SliceGroup:
                 "worker_count": self._engine_workers,
             },
         )
+
+        def _shard_provider(worker: int):
+            def provider() -> dict:
+                shards = getattr(self._batch_engine, "shard_stats", None)
+                if shards is None or worker >= len(shards):
+                    return {}
+                return shards[worker].as_dict()
+
+            return provider
+
+        for worker in range(self._engine_workers):
+            registry.register_provider(
+                f"{prefix}.shard{worker}.search", _shard_provider(worker)
+            )
 
     @property
     def last_bulk_plan(self) -> Optional["BulkPlan"]:
@@ -1127,6 +1151,17 @@ class CARAMSubsystem:
         """Attach one tracer to every group (stats + physical arrays)."""
         for group in self._groups.values():
             group.tracer = tracer
+
+    def enable_latency_tracking(
+        self, relative_error: Optional[float] = None
+    ) -> None:
+        """Enable per-chunk lookup-latency sketches on every group."""
+        for group in self._groups.values():
+            group.enable_latency_tracking(relative_error)
+
+    def disable_latency_tracking(self) -> None:
+        for group in self._groups.values():
+            group.disable_latency_tracking()
 
     def register_telemetry(
         self, registry: "MetricsRegistry", prefix: str = "subsystem"

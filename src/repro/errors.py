@@ -98,6 +98,23 @@ class CorruptionError(ReliabilityError):
         self.row = row
 
 
+class HealthDegradedError(CaRamError):
+    """The health monitor found warning-level findings (degraded service).
+
+    Raised/mapped by ``repro telemetry health`` when at least one rule is
+    in the WARN band and none is CRITICAL — scripts can distinguish
+    "watch this" from "page someone" by exit code alone.
+    """
+
+    exit_code = 10
+
+
+class HealthCriticalError(HealthDegradedError):
+    """The health monitor found critical findings (SLO/integrity burn)."""
+
+    exit_code = 11
+
+
 #: Alias of :class:`CaRamError` (the generic library-error spelling).
 ReproError = CaRamError
 
@@ -116,4 +133,6 @@ __all__ = [
     "RamModeError",
     "ReliabilityError",
     "CorruptionError",
+    "HealthDegradedError",
+    "HealthCriticalError",
 ]

@@ -12,7 +12,17 @@ The cross-cutting observability layer of the CA-RAM stack:
 * :mod:`repro.telemetry.profiling` — ``with profile(phase):`` wall-time
   accounting for the batch/bulk pipeline stages;
 * :mod:`repro.telemetry.compare` — snapshot diffing that flags counter and
-  timing regressions beyond a threshold.
+  timing regressions beyond a threshold;
+* :mod:`repro.telemetry.histogram` — mergeable log-bucketed
+  :class:`LatencyHistogram` quantile sketches (bounded relative error);
+* :mod:`repro.telemetry.rollup` — hierarchical label-tagged aggregation of
+  registry snapshots (slice → group → subsystem, worker shards as
+  children) with commutative merge;
+* :mod:`repro.telemetry.export` — Prometheus text exposition, a periodic
+  JSONL sampler, and an opt-in stdlib HTTP scrape endpoint;
+* :mod:`repro.telemetry.health` — rule-driven health monitor (occupancy
+  drift, spill fraction, correction trend, latency SLO burn) with stable
+  CLI exit codes.
 """
 
 from repro.telemetry.compare import (
@@ -22,6 +32,30 @@ from repro.telemetry.compare import (
     compare_telemetry,
     flatten_numeric,
     load_snapshot,
+)
+from repro.telemetry.export import (
+    JsonlSampler,
+    TelemetryServer,
+    read_samples,
+    render_prometheus,
+    validate_exposition,
+)
+from repro.telemetry.health import (
+    AmalDriftRule,
+    CorrectionTrendRule,
+    HealthFinding,
+    HealthMonitor,
+    HealthReport,
+    HealthRule,
+    LatencySLORule,
+    SpillFractionRule,
+    default_rules,
+)
+from repro.telemetry.histogram import (
+    DEFAULT_RELATIVE_ERROR,
+    LatencyHistogram,
+    is_sketch_dict,
+    merge_sketch_dicts,
 )
 from repro.telemetry.metrics import (
     CounterMetric,
@@ -35,6 +69,13 @@ from repro.telemetry.profiling import (
     get_profiler,
     profile,
     set_profiler,
+)
+from repro.telemetry.rollup import (
+    RollupNode,
+    build_rollup,
+    flatten_rollup,
+    merge_blocks,
+    rollup_from_dict,
 )
 from repro.telemetry.workload import run_synthetic_workload
 from repro.telemetry.trace import (
@@ -73,4 +114,27 @@ __all__ = [
     "flatten_numeric",
     "load_snapshot",
     "run_synthetic_workload",
+    "LatencyHistogram",
+    "DEFAULT_RELATIVE_ERROR",
+    "is_sketch_dict",
+    "merge_sketch_dicts",
+    "RollupNode",
+    "build_rollup",
+    "rollup_from_dict",
+    "flatten_rollup",
+    "merge_blocks",
+    "render_prometheus",
+    "validate_exposition",
+    "JsonlSampler",
+    "read_samples",
+    "TelemetryServer",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthFinding",
+    "HealthRule",
+    "AmalDriftRule",
+    "SpillFractionRule",
+    "CorrectionTrendRule",
+    "LatencySLORule",
+    "default_rules",
 ]

@@ -25,9 +25,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.telemetry.histogram import is_sketch_dict
 
 #: Leaf-name suffixes where higher is better (a drop is the regression).
 GOODNESS_SUFFIXES = ("per_sec", "speedup", "hit_rate", "throughput")
+
+#: Sketch-dict keys that encode the histogram rather than measure it.
+_SKETCH_ENCODING_KEYS = frozenset(
+    {"kind", "buckets", "relative_error", "zero_count"}
+)
 
 #: Default relative-change threshold (5%).
 DEFAULT_THRESHOLD = 0.05
@@ -57,7 +63,20 @@ def flatten_numeric(tree: Dict, prefix: str = "") -> Dict[str, float]:
         if not prefix and key == "metadata":
             continue
         path = f"{prefix}.{key}" if prefix else str(key)
-        if isinstance(value, dict):
+        if is_sketch_dict(value):
+            # Diff a latency sketch by its summary leaves (count, mean,
+            # percentiles).  The internal bucket map is an encoding
+            # detail: any shift in the observed values renumbers bucket
+            # indices wholesale, which would read as leaves appearing
+            # from zero rather than as the percentile movement it is.
+            for leaf, number in value.items():
+                if leaf in _SKETCH_ENCODING_KEYS:
+                    continue
+                if isinstance(number, (int, float)) and not isinstance(
+                    number, bool
+                ):
+                    flat[f"{path}.{leaf}"] = float(number)
+        elif isinstance(value, dict):
             flat.update(flatten_numeric(value, path))
         elif isinstance(value, bool):
             continue

@@ -1,0 +1,442 @@
+"""Rule-driven health monitor over telemetry snapshots.
+
+The serving tier's question is not "what are the counters" but "is this
+shard still healthy enough to take traffic".  :class:`HealthMonitor`
+answers it mechanically: a set of :class:`HealthRule` objects, each
+reading a few dotted leaves out of a registry snapshot (via
+:func:`~repro.telemetry.compare.flatten_numeric`) and classifying them
+into OK / WARN / CRITICAL bands.  The shipped rules cover the four
+degradation axes the ROADMAP's serving work needs:
+
+* :class:`AmalDriftRule` — measured AMAL vs the value the
+  :mod:`repro.hashing.analysis` occupancy model predicts for the loaded
+  database; drift means the hash function has stopped matching the key
+  population (churn skew, pathological inserts) and a rebalance is due.
+* :class:`SpillFractionRule` — fraction of records placed outside their
+  home bucket (the bulk planner's ``spill_rate`` or a live ratio);
+  rising spill is the leading indicator of AMAL regressions.
+* :class:`CorrectionTrendRule` — ECC-correction + quarantine *rate
+  per lookup* and its trend across successive evaluations; a worsening
+  trend means the array is accumulating damage faster than scrubbing
+  heals it.
+* :class:`LatencySLORule` — a percentile read from a
+  :class:`~repro.telemetry.histogram.LatencyHistogram` leaf against an
+  SLO bound, with WARN at a configurable burn fraction of the bound.
+
+Each evaluation emits typed ``health.<level>`` trace events (one per
+non-OK finding plus one verdict event) when a tracer is attached, and the
+:class:`HealthReport` maps to the stable CLI exit codes of
+:mod:`repro.errors` — 0 healthy, 10 degraded, 11 critical — so cron jobs
+and CI can gate on `repro telemetry health` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import (
+    ConfigurationError,
+    HealthCriticalError,
+    HealthDegradedError,
+)
+from repro.telemetry.compare import flatten_numeric
+
+#: Severity bands, ordered.
+OK, WARN, CRITICAL = "ok", "warn", "critical"
+_SEVERITY = {OK: 0, WARN: 1, CRITICAL: 2}
+
+
+#: Envelope prefixes stripped (as aliases) when flattening snapshots, so
+#: rule paths address the provider mount directly.
+_ENVELOPE_PREFIXES = ("metrics.stats.", "metrics.", "stats.")
+
+
+def _flatten_with_aliases(snapshot: Dict[str, object]) -> Dict[str, float]:
+    flat = flatten_numeric(snapshot)
+    for path in list(flat):
+        for prefix in _ENVELOPE_PREFIXES:
+            if path.startswith(prefix):
+                flat.setdefault(path[len(prefix):], flat[path])
+    return flat
+
+
+@dataclass(frozen=True)
+class HealthFinding:
+    """One rule's verdict for one evaluation."""
+
+    rule: str
+    level: str
+    message: str
+    value: Optional[float] = None
+    threshold: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "level": self.level,
+            "message": self.message,
+            "value": self.value,
+            "threshold": self.threshold,
+        }
+
+
+class HealthRule:
+    """One health check: reads snapshot leaves, returns a finding.
+
+    Subclasses implement :meth:`evaluate` over the *flattened* snapshot
+    (``{dotted.path: float}``).  ``history`` carries this rule's previous
+    findings' values (oldest first) so trend rules can difference them.
+    """
+
+    name = "rule"
+
+    def evaluate(
+        self, flat: Dict[str, float], history: Sequence[float]
+    ) -> HealthFinding:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _missing(self, what: str) -> HealthFinding:
+        return HealthFinding(
+            rule=self.name,
+            level=OK,
+            message=f"{what} not present in snapshot (rule skipped)",
+        )
+
+
+def _banded(value: float, warn: float, critical: float) -> str:
+    if value >= critical:
+        return CRITICAL
+    if value >= warn:
+        return WARN
+    return OK
+
+
+class AmalDriftRule(HealthRule):
+    """Measured AMAL vs the occupancy model's expectation.
+
+    Args:
+        expected_amal: the model prediction — e.g.
+            ``occupancy_report(...).amal`` from :mod:`repro.hashing.
+            analysis` computed over the loaded key set, or the value a
+            capacity plan was signed off against.
+        path: snapshot leaf carrying the measured AMAL.
+        warn / critical: relative drift ``measured/expected - 1`` bands.
+    """
+
+    name = "amal_drift"
+
+    def __init__(
+        self,
+        expected_amal: float,
+        path: str = "slice.search.amal",
+        warn: float = 0.10,
+        critical: float = 0.25,
+    ) -> None:
+        if expected_amal <= 0:
+            raise ConfigurationError(
+                f"expected_amal must be positive, got {expected_amal}"
+            )
+        self.expected = float(expected_amal)
+        self.path = path
+        self.warn = warn
+        self.critical = critical
+
+    def evaluate(self, flat, history) -> HealthFinding:
+        measured = flat.get(self.path)
+        if measured is None or measured == 0.0:
+            return self._missing(f"measured AMAL ({self.path})")
+        drift = measured / self.expected - 1.0
+        level = _banded(drift, self.warn, self.critical)
+        return HealthFinding(
+            rule=self.name,
+            level=level,
+            message=(
+                f"AMAL {measured:.4f} vs model {self.expected:.4f} "
+                f"({drift:+.1%} drift)"
+            ),
+            value=drift,
+            threshold=self.warn if level != CRITICAL else self.critical,
+        )
+
+
+class SpillFractionRule(HealthRule):
+    """Fraction of records spilled outside their home bucket."""
+
+    name = "spill_fraction"
+
+    def __init__(
+        self,
+        path: str = "slice.bulk.spill_rate",
+        warn: float = 0.10,
+        critical: float = 0.30,
+    ) -> None:
+        self.path = path
+        self.warn = warn
+        self.critical = critical
+
+    def evaluate(self, flat, history) -> HealthFinding:
+        spill = flat.get(self.path)
+        if spill is None:
+            return self._missing(f"spill fraction ({self.path})")
+        level = _banded(spill, self.warn, self.critical)
+        return HealthFinding(
+            rule=self.name,
+            level=level,
+            message=f"spill fraction {spill:.1%}",
+            value=spill,
+            threshold=self.warn if level != CRITICAL else self.critical,
+        )
+
+
+class CorrectionTrendRule(HealthRule):
+    """ECC-correction + quarantine rate per lookup, and its trend.
+
+    The *rate* bands catch a sick array outright; the *trend* check
+    escalates to WARN when the rate grew across ``trend_window``
+    consecutive evaluations even while still under the warn band —
+    damage accumulating faster than scrubbing heals it.
+    """
+
+    name = "correction_trend"
+
+    def __init__(
+        self,
+        corrections_path: str = "slice.search.ecc_corrections",
+        quarantines_path: str = "slice.search.quarantines",
+        lookups_path: str = "slice.search.lookups",
+        warn: float = 1e-3,
+        critical: float = 1e-2,
+        trend_window: int = 3,
+    ) -> None:
+        self.corrections_path = corrections_path
+        self.quarantines_path = quarantines_path
+        self.lookups_path = lookups_path
+        self.warn = warn
+        self.critical = critical
+        self.trend_window = max(2, trend_window)
+
+    def evaluate(self, flat, history) -> HealthFinding:
+        lookups = flat.get(self.lookups_path)
+        if not lookups:
+            return self._missing(f"lookup count ({self.lookups_path})")
+        events = flat.get(self.corrections_path, 0.0) + flat.get(
+            self.quarantines_path, 0.0
+        )
+        rate = events / lookups
+        level = _banded(rate, self.warn, self.critical)
+        message = f"correction+quarantine rate {rate:.2e}/lookup"
+        if level == OK and len(history) >= self.trend_window - 1:
+            window = list(history[-(self.trend_window - 1):]) + [rate]
+            rising = all(b > a for a, b in zip(window, window[1:]))
+            if rising and rate > 0:
+                level = WARN
+                message += (
+                    f" rising across {self.trend_window} evaluations"
+                )
+        return HealthFinding(
+            rule=self.name,
+            level=level,
+            message=message,
+            value=rate,
+            threshold=self.warn if level != CRITICAL else self.critical,
+        )
+
+
+class LatencySLORule(HealthRule):
+    """A latency percentile against an SLO bound.
+
+    Args:
+        slo_seconds: the bound the percentile must stay under.
+        path: leaf carrying the percentile (a ``p99`` leaf of a
+            serialized latency sketch, or any numeric seconds leaf).
+        warn_burn: fraction of the SLO at which WARN starts (CRITICAL at
+            or above the SLO itself).
+    """
+
+    name = "latency_slo"
+
+    def __init__(
+        self,
+        slo_seconds: float,
+        path: str = "slice.search.latency.p99",
+        warn_burn: float = 0.8,
+    ) -> None:
+        if slo_seconds <= 0:
+            raise ConfigurationError(
+                f"slo_seconds must be positive, got {slo_seconds}"
+            )
+        self.slo = float(slo_seconds)
+        self.path = path
+        self.warn_burn = warn_burn
+
+    def evaluate(self, flat, history) -> HealthFinding:
+        value = flat.get(self.path)
+        if value is None:
+            return self._missing(f"latency percentile ({self.path})")
+        burn = value / self.slo
+        level = _banded(burn, self.warn_burn, 1.0)
+        return HealthFinding(
+            rule=self.name,
+            level=level,
+            message=(
+                f"{self.path} = {value * 1e3:.3f} ms "
+                f"({burn:.0%} of the {self.slo * 1e3:.3f} ms SLO)"
+            ),
+            value=burn,
+            threshold=self.warn_burn if level != CRITICAL else 1.0,
+        )
+
+
+@dataclass
+class HealthReport:
+    """One evaluation's findings plus the overall verdict."""
+
+    findings: List[HealthFinding] = field(default_factory=list)
+
+    @property
+    def level(self) -> str:
+        worst = OK
+        for finding in self.findings:
+            if _SEVERITY[finding.level] > _SEVERITY[worst]:
+                worst = finding.level
+        return worst
+
+    @property
+    def ok(self) -> bool:
+        return self.level == OK
+
+    @property
+    def exit_code(self) -> int:
+        """The stable CLI exit code for this verdict (0 / 10 / 11)."""
+        level = self.level
+        if level == CRITICAL:
+            return HealthCriticalError.exit_code
+        if level == WARN:
+            return HealthDegradedError.exit_code
+        return 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "level": self.level,
+            "ok": self.ok,
+            "exit_code": self.exit_code,
+            "findings": [finding.as_dict() for finding in self.findings],
+        }
+
+    def format(self) -> str:
+        lines = [f"health: {self.level.upper()}"]
+        for finding in self.findings:
+            lines.append(
+                f"  [{finding.level.upper():<8}] "
+                f"{finding.rule}: {finding.message}"
+            )
+        return "\n".join(lines)
+
+
+class HealthMonitor:
+    """Evaluates a rule set against successive snapshots.
+
+    Args:
+        rules: the checks to run, in report order.
+        tracer: optional :class:`~repro.telemetry.trace.Tracer`; each
+            evaluation emits one ``health.<level>`` event per non-OK
+            finding plus a ``health.verdict`` event, so health state
+            changes land in the same replayable stream as everything else.
+    """
+
+    def __init__(self, rules: Sequence[HealthRule], tracer=None) -> None:
+        if not rules:
+            raise ConfigurationError("health monitor needs at least one rule")
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"duplicate health rule names: {sorted(names)}"
+            )
+        self.rules = list(rules)
+        self.tracer = tracer
+        self._history: Dict[str, List[float]] = {r.name: [] for r in rules}
+        self.reports: List[HealthReport] = []
+
+    def evaluate(self, snapshot: Dict[str, object]) -> HealthReport:
+        """Run every rule over one snapshot; record history and events.
+
+        Accepts a raw registry snapshot, a ``repro telemetry run`` report,
+        or any nested numeric tree: the registry's ``stats.`` / a report's
+        ``metrics.`` wrappers are aliased away, so rule paths are written
+        against the provider mount (``slice.search.amal``) regardless of
+        which envelope carried it.
+        """
+        flat = _flatten_with_aliases(snapshot)
+        report = HealthReport()
+        for rule in self.rules:
+            finding = rule.evaluate(flat, self._history[rule.name])
+            if finding.value is not None:
+                self._history[rule.name].append(finding.value)
+            report.findings.append(finding)
+            if self.tracer is not None and finding.level != OK:
+                self.tracer.emit(
+                    f"health.{finding.level}",
+                    rule=finding.rule,
+                    message=finding.message,
+                    value=finding.value,
+                    threshold=finding.threshold,
+                )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "health.verdict",
+                level=report.level,
+                exit_code=report.exit_code,
+                findings=len(report.findings),
+            )
+        self.reports.append(report)
+        return report
+
+
+def default_rules(
+    expected_amal: Optional[float] = None,
+    slo_seconds: Optional[float] = None,
+    prefix: str = "slice",
+) -> List[HealthRule]:
+    """The standard rule set over a slice/group telemetry mount.
+
+    ``expected_amal`` and ``slo_seconds`` gate their rules in (both need
+    an external reference the snapshot cannot supply); the spill and
+    correction rules always apply.
+    """
+    rules: List[HealthRule] = []
+    if expected_amal is not None:
+        rules.append(
+            AmalDriftRule(expected_amal, path=f"{prefix}.search.amal")
+        )
+    rules.append(SpillFractionRule(path=f"{prefix}.bulk.spill_rate"))
+    rules.append(
+        CorrectionTrendRule(
+            corrections_path=f"{prefix}.search.ecc_corrections",
+            quarantines_path=f"{prefix}.search.quarantines",
+            lookups_path=f"{prefix}.search.lookups",
+        )
+    )
+    if slo_seconds is not None:
+        rules.append(
+            LatencySLORule(
+                slo_seconds, path=f"{prefix}.search.latency.p99"
+            )
+        )
+    return rules
+
+
+__all__ = [
+    "OK",
+    "WARN",
+    "CRITICAL",
+    "AmalDriftRule",
+    "CorrectionTrendRule",
+    "HealthFinding",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthRule",
+    "LatencySLORule",
+    "SpillFractionRule",
+    "default_rules",
+]

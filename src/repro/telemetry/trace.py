@@ -43,6 +43,7 @@ JSONL file, or null.
 
 from __future__ import annotations
 
+import atexit
 import json
 from collections import deque
 from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional
@@ -100,11 +101,18 @@ class InMemorySink(TraceSink):
 
 
 class JsonlSink(TraceSink):
-    """Streams events to a JSON-lines file, one event per line."""
+    """Streams events to a JSON-lines file, one event per line.
+
+    Every emit is flushed, so the file is complete up to the last event
+    even if the process dies mid-run; the sink also registers an
+    :mod:`atexit` close and works as a context manager, so traces survive
+    callers that forget ``close()``.
+    """
 
     def __init__(self, path) -> None:
         self._path = path
         self._file = open(path, "w", encoding="utf-8")
+        atexit.register(self.close)
 
     @property
     def path(self):
@@ -112,10 +120,19 @@ class JsonlSink(TraceSink):
 
     def emit(self, event: TraceEvent) -> None:
         self._file.write(json.dumps(event.as_dict()) + "\n")
+        self._file.flush()
 
     def close(self) -> None:
         if not self._file.closed:
             self._file.close()
+        atexit.unregister(self.close)
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
 
 def read_jsonl(path) -> Iterator[TraceEvent]:
@@ -140,7 +157,7 @@ class Tracer:
     the hot-path cost to a single attribute check.
     """
 
-    __slots__ = ("_ring", "_sink", "events_emitted")
+    __slots__ = ("_ring", "_sink", "events_emitted", "dropped_events")
 
     def __init__(
         self,
@@ -154,6 +171,9 @@ class Tracer:
         self._ring: deque = deque(maxlen=capacity)
         self._sink = sink
         self.events_emitted = 0
+        #: Events evicted from the ring by newer ones (sinks still saw
+        #: them) — nonzero means ring-only readers lost history.
+        self.dropped_events = 0
 
     @property
     def capacity(self) -> int:
@@ -166,7 +186,10 @@ class Tracer:
     def emit(self, kind: str, **payload) -> None:
         """Record one event (and forward it to the sink, if any)."""
         event = TraceEvent(kind, payload)
-        self._ring.append(event)
+        ring = self._ring
+        if len(ring) == ring.maxlen:
+            self.dropped_events += 1
+        ring.append(event)
         self.events_emitted += 1
         if self._sink is not None:
             self._sink.emit(event)
@@ -187,10 +210,14 @@ class Tracer:
             self._sink.close()
 
     def summary(self) -> Dict[str, int]:
-        """Event counts by kind over the current ring content."""
+        """Event counts by kind over the current ring content, plus the
+        total emitted/dropped accounting (``dropped_events`` > 0 means the
+        ring no longer holds the full history)."""
         counts: Dict[str, int] = {}
         for event in self._ring:
             counts[event.kind] = counts.get(event.kind, 0) + 1
+        counts["events_emitted"] = self.events_emitted
+        counts["dropped_events"] = self.dropped_events
         return counts
 
 

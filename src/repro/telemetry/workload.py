@@ -77,6 +77,8 @@ def run_synthetic_workload(
     trace: bool = True,
     trace_path: Optional[str] = None,
     scalar_queries: int = 256,
+    track_latency: bool = False,
+    latency_error: Optional[float] = None,
 ) -> Dict[str, object]:
     """Run the synthetic workload and return the full telemetry report.
 
@@ -87,6 +89,11 @@ def run_synthetic_workload(
         scalar_queries: prefix of the query stream replayed through the
             scalar path first, so per-key ``probe_step`` events and
             physical ``bucket_read`` events appear in the trace.
+        track_latency: record per-chunk batch-lookup latency into the
+            search stats' quantile sketch (surfaces as
+            ``slice.search.latency`` in the metrics snapshot).
+        latency_error: relative-error bound for that sketch (None =
+            library default).
 
     Returns a JSON-serializable report::
 
@@ -97,12 +104,21 @@ def run_synthetic_workload(
 
     registry = MetricsRegistry()
     slice_.register_telemetry(registry)
+    if track_latency:
+        slice_.enable_latency_tracking(latency_error)
 
     tracer: Optional[Tracer] = None
     if trace:
         sink = JsonlSink(trace_path) if trace_path else InMemorySink()
         tracer = Tracer(sink=sink)
         slice_.tracer = tracer
+        registry.register_provider(
+            "tracer",
+            lambda: {
+                "events_emitted": tracer.events_emitted,
+                "dropped_events": tracer.dropped_events,
+            },
+        )
 
     with enabled_profiler() as profiler:
         stored = make_keys(slice_, load_factor, seed)

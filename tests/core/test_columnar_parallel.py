@@ -280,6 +280,68 @@ class TestParallelEngine:
             make_slice(engine="parallel-tcam:2")
 
 
+class TestWorkerSpanCapture:
+    """Worker-side phase/latency spans ship back and merge in the parent."""
+
+    def run_profiled(self, queries_seed=83):
+        from repro.telemetry.profiling import PhaseProfiler, set_profiler
+
+        rng = random.Random(queries_seed)
+        slice_ = make_slice(index_bits=5, slots=4, engine="parallel-word:2")
+        stored = fill_to(slice_, rng, 0.8)
+        queries = mixed_queries(rng, stored, 400)
+        slice_.enable_latency_tracking()
+        profiler = PhaseProfiler(enabled=True, track_latency=True)
+        previous = set_profiler(profiler)
+        try:
+            slice_.search_batch_columnar(stored[:1])  # builds the engine
+            slice_.batch_engine.min_parallel_keys = 1
+            slice_.stats.reset()
+            slice_.search_batch_columnar(queries)
+            shards = list(slice_.batch_engine.shard_stats)
+        finally:
+            set_profiler(previous)
+            slice_._close_batch_engine()
+        return slice_, profiler, shards
+
+    def test_worker_phases_merge_into_parent_profiler(self):
+        slice_, profiler, _shards = self.run_profiled()
+        phases = profiler.as_dict()
+        worker_phases = [p for p in phases if p.startswith("worker.")]
+        assert "worker.batch.home_match" in worker_phases
+        for phase in worker_phases:
+            assert phases[phase]["calls"] > 0
+            assert phases[phase]["seconds"] >= 0.0
+            # track_latency propagated: every worker span carries a sketch.
+            assert "latency" in phases[phase]
+        # The worker latency sketches merged, not overwritten: the match
+        # phase saw one span per shard-chunk, i.e. at least one per worker.
+        assert phases["worker.batch.home_match"]["latency"]["count"] >= 2
+
+    def test_worker_span_totals_are_deterministic(self):
+        first_slice, first, _ = self.run_profiled()
+        second_slice, second, _ = self.run_profiled()
+        assert first_slice.stats == second_slice.stats
+        first_phases = first.as_dict()
+        second_phases = second.as_dict()
+        assert sorted(first_phases) == sorted(second_phases)
+        for phase, entry in first_phases.items():
+            assert entry["calls"] == second_phases[phase]["calls"]
+            if "latency" in entry:
+                assert (
+                    entry["latency"]["count"]
+                    == second_phases[phase]["latency"]["count"]
+                )
+
+    def test_shard_latency_merges_into_parent_stats(self):
+        slice_, _profiler, shards = self.run_profiled()
+        latency = slice_.stats.latency
+        assert latency is not None
+        assert latency.count >= 2  # one observation per worker chunk
+        assert len(shards) == 2
+        assert sum(s.latency.count for s in shards) == latency.count
+
+
 class TestColumnarEquivalenceProperty:
     """Hypothesis: under any interleaving of inserts, deletes, engine
     switches, and masked columnar searches, ``results()`` stays

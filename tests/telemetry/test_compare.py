@@ -99,6 +99,92 @@ class TestClassification:
         json.dumps(report.as_dict())
 
 
+class TestPercentileDirectionRules:
+    """Latency percentiles are cost metrics: up is worse, down is better."""
+
+    def latency_snapshot(self, scale=1.0):
+        from repro.telemetry.histogram import LatencyHistogram
+
+        sketch = LatencyHistogram()
+        sketch.observe_many(scale * i / 1000.0 for i in range(1, 101))
+        return {"stats": {"slice.search": {"latency": sketch.as_dict()}}}
+
+    def test_percentiles_flatten_as_numeric_leaves(self):
+        flat = flatten_numeric(self.latency_snapshot())
+        for name in ("p50", "p90", "p99", "p999"):
+            assert f"stats.slice.search.latency.{name}" in flat
+        assert not is_goodness_metric("stats.slice.search.latency.p99")
+
+    def test_p99_increase_is_regression(self):
+        report = compare_telemetry(
+            self.latency_snapshot(), self.latency_snapshot(scale=2.0)
+        )
+        assert not report.ok
+        paths = [delta.path for delta in report.regressions]
+        assert "stats.slice.search.latency.p99" in paths
+        assert "stats.slice.search.latency.p50" in paths
+
+    def test_p99_decrease_is_improvement(self):
+        report = compare_telemetry(
+            self.latency_snapshot(), self.latency_snapshot(scale=0.5)
+        )
+        assert report.ok
+        improved = [delta.path for delta in report.improvements]
+        assert "stats.slice.search.latency.p99" in improved
+
+
+class TestRollupCompareIntegration:
+    """Flattened rollup trees are valid compare_telemetry inputs."""
+
+    def make_tree(self, amal_scale=1.0):
+        from repro.telemetry.rollup import RollupNode
+
+        root = RollupNode("subsystem")
+        for name, lookups, accesses in (
+            ("slice0", 100, int(110 * amal_scale)),
+            ("slice1", 200, int(260 * amal_scale)),
+        ):
+            root.mount(
+                f"{name}.search",
+                {
+                    "lookups": lookups,
+                    "hits": lookups // 2,
+                    "total_bucket_accesses": accesses,
+                    "amal": accesses / lookups,
+                },
+            )
+        return root
+
+    def test_flatten_round_trips_through_serialization(self):
+        from repro.telemetry.rollup import (
+            flatten_rollup,
+            rollup_from_dict,
+        )
+
+        tree = self.make_tree()
+        back = rollup_from_dict(
+            json.loads(json.dumps(tree.as_dict())), "subsystem"
+        )
+        assert flatten_rollup(back) == flatten_rollup(tree)
+        report = compare_telemetry(
+            flatten_rollup(tree), flatten_rollup(back)
+        )
+        assert report.ok
+        assert not report.regressions and not report.improvements
+
+    def test_aggregate_amal_regression_flagged_across_trees(self):
+        from repro.telemetry.rollup import flatten_rollup
+
+        report = compare_telemetry(
+            flatten_rollup(self.make_tree()),
+            flatten_rollup(self.make_tree(amal_scale=2.0)),
+        )
+        assert not report.ok
+        paths = [delta.path for delta in report.regressions]
+        assert "aggregate.search.amal" in paths
+        assert "slice0.search.amal" in paths
+
+
 class TestMetadataGuard:
     """The run-configuration block is compared for equality, not diffed."""
 

@@ -1,0 +1,201 @@
+"""Health monitor: rule bands, trend escalation, exit codes, trace events."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    HealthCriticalError,
+    HealthDegradedError,
+)
+from repro.telemetry.health import (
+    CRITICAL,
+    OK,
+    WARN,
+    AmalDriftRule,
+    CorrectionTrendRule,
+    HealthMonitor,
+    HealthReport,
+    LatencySLORule,
+    SpillFractionRule,
+    default_rules,
+)
+from repro.telemetry.trace import Tracer
+
+
+def snapshot(
+    amal=1.05,
+    spill=0.01,
+    corrections=0,
+    quarantines=0,
+    lookups=10_000,
+    p99=0.002,
+):
+    return {
+        "slice.search.amal": amal,
+        "slice.search.lookups": lookups,
+        "slice.search.ecc_corrections": corrections,
+        "slice.search.quarantines": quarantines,
+        "slice.search.latency.p99": p99,
+        "slice.bulk.spill_rate": spill,
+    }
+
+
+class TestRuleBands:
+    def test_amal_drift_bands(self):
+        rule = AmalDriftRule(expected_amal=1.0)
+        assert rule.evaluate({"slice.search.amal": 1.05}, []).level == OK
+        assert rule.evaluate({"slice.search.amal": 1.15}, []).level == WARN
+        finding = rule.evaluate({"slice.search.amal": 1.30}, [])
+        assert finding.level == CRITICAL
+        assert finding.value == pytest.approx(0.30)
+
+    def test_amal_drift_missing_is_ok_skip(self):
+        finding = AmalDriftRule(1.0).evaluate({}, [])
+        assert finding.level == OK
+        assert "skipped" in finding.message
+
+    def test_amal_drift_rejects_bad_expectation(self):
+        with pytest.raises(ConfigurationError):
+            AmalDriftRule(0.0)
+
+    def test_spill_fraction_bands(self):
+        rule = SpillFractionRule()
+        flat = {"slice.bulk.spill_rate": 0.05}
+        assert rule.evaluate(flat, []).level == OK
+        flat["slice.bulk.spill_rate"] = 0.15
+        assert rule.evaluate(flat, []).level == WARN
+        flat["slice.bulk.spill_rate"] = 0.35
+        assert rule.evaluate(flat, []).level == CRITICAL
+
+    def test_correction_rate_bands(self):
+        rule = CorrectionTrendRule()
+        ok = rule.evaluate(snapshot(corrections=1), [])
+        assert ok.level == OK
+        warn = rule.evaluate(snapshot(corrections=20), [])
+        assert warn.level == WARN
+        critical = rule.evaluate(snapshot(corrections=150), [])
+        assert critical.level == CRITICAL
+
+    def test_correction_trend_escalates_on_rising_rate(self):
+        rule = CorrectionTrendRule(trend_window=3)
+        history = [1e-6, 2e-6]
+        rising = rule.evaluate(snapshot(corrections=1), history)
+        assert rising.level == WARN
+        assert "rising" in rising.message
+        flat_history = [1e-4, 1e-4]
+        steady = rule.evaluate(snapshot(corrections=1), flat_history)
+        assert steady.level == OK
+
+    def test_latency_slo_burn(self):
+        rule = LatencySLORule(slo_seconds=0.010)
+        assert rule.evaluate(snapshot(p99=0.002), []).level == OK
+        assert rule.evaluate(snapshot(p99=0.009), []).level == WARN
+        finding = rule.evaluate(snapshot(p99=0.012), [])
+        assert finding.level == CRITICAL
+        assert finding.value == pytest.approx(1.2)
+
+    def test_latency_slo_rejects_bad_bound(self):
+        with pytest.raises(ConfigurationError):
+            LatencySLORule(slo_seconds=0)
+
+
+class TestReportAndExitCodes:
+    def test_exit_codes_follow_worst_finding(self):
+        monitor = HealthMonitor(
+            default_rules(expected_amal=1.0, slo_seconds=0.010)
+        )
+        healthy = monitor.evaluate(snapshot())
+        assert healthy.ok
+        assert healthy.exit_code == 0
+
+        degraded = monitor.evaluate(snapshot(spill=0.15))
+        assert degraded.level == WARN
+        assert degraded.exit_code == HealthDegradedError.exit_code == 10
+
+        critical = monitor.evaluate(snapshot(spill=0.15, p99=0.020))
+        assert critical.level == CRITICAL
+        assert critical.exit_code == HealthCriticalError.exit_code == 11
+
+    def test_report_dict_and_format(self):
+        monitor = HealthMonitor(default_rules())
+        report = monitor.evaluate(snapshot())
+        data = report.as_dict()
+        assert data["level"] == OK
+        assert data["exit_code"] == 0
+        assert len(data["findings"]) == len(monitor.rules)
+        assert "health: OK" in report.format()
+
+    def test_empty_report_is_ok(self):
+        assert HealthReport().level == OK
+        assert HealthReport().exit_code == 0
+
+
+class TestMonitor:
+    def test_rejects_empty_or_duplicate_rules(self):
+        with pytest.raises(ConfigurationError):
+            HealthMonitor([])
+        with pytest.raises(ConfigurationError):
+            HealthMonitor([SpillFractionRule(), SpillFractionRule()])
+
+    def test_emits_typed_trace_events(self):
+        tracer = Tracer()
+        monitor = HealthMonitor(default_rules(), tracer=tracer)
+        monitor.evaluate(snapshot(spill=0.15))
+        warn_events = tracer.events("health.warn")
+        assert len(warn_events) == 1
+        assert warn_events[0].payload["rule"] == "spill_fraction"
+        verdict = tracer.events("health.verdict")[0]
+        assert verdict.payload["level"] == WARN
+        assert verdict.payload["exit_code"] == 10
+
+    def test_accepts_registry_and_report_envelopes(self):
+        from repro.telemetry.workload import run_synthetic_workload
+
+        report = run_synthetic_workload(queries=2000, track_latency=True)
+        monitor = HealthMonitor(default_rules(slo_seconds=10.0))
+        # Full CLI report (metrics.stats envelope) ...
+        verdict_report = monitor.evaluate(report)
+        # ... and the bare registry snapshot both resolve the same rules.
+        verdict_snapshot = monitor.evaluate(report["metrics"])
+        for verdict in (verdict_report, verdict_snapshot):
+            assert all(
+                "skipped" not in finding.message
+                for finding in verdict.findings
+            ), verdict.as_dict()
+
+    def test_default_rules_gate_optional_rules(self):
+        names = [rule.name for rule in default_rules()]
+        assert "amal_drift" not in names
+        assert "latency_slo" not in names
+        full = default_rules(expected_amal=1.0, slo_seconds=0.01)
+        assert [rule.name for rule in full] == [
+            "amal_drift",
+            "spill_fraction",
+            "correction_trend",
+            "latency_slo",
+        ]
+
+
+class TestCliIntegration:
+    def test_health_command_exit_codes(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        report_path = tmp_path / "snapshot.json"
+        report_path.write_text(json.dumps(snapshot()))
+        assert main(["telemetry", "health", "--snapshot", str(report_path),
+                     "--expected-amal", "1.0", "--slo", "0.01"]) == 0
+
+        report_path.write_text(json.dumps(snapshot(spill=0.15)))
+        assert main(["telemetry", "health", "--snapshot", str(report_path),
+                     "--expected-amal", "1.0", "--slo", "0.01"]) == 10
+
+        out_path = tmp_path / "health.json"
+        report_path.write_text(json.dumps(snapshot(p99=0.5)))
+        assert main(["telemetry", "health", "--snapshot", str(report_path),
+                     "--expected-amal", "1.0", "--slo", "0.01",
+                     "--json", str(out_path)]) == 11
+        written = json.loads(out_path.read_text())
+        assert written["level"] == CRITICAL
+        capsys.readouterr()

@@ -55,12 +55,29 @@ class TestRingBuffer:
         assert tracer.events() == []
         assert len(sink.events) == 1
 
-    def test_summary_counts_by_kind(self):
+    def test_summary_counts_by_kind_and_accounting(self):
         tracer = Tracer()
         tracer.emit("lookup", accesses=1, hit=True)
         tracer.emit("lookup", accesses=2, hit=False)
         tracer.emit("spill", home=0, attempt=1)
-        assert tracer.summary() == {"lookup": 2, "spill": 1}
+        assert tracer.summary() == {
+            "lookup": 2,
+            "spill": 1,
+            "events_emitted": 3,
+            "dropped_events": 0,
+        }
+
+    def test_ring_overflow_counts_dropped_events(self):
+        tracer = Tracer(capacity=2)
+        assert tracer.dropped_events == 0
+        tracer.emit("lookup", accesses=1, hit=True)
+        tracer.emit("lookup", accesses=1, hit=True)
+        assert tracer.dropped_events == 0
+        for _ in range(3):
+            tracer.emit("spill", home=0, attempt=1)
+        assert tracer.dropped_events == 3
+        assert tracer.summary()["dropped_events"] == 3
+        assert tracer.summary()["events_emitted"] == 5
 
 
 class TestSinks:
@@ -85,6 +102,26 @@ class TestSinks:
                 "lookup_batch", {"count": 10, "hits": 4, "accesses": 1}
             ),
         ]
+
+    def test_jsonl_sink_flushes_every_emit(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        sink = JsonlSink(path)
+        tracer = Tracer(sink=sink)
+        tracer.emit("lookup", accesses=1, hit=True)
+        tracer.emit("spill", home=2, attempt=1)
+        # Events must be durable *before* close: another process tailing
+        # the file (or a crash) should never observe a truncated trace.
+        events = list(read_jsonl(path))
+        assert [e.kind for e in events] == ["lookup", "spill"]
+        tracer.close()
+
+    def test_jsonl_sink_context_manager_closes(self, tmp_path):
+        path = tmp_path / "ctx.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit(TraceEvent("delete", {}))
+        assert [e.kind for e in read_jsonl(path)] == ["delete"]
+        # Closing twice is harmless.
+        sink.close()
 
     def test_event_dict_round_trip(self):
         event = TraceEvent("spill", {"home": 5, "attempt": 2})
