@@ -45,6 +45,7 @@ def finalize(
     tracer=None,
     telemetry: Optional[Dict[str, object]] = None,
     metadata: Optional[Dict[str, object]] = None,
+    topology: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Write a bench report, with telemetry nested under ``"telemetry"``.
 
@@ -58,6 +59,12 @@ def finalize(
     reports whose metadata disagrees — a 4-worker run diffed against a
     single-core baseline is a config change, not a regression.
 
+    ``topology`` nests the shard/worker layout (shard count, router
+    class, worker processes...) under ``metadata["topology"]``.  It is
+    plain metadata as far as the differ is concerned — two reports with
+    different topologies refuse to diff — but giving it its own key keeps
+    sharded-serving reports self-describing and greppable.
+
     Every report carries at least ``metadata.benchmark`` (derived from the
     file name), so all ``BENCH_*.json`` are self-identifying and the
     differ can refuse cross-benchmark comparisons.  Only deterministic
@@ -70,6 +77,8 @@ def finalize(
     }
     if metadata:
         full_metadata.update(metadata)
+    if topology:
+        full_metadata["topology"] = dict(topology)
     out["metadata"] = full_metadata
     block = dict(telemetry) if telemetry else {}
     block.update(collect_telemetry(registry, profiler, tracer))

@@ -11,6 +11,8 @@ Usage::
     python -m repro telemetry diff baseline.json current.json
     python -m repro telemetry serve --port 8787 --max-requests 3
     python -m repro telemetry health --slo 0.05 --json health.json
+    python -m repro telemetry health --shards 4      # cluster rollup
+    python -m repro serve-bench --shards 4 --users 400 --json serve.json
     python -m repro reliability soak --rates 1e-5 1e-4 --json soak.json
 
 Failures exit with the error's class-specific code (see
@@ -150,6 +152,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--slo", type=float, default=None,
             help="p99 latency SLO in seconds (enables the SLO burn rule)",
         )
+        sub.add_argument(
+            "--shards", type=int, default=1,
+            help="serve a sharded cluster instead of a single slice "
+            "(consistent-hash router; telemetry mounts under serving.*, "
+            "health rules read the serving.cluster rollup)",
+        )
 
     tel_serve = telemetry_commands.add_parser(
         "serve",
@@ -192,6 +200,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tel_health.add_argument(
         "--json", metavar="PATH", help="write the health report as JSON"
+    )
+
+    serve_bench = commands.add_parser(
+        "serve-bench",
+        help="drive the sharded async serving tier with Zipf-skewed "
+        "verified traffic (closed loop; optional open-loop overload leg)",
+    )
+    serve_bench.add_argument(
+        "--shards", type=int, default=4, help="cluster shard count"
+    )
+    serve_bench.add_argument(
+        "--index-bits", type=int, default=8,
+        help="per-shard slice index bits (rows=2^b)",
+    )
+    serve_bench.add_argument(
+        "--slots", type=int, default=16, help="record slots per bucket"
+    )
+    serve_bench.add_argument(
+        "--records", type=int, default=6000, help="stored record count"
+    )
+    serve_bench.add_argument(
+        "--requests", type=int, default=20_000,
+        help="closed-loop request count",
+    )
+    serve_bench.add_argument(
+        "--users", type=int, default=400,
+        help="concurrent simulated users (closed loop)",
+    )
+    serve_bench.add_argument(
+        "--zipf", type=float, default=1.0,
+        help="Zipf popularity exponent (0 = uniform)",
+    )
+    serve_bench.add_argument(
+        "--miss-fraction", type=float, default=0.1,
+        help="fraction of requests that must miss",
+    )
+    serve_bench.add_argument(
+        "--max-batch", type=int, default=512,
+        help="coalescer flush-on-size bound (1 disables coalescing)",
+    )
+    serve_bench.add_argument(
+        "--max-delay-ms", type=float, default=2.0,
+        help="coalescer flush-on-deadline window in milliseconds",
+    )
+    serve_bench.add_argument(
+        "--max-pending", type=int, default=8192,
+        help="per-shard admission bound; beyond it requests shed",
+    )
+    serve_bench.add_argument(
+        "--open-qps", type=float, default=None,
+        help="also run an open-loop leg offered at this rate "
+        "(overload is expected: shed requests get typed errors)",
+    )
+    serve_bench.add_argument(
+        "--max-shed-fraction", type=float, default=None,
+        help="fail with exit code 12 (ServiceOverloadError) if the "
+        "closed-loop shed fraction exceeds this",
+    )
+    serve_bench.add_argument(
+        "--seed", type=int, default=7, help="workload RNG seed"
+    )
+    serve_bench.add_argument(
+        "--json", metavar="PATH", help="write the reports as JSON"
     )
 
     reliability = commands.add_parser(
@@ -335,11 +406,19 @@ def cmd_telemetry_diff(args: argparse.Namespace) -> int:
 
 
 def _prepare_serving_slice(args: argparse.Namespace):
-    """Build, load, and exercise the synthetic slice for serve/health.
+    """Build, load, and exercise the serve/health telemetry target.
 
-    Returns ``(slice, registry, model_amal)`` — the third value is the
-    occupancy model's expected AMAL for the stored key set, the reference
-    the drift rule compares the measured AMAL against.
+    ``--shards 1`` (default) keeps the original single synthetic slice;
+    ``--shards N`` builds an N-shard consistent-hash cluster and drives
+    the same workload through the scatter/gather batch path, mounting
+    per-shard telemetry plus the ``serving.cluster`` rollup.
+
+    Returns ``(target, registry, model_amal, health_prefix)`` — the model
+    AMAL is the occupancy model's expectation for the stored key set
+    (record-weighted across shards), the reference the drift rule
+    compares the measured AMAL against; ``health_prefix`` is where the
+    health rules read the search telemetry (``slice`` or
+    ``serving.cluster``).
     """
     from repro.hashing.analysis import occupancy_report
     from repro.telemetry.metrics import MetricsRegistry
@@ -349,26 +428,84 @@ def _prepare_serving_slice(args: argparse.Namespace):
         make_queries,
     )
 
-    slice_ = build_workload_slice(args.index_bits, args.slots)
     registry = MetricsRegistry()
-    slice_.register_telemetry(registry)
-    slice_.enable_latency_tracking()
-    stored = make_keys(slice_, 0.7, args.seed)
-    slice_.bulk_load([(key, key & 0xFFFF) for key in stored])
+    if getattr(args, "shards", 1) <= 1:
+        slice_ = build_workload_slice(args.index_bits, args.slots)
+        slice_.register_telemetry(registry)
+        slice_.enable_latency_tracking()
+        stored = make_keys(slice_, 0.7, args.seed)
+        slice_.bulk_load([(key, key & 0xFFFF) for key in stored])
+        queries = make_queries(stored, args.queries, 0.5, args.seed + 1)
+        slice_.search_batch(queries)
+        homes = [slice_.index_generator.index(key) for key in stored]
+        model = occupancy_report(homes, slice_.config.rows, args.slots)
+        return slice_, registry, model.amal_uniform, "slice"
+
+    from repro.serving.cluster import CaramCluster
+
+    cluster = CaramCluster.build(
+        shard_count=args.shards,
+        index_bits=args.index_bits,
+        slots=args.slots,
+    )
+    cluster.enable_latency_tracking()
+    cluster.register_telemetry(registry, prefix="serving")
+    # Target 0.5 average load: consistent hashing spreads keys to within
+    # a few tens of percent of even, so no shard risks overflowing.
+    reference = cluster.shards[0].group
+    target = int(args.shards * reference.capacity_records * 0.5)
+    stored = _distinct_keys(target, args.seed)
+    cluster.load([(key, key & 0xFFFF) for key in stored])
     queries = make_queries(stored, args.queries, 0.5, args.seed + 1)
-    slice_.search_batch(queries)
-    homes = [slice_.index_generator.index(key) for key in stored]
-    model = occupancy_report(homes, slice_.config.rows, args.slots)
-    return slice_, registry, model.amal_uniform
+    cluster.search_batch(queries)
+    # Record-weighted model AMAL across shards: each shard is its own
+    # hash table, so the cluster expectation is the per-shard occupancy
+    # model weighted by how many lookups land there (~ records stored).
+    weighted = 0.0
+    total_records = 0
+    for shard in cluster.shards:
+        group = shard.group
+        shard_keys = [
+            key for key in stored
+            if cluster.router.shard_for_query(key) == shard.shard_id
+        ]
+        if not shard_keys:
+            continue
+        homes = [group.index_generator.index(key) for key in shard_keys]
+        model = occupancy_report(
+            homes, group.bucket_count, group.slots_per_bucket
+        )
+        weighted += model.amal_uniform * len(shard_keys)
+        total_records += len(shard_keys)
+    model_amal = weighted / total_records if total_records else None
+    return cluster, registry, model_amal, "serving.cluster"
+
+
+def _distinct_keys(count: int, seed: int) -> List[int]:
+    """``count`` distinct random 32-bit keys (cluster workload)."""
+    from repro.telemetry.workload import KEY_BITS
+    from repro.utils.rng import make_rng
+
+    rng = make_rng(seed)
+    keys: List[int] = []
+    seen = set()
+    while len(keys) < count:
+        key = int(rng.integers(0, 1 << KEY_BITS))
+        if key not in seen:
+            seen.add(key)
+            keys.append(key)
+    return keys
 
 
 def cmd_telemetry_serve(args: argparse.Namespace) -> int:
     from repro.telemetry.export import TelemetryServer
     from repro.telemetry.health import HealthMonitor, default_rules
 
-    _slice, registry, model_amal = _prepare_serving_slice(args)
+    _target, registry, model_amal, prefix = _prepare_serving_slice(args)
     monitor = HealthMonitor(
-        default_rules(expected_amal=model_amal, slo_seconds=args.slo)
+        default_rules(
+            expected_amal=model_amal, slo_seconds=args.slo, prefix=prefix
+        )
     )
     server = TelemetryServer(
         registry,
@@ -392,16 +529,21 @@ def cmd_telemetry_health(args: argparse.Namespace) -> int:
     from repro.telemetry.health import HealthMonitor, default_rules
 
     expected_amal = args.expected_amal
+    prefix = "serving.cluster" if args.shards > 1 else "slice"
     if args.snapshot:
         with open(args.snapshot, "r", encoding="utf-8") as handle:
             snapshot = json.load(handle)
     else:
-        _slice, registry, model_amal = _prepare_serving_slice(args)
+        _target, registry, model_amal, prefix = _prepare_serving_slice(
+            args
+        )
         snapshot = registry.snapshot()
         if expected_amal is None:
             expected_amal = model_amal
     monitor = HealthMonitor(
-        default_rules(expected_amal=expected_amal, slo_seconds=args.slo)
+        default_rules(
+            expected_amal=expected_amal, slo_seconds=args.slo, prefix=prefix
+        )
     )
     report = monitor.evaluate(snapshot)
     if args.json:
@@ -411,6 +553,99 @@ def cmd_telemetry_health(args: argparse.Namespace) -> int:
         print(f"wrote {args.json}")
     print(report.format())
     return report.exit_code
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.errors import ServiceOverloadError
+    from repro.serving import (
+        CaramCluster,
+        ShardedService,
+        make_request_stream,
+        run_closed_loop,
+        run_open_loop,
+    )
+    from repro.telemetry.workload import KEY_BITS
+
+    cluster = CaramCluster.build(
+        shard_count=args.shards,
+        index_bits=args.index_bits,
+        slots=args.slots,
+    )
+    stored = _distinct_keys(args.records, args.seed)
+    records = [(key, key & 0xFFFF) for key in stored]
+    cluster.load(records)
+    values = dict(records)
+
+    def stream_of(requests: int, seed_offset: int):
+        return make_request_stream(
+            stored,
+            values,
+            requests=requests,
+            zipf_exponent=args.zipf,
+            miss_fraction=args.miss_fraction,
+            seed=args.seed + seed_offset,
+            key_bits=KEY_BITS,
+        )
+
+    async def run():
+        async with ShardedService(
+            cluster,
+            max_batch_size=args.max_batch,
+            max_delay=args.max_delay_ms / 1000.0,
+            max_pending=args.max_pending,
+        ) as service:
+            closed = await run_closed_loop(
+                service, stream_of(args.requests, 1), users=args.users
+            )
+            opened = None
+            if args.open_qps is not None:
+                opened = await run_open_loop(
+                    service,
+                    stream_of(args.requests, 2),
+                    offered_qps=args.open_qps,
+                )
+            return closed, opened
+
+    closed, opened = asyncio.run(run())
+    reports = {"closed_loop": closed.as_dict()}
+    if opened is not None:
+        reports["open_loop"] = opened.as_dict()
+    for name, report_dict in reports.items():
+        print(f"{name}:")
+        for key in (
+            "requests", "completed", "shed", "wrong",
+            "sustained_qps", "coalescing_factor",
+        ):
+            value = report_dict[key]
+            if isinstance(value, float):
+                value = round(value, 2)
+            print(f"  {key}: {value}")
+        latency = report_dict.get("latency") or {}
+        if latency.get("count"):
+            print(
+                f"  latency p50/p99: "
+                f"{latency['p50'] * 1e3:.3f} ms / "
+                f"{latency['p99'] * 1e3:.3f} ms"
+            )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(reports, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if (
+        args.max_shed_fraction is not None
+        and closed.shed_fraction > args.max_shed_fraction
+    ):
+        raise ServiceOverloadError(
+            f"closed-loop shed fraction {closed.shed_fraction:.4f} "
+            f"exceeds --max-shed-fraction {args.max_shed_fraction}"
+        )
+    if closed.wrong or (opened is not None and opened.wrong):
+        print("error: wrong answers detected", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_reliability_soak(args: argparse.Namespace) -> int:
@@ -473,6 +708,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if args.telemetry_command == "health":
                 return cmd_telemetry_health(args)
             return cmd_telemetry_diff(args)
+        if args.command == "serve-bench":
+            return cmd_serve_bench(args)
         if args.command == "reliability":
             return cmd_reliability_soak(args)
     except CaRamError as error:

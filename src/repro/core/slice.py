@@ -361,6 +361,22 @@ class CARAMSlice:
         if engine is not None and hasattr(engine, "close"):
             engine.close()
 
+    def close(self) -> None:
+        """Release the batch engine and every resource it owns.
+
+        A parallel engine holds a forked worker pool and shared-memory
+        segments; callers retiring a slice (serving shards on drain) use
+        this so no workers leak.  The slice stays usable — the next batch
+        lookup lazily rebuilds a fresh engine.  Idempotent.
+        """
+        self._close_batch_engine()
+
+    def __enter__(self) -> "CARAMSlice":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def _make_mirror(self) -> "DecodedMirror":
         """Build the decoded mirror matching the active engine layout."""
         if self._engine_kind == "bitplane":

@@ -519,6 +519,22 @@ class SliceGroup:
         if engine is not None and hasattr(engine, "close"):
             engine.close()
 
+    def close(self) -> None:
+        """Release the batch engine and every resource it owns.
+
+        A parallel engine holds a forked worker pool and shared-memory
+        segments; serving shards call this on shutdown/drain so a retired
+        shard never leaks workers.  The group stays usable — the next
+        batch lookup lazily rebuilds a fresh engine.  Idempotent.
+        """
+        self._close_batch_engine()
+
+    def __enter__(self) -> "SliceGroup":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def _make_mirror(self) -> "DecodedMirror":
         """Build the decoded mirror matching the active engine layout."""
         horizontal = self._arrangement is Arrangement.HORIZONTAL
@@ -1018,6 +1034,21 @@ class CARAMSubsystem:
 
     def overflow_store(self, group: str) -> Optional[OverflowStore]:
         return self._overflow.get(group)
+
+    def close(self) -> None:
+        """Close every group's batch engine (worker pools, shared memory).
+
+        The subsystem-level teardown hook serving shards reach on drain;
+        groups stay registered and usable afterwards.  Idempotent.
+        """
+        for name in sorted(self._groups):
+            self._groups[name].close()
+
+    def __enter__(self) -> "CARAMSubsystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Operations

@@ -115,6 +115,27 @@ class HealthCriticalError(HealthDegradedError):
     exit_code = 11
 
 
+class ServiceOverloadError(CaRamError):
+    """The serving tier shed this request (admission control).
+
+    Raised by :class:`~repro.serving.service.ShardedService` when a
+    shard's pending queue is at capacity, or when a request arrives while
+    the service is draining/closed.  Load shedding is explicit by design:
+    a request is either answered or fails with this error — never silently
+    dropped.
+
+    Attributes:
+        shard_id: the shard whose queue rejected the request (``None``
+            when the whole service was unavailable).
+    """
+
+    exit_code = 12
+
+    def __init__(self, message: str, shard_id: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+
+
 #: Alias of :class:`CaRamError` (the generic library-error spelling).
 ReproError = CaRamError
 
@@ -135,4 +156,5 @@ __all__ = [
     "CorruptionError",
     "HealthDegradedError",
     "HealthCriticalError",
+    "ServiceOverloadError",
 ]

@@ -1,0 +1,46 @@
+"""The serving tier: CA-RAM as a sharded, coalescing async service.
+
+Layers (each its own module, composable separately):
+
+* :mod:`repro.serving.router` — keyspace partitioning (consistent-hash
+  for point keys, prefix-range for LPM).
+* :mod:`repro.serving.cluster` — N ``CARAMSubsystem`` shards behind one
+  router: loading, the direct synchronous batch reference path, rollup
+  telemetry, lifecycle.
+* :mod:`repro.serving.service` — the asyncio front end: request
+  coalescing into columnar batches, admission control/load shedding
+  (:class:`~repro.errors.ServiceOverloadError`), graceful drain.
+* :mod:`repro.serving.loadgen` — closed/open-loop load generation with
+  Zipf-skewed traffic and per-request answer verification.
+"""
+
+from repro.serving.cluster import CaramCluster, CaramShard, ShardSpec
+from repro.serving.loadgen import (
+    LoadReport,
+    RequestStream,
+    make_request_stream,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.serving.router import (
+    ConsistentHashRouter,
+    PrefixRangeRouter,
+    ShardRouter,
+)
+from repro.serving.service import CoalescerStats, ShardedService
+
+__all__ = [
+    "CaramCluster",
+    "CaramShard",
+    "ShardSpec",
+    "ShardRouter",
+    "ConsistentHashRouter",
+    "PrefixRangeRouter",
+    "ShardedService",
+    "CoalescerStats",
+    "LoadReport",
+    "RequestStream",
+    "make_request_stream",
+    "run_closed_loop",
+    "run_open_loop",
+]

@@ -1,0 +1,293 @@
+"""Keyspace partitioning for the sharded serving tier.
+
+A serving cluster splits one logical database across N CA-RAM shards so
+that every shard's banks stay saturated with batched work (HashMem's
+bank-level parallelism; the CRAM IP-lookup scaling study — PAPERS.md).
+The router is the pure-placement half of that design: given a key it
+answers "which shard stores it" (for loads) and "which shard answers it"
+(for queries), with no I/O and no randomness, so placement is a stable
+function of the key alone and any two processes agree on it.
+
+Two strategies cover the repo's two workload families:
+
+* :class:`ConsistentHashRouter` — **point keys** (exact-match lookup
+  tables, trigram strings).  Each shard owns ``replicas`` pseudo-random
+  points on a 64-bit hash ring; a key lands on the first point at or
+  after its digest.  Adding or removing one shard therefore moves only
+  ``~1/N`` of the keyspace — the property that makes resharding cheap.
+* :class:`PrefixRangeRouter` — **longest-prefix-match** databases.  The
+  address space splits into ``shard_count`` contiguous equal ranges; a
+  query address maps to exactly one range, while a stored prefix maps to
+  *every* range its span covers (a short prefix is duplicated into each,
+  exactly like a TCAM row replicated across banks), so the shard that
+  answers an address always holds every prefix that could match it.
+
+Both implement the small :class:`ShardRouter` protocol the service and
+cluster layers consume; a custom router only needs those three methods.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, KeyFormatError
+from repro.core.index import KeyInput
+from repro.core.key import TernaryKey
+
+__all__ = [
+    "ShardRouter",
+    "ConsistentHashRouter",
+    "PrefixRangeRouter",
+    "splitmix64",
+]
+
+_U64 = np.uint64
+_MASK64 = (1 << 64) - 1
+
+
+def splitmix64(values: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer over a uint64 array (vectorized).
+
+    A fast, well-mixed 64-bit permutation — every input bit affects every
+    output bit — used to spread structured integer keys (sequential IDs,
+    IP addresses) uniformly over the hash ring.
+    """
+    z = values.astype(_U64, copy=True)
+    with np.errstate(over="ignore"):
+        z += _U64(0x9E3779B97F4A7C15)
+        z = (z ^ (z >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> _U64(27))) * _U64(0x94D049BB133111EB)
+        z ^= z >> _U64(31)
+    return z
+
+
+def _digest_int(value: int) -> int:
+    """Scalar splitmix64 (matches the vectorized path bit for bit; pure
+    Python — the per-request hot path must not pay numpy dispatch)."""
+    z = (value + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def _digest_bytes(data: bytes) -> int:
+    """Stable 64-bit digest for byte/string keys (independent of
+    ``PYTHONHASHSEED``, so every process routes identically)."""
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "big"
+    )
+
+
+def key_digest(key: KeyInput) -> int:
+    """Stable 64-bit routing digest of any point key."""
+    if isinstance(key, TernaryKey):
+        if key.mask:
+            raise KeyFormatError(
+                "consistent-hash routing needs exact keys; a ternary key "
+                "with don't-care bits can live on any shard — use a "
+                "PrefixRangeRouter for LPM databases"
+            )
+        return _digest_int(key.value)
+    if isinstance(key, bytes):
+        return _digest_bytes(key)
+    if isinstance(key, str):
+        return _digest_bytes(key.encode("utf-8"))
+    return _digest_int(int(key))
+
+
+class ShardRouter:
+    """What the serving tier needs from a placement policy."""
+
+    def __init__(self, shard_count: int) -> None:
+        if shard_count <= 0:
+            raise ConfigurationError(
+                f"shard_count must be positive: {shard_count}"
+            )
+        self.shard_count = shard_count
+
+    def shard_for_query(self, key: KeyInput) -> int:
+        """The single shard that answers a lookup for ``key``."""
+        raise NotImplementedError
+
+    def shards_for_stored(self, key: KeyInput) -> Tuple[int, ...]:
+        """Every shard that must store ``key`` (>=1; a prefix spanning
+        several ranges is duplicated into each)."""
+        raise NotImplementedError
+
+    def partition_queries(
+        self, keys: Sequence[KeyInput]
+    ) -> List[np.ndarray]:
+        """Split a query batch by owning shard.
+
+        Returns one int64 position array per shard (ascending positions,
+        possibly empty), a partition of ``range(len(keys))`` — the scatter
+        map the direct batch path and the parity tests share.
+        """
+        shards = np.fromiter(
+            (self.shard_for_query(key) for key in keys),
+            dtype=np.int64,
+            count=len(keys),
+        )
+        return [
+            np.flatnonzero(shards == shard)
+            for shard in range(self.shard_count)
+        ]
+
+
+class ConsistentHashRouter(ShardRouter):
+    """Consistent hashing over a 64-bit ring for point-key databases.
+
+    Args:
+        shard_count: number of shards.
+        replicas: virtual nodes per shard; more replicas smooth the
+            keyspace split (the default keeps per-shard load within a few
+            percent of even).
+    """
+
+    def __init__(self, shard_count: int, replicas: int = 128) -> None:
+        super().__init__(shard_count)
+        if replicas <= 0:
+            raise ConfigurationError(
+                f"replicas must be positive: {replicas}"
+            )
+        self.replicas = replicas
+        points = []
+        owners = []
+        for shard in range(shard_count):
+            for replica in range(replicas):
+                points.append(
+                    _digest_bytes(b"shard:%d:%d" % (shard, replica))
+                )
+                owners.append(shard)
+        order = np.argsort(np.array(points, dtype=_U64), kind="stable")
+        self._points = np.array(points, dtype=_U64)[order]
+        self._owners = np.array(owners, dtype=np.int64)[order]
+        # Plain-Python copies for the scalar per-request path (bisect over
+        # a list beats numpy scalar extraction by an order of magnitude).
+        self._points_list: List[int] = self._points.tolist()
+        self._owners_list: List[int] = self._owners.tolist()
+        # Ring points are blake2b digests; 2**64 collisions across a few
+        # thousand points are effectively impossible, but fail loudly.
+        if len(np.unique(self._points)) != len(self._points):
+            raise ConfigurationError(
+                "hash-ring collision; change shard_count/replicas"
+            )  # pragma: no cover - astronomically unlikely
+
+    def _owner_of_digest(self, digest: int) -> int:
+        index = bisect_left(self._points_list, digest)
+        if index == len(self._points_list):
+            index = 0  # wrap: past the last point, the ring restarts
+        return self._owners_list[index]
+
+    def shard_for_query(self, key: KeyInput) -> int:
+        return self._owner_of_digest(key_digest(key))
+
+    def shards_for_stored(self, key: KeyInput) -> Tuple[int, ...]:
+        return (self.shard_for_query(key),)
+
+    def partition_queries(
+        self, keys: Sequence[KeyInput]
+    ) -> List[np.ndarray]:
+        values = self._int_values(keys)
+        if values is None:  # string/bytes keys: scalar digests
+            return super().partition_queries(keys)
+        digests = splitmix64(values)
+        indices = np.searchsorted(self._points, digests, side="left")
+        indices[indices == len(self._points)] = 0
+        shards = self._owners[indices]
+        return [
+            np.flatnonzero(shards == shard)
+            for shard in range(self.shard_count)
+        ]
+
+    @staticmethod
+    def _int_values(keys: Sequence[KeyInput]):
+        """Uint64 view of an all-integer key batch, or None."""
+        if isinstance(keys, np.ndarray) and np.issubdtype(
+            keys.dtype, np.integer
+        ):
+            return keys.astype(_U64)
+        try:
+            return np.array(
+                [int(k) for k in keys], dtype=_U64  # raises on str/ternary
+            )
+        except (TypeError, ValueError):
+            return None
+
+
+class PrefixRangeRouter(ShardRouter):
+    """Contiguous address-range partitioning for LPM databases.
+
+    The ``key_bits``-wide address space splits into ``shard_count`` equal
+    ranges: address ``a`` belongs to shard ``a * shard_count >> key_bits``.
+    A stored prefix covers the address interval ``[value, value | mask]``
+    and is placed on every shard that interval touches, so the one shard a
+    query address routes to is guaranteed to hold all its candidate
+    prefixes.
+    """
+
+    def __init__(self, shard_count: int, key_bits: int) -> None:
+        super().__init__(shard_count)
+        if key_bits <= 0:
+            raise ConfigurationError(
+                f"key_bits must be positive: {key_bits}"
+            )
+        if shard_count > (1 << key_bits):
+            raise ConfigurationError(
+                f"{shard_count} shards cannot partition a "
+                f"{key_bits}-bit address space"
+            )
+        self.key_bits = key_bits
+
+    def _address_shard(self, address: int) -> int:
+        if not 0 <= address < (1 << self.key_bits):
+            raise KeyFormatError(
+                f"address {address:#x} does not fit in "
+                f"{self.key_bits} bits"
+            )
+        return (address * self.shard_count) >> self.key_bits
+
+    def shard_for_query(self, key: KeyInput) -> int:
+        if isinstance(key, TernaryKey):
+            if key.mask:
+                raise KeyFormatError(
+                    "a query must be a full address; don't-care bits "
+                    "have no single home range"
+                )
+            return self._address_shard(key.value)
+        return self._address_shard(int(key))
+
+    def shards_for_stored(self, key: KeyInput) -> Tuple[int, ...]:
+        if isinstance(key, TernaryKey):
+            low, high = key.value, key.value | key.mask
+        else:
+            low = high = int(key)
+        return tuple(
+            range(self._address_shard(low), self._address_shard(high) + 1)
+        )
+
+    def partition_queries(
+        self, keys: Sequence[KeyInput]
+    ) -> List[np.ndarray]:
+        values = ConsistentHashRouter._int_values(keys)
+        if values is None:
+            return super().partition_queries(keys)
+        if values.size and int(values.max()) >= (1 << self.key_bits):
+            raise KeyFormatError(
+                f"address batch exceeds {self.key_bits} bits"
+            )
+        shards = (
+            values.astype(object) * self.shard_count >> self.key_bits
+            if self.key_bits > 32
+            else (values.astype(np.int64) * self.shard_count)
+            >> self.key_bits
+        )
+        shards = np.asarray(shards, dtype=np.int64)
+        return [
+            np.flatnonzero(shards == shard)
+            for shard in range(self.shard_count)
+        ]

@@ -45,3 +45,32 @@ class TestCommands:
         for name, (func, description) in EXPERIMENTS.items():
             assert callable(func), name
             assert description
+
+
+class TestServeBench:
+    SMALL = [
+        "serve-bench", "--shards", "2", "--records", "400",
+        "--requests", "800", "--users", "50",
+    ]
+
+    def test_small_run_reports_and_writes_json(self, capsys, tmp_path):
+        out_path = tmp_path / "serve.json"
+        assert main(self.SMALL + ["--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "closed_loop:" in out
+        assert "wrong: 0" in out
+        import json
+
+        report = json.loads(out_path.read_text())
+        closed = report["closed_loop"]
+        assert closed["wrong"] == 0
+        assert (
+            closed["completed"] + closed["shed"] == closed["requests"]
+        )
+
+    def test_shed_gate_maps_to_overload_exit_code(self, capsys):
+        argv = self.SMALL + [
+            "--max-pending", "1", "--max-shed-fraction", "0.0001",
+        ]
+        assert main(argv) == 12  # ServiceOverloadError.exit_code
+        assert "shed fraction" in capsys.readouterr().err

@@ -1,0 +1,132 @@
+"""Tests for the load generator: verified traffic, closed accounting."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving.cluster import CaramCluster
+from repro.serving.loadgen import (
+    MISS,
+    make_request_stream,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.serving.service import ShardedService
+from repro.utils.rng import make_rng
+
+KEY_BITS = 16
+
+
+def make_records(count=200, seed=5):
+    rng = make_rng(seed)
+    keys = rng.choice(1 << KEY_BITS, size=count, replace=False)
+    return [(int(key), int(key) & 0xFF) for key in keys]
+
+
+def build_service(**kwargs):
+    records = make_records()
+    cluster = CaramCluster.build(
+        shard_count=2, index_bits=6, slots=8, key_bits=KEY_BITS
+    )
+    cluster.load(records)
+    kwargs.setdefault("offload", False)
+    return ShardedService(cluster, **kwargs), records
+
+
+def build_stream(records, requests=300, **kwargs):
+    stored = [key for key, _ in records]
+    kwargs.setdefault("key_bits", KEY_BITS)
+    kwargs.setdefault("seed", 9)
+    return make_request_stream(
+        stored, dict(records), requests=requests, **kwargs
+    )
+
+
+class TestRequestStream:
+    def test_expected_answers_precomputed(self):
+        records = make_records()
+        stored = set(key for key, _ in records)
+        values = dict(records)
+        stream = build_stream(records, requests=500, miss_fraction=0.2)
+        assert len(stream) == 500
+        misses = 0
+        for key, expected in zip(stream.keys, stream.expected):
+            if expected == MISS:
+                assert key not in stored
+                misses += 1
+            else:
+                assert values[key] == expected
+        assert 0 < misses < 250  # ~20% drew the miss branch
+
+    def test_zero_skew_is_valid(self):
+        records = make_records()
+        stream = build_stream(records, zipf_exponent=0.0)
+        assert len(stream) == 300
+
+    def test_bad_miss_fraction(self):
+        records = make_records()
+        with pytest.raises(ConfigurationError):
+            build_stream(records, miss_fraction=1.5)
+
+
+class TestClosedLoop:
+    def test_accounting_closes_with_zero_wrong(self):
+        service, records = build_service(
+            max_batch_size=32, max_delay=0.001
+        )
+        stream = build_stream(records, requests=400)
+
+        async def run():
+            async with service:
+                return await run_closed_loop(service, stream, users=40)
+
+        report = asyncio.run(run())
+        assert report.mode == "closed_loop"
+        assert report.wrong == 0
+        assert report.shed == 0
+        assert report.completed == report.requests == 400
+        assert report.sustained_qps > 0
+        assert report.coalescing_factor >= 1.0
+        assert report.latency["count"] == 400
+        as_dict = report.as_dict()
+        assert as_dict["shed_fraction"] == 0.0
+
+    def test_users_must_be_positive(self):
+        service, records = build_service()
+        stream = build_stream(records)
+        with pytest.raises(ConfigurationError):
+            asyncio.run(run_closed_loop(service, stream, users=0))
+        service.cluster.close()
+
+
+class TestOpenLoop:
+    def test_overload_sheds_but_accounts_everything(self):
+        """Offered far past capacity with a tiny admission bound: load
+        shedding engages, yet every request is answered or typed-failed
+        and no answer is wrong."""
+        service, records = build_service(
+            max_batch_size=16, max_delay=0.005, max_pending=4
+        )
+        stream = build_stream(records, requests=400)
+
+        async def run():
+            async with service:
+                return await run_open_loop(
+                    service, stream, offered_qps=1_000_000.0
+                )
+
+        report = asyncio.run(run())
+        assert report.mode == "open_loop"
+        assert report.offered_qps == 1_000_000.0
+        assert report.shed > 0
+        assert report.wrong == 0
+        assert report.completed + report.shed == report.requests
+        assert 0 < report.shed_fraction < 1
+
+    def test_offered_qps_must_be_positive(self):
+        service, records = build_service()
+        stream = build_stream(records)
+        with pytest.raises(ConfigurationError):
+            asyncio.run(run_open_loop(service, stream, offered_qps=0))
+        service.cluster.close()

@@ -1,0 +1,147 @@
+"""Unit and property tests for the serving-tier shard routers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.key import TernaryKey
+from repro.errors import ConfigurationError, KeyFormatError
+from repro.serving.router import (
+    ConsistentHashRouter,
+    PrefixRangeRouter,
+    key_digest,
+    splitmix64,
+)
+
+
+class TestKeyDigest:
+    def test_scalar_matches_vectorized(self):
+        keys = [0, 1, 7, 123456, (1 << 32) - 1, (1 << 63) + 5]
+        vectorized = splitmix64(np.array(keys, dtype=np.uint64))
+        for key, expected in zip(keys, vectorized.tolist()):
+            assert key_digest(key) == expected
+
+    def test_bytes_and_str_agree(self):
+        assert key_digest("abc") == key_digest(b"abc")
+        assert key_digest("abc") != key_digest("abd")
+
+    def test_exact_ternary_routes_like_int(self):
+        key = TernaryKey(value=0x1234, mask=0, width=16)
+        assert key_digest(key) == key_digest(0x1234)
+
+    def test_masked_ternary_rejected(self):
+        key = TernaryKey(value=0x1200, mask=0x00FF, width=16)
+        with pytest.raises(KeyFormatError):
+            key_digest(key)
+
+
+class TestConsistentHashRouter:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRouter(0)
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRouter(2, replicas=0)
+
+    def test_deterministic_across_instances(self):
+        a = ConsistentHashRouter(5)
+        b = ConsistentHashRouter(5)
+        for key in range(500):
+            assert a.shard_for_query(key) == b.shard_for_query(key)
+
+    def test_stored_is_query_shard(self):
+        router = ConsistentHashRouter(4)
+        for key in range(200):
+            assert router.shards_for_stored(key) == (
+                router.shard_for_query(key),
+            )
+
+    def test_partition_matches_scalar_path(self):
+        router = ConsistentHashRouter(4)
+        keys = list(range(1000))
+        partition = router.partition_queries(keys)
+        assert sorted(
+            int(i) for positions in partition for i in positions
+        ) == list(range(len(keys)))
+        for shard, positions in enumerate(partition):
+            for position in positions.tolist():
+                assert router.shard_for_query(keys[position]) == shard
+
+    def test_partition_string_keys(self):
+        router = ConsistentHashRouter(3)
+        keys = [f"key-{i}" for i in range(100)]
+        partition = router.partition_queries(keys)
+        for shard, positions in enumerate(partition):
+            for position in positions.tolist():
+                assert router.shard_for_query(keys[position]) == shard
+
+    def test_balance_within_factor(self):
+        router = ConsistentHashRouter(4)
+        counts = [len(p) for p in router.partition_queries(range(20_000))]
+        mean = sum(counts) / len(counts)
+        for count in counts:
+            assert 0.5 * mean < count < 1.6 * mean, counts
+
+    def test_resharding_moves_a_fraction(self):
+        """Going 4 -> 5 shards must move roughly 1/5 of keys, not all."""
+        before = ConsistentHashRouter(4)
+        after = ConsistentHashRouter(5)
+        keys = range(10_000)
+        moved = sum(
+            before.shard_for_query(k) != after.shard_for_query(k)
+            for k in keys
+        )
+        assert moved / 10_000 < 0.45  # naive modulo would move ~0.8
+
+
+class TestPrefixRangeRouter:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PrefixRangeRouter(4, key_bits=0)
+        with pytest.raises(ConfigurationError):
+            PrefixRangeRouter(8, key_bits=2)
+
+    def test_query_address_out_of_range(self):
+        router = PrefixRangeRouter(4, key_bits=8)
+        with pytest.raises(KeyFormatError):
+            router.shard_for_query(256)
+
+    def test_masked_query_rejected(self):
+        router = PrefixRangeRouter(4, key_bits=8)
+        with pytest.raises(KeyFormatError):
+            router.shard_for_query(TernaryKey(value=0, mask=0xF, width=8))
+
+    def test_short_prefix_spans_every_shard(self):
+        router = PrefixRangeRouter(4, key_bits=8)
+        default_route = TernaryKey(value=0, mask=0xFF, width=8)
+        assert router.shards_for_stored(default_route) == (0, 1, 2, 3)
+
+    def test_partition_matches_scalar_path(self):
+        router = PrefixRangeRouter(4, key_bits=16)
+        keys = list(range(0, 1 << 16, 97))
+        partition = router.partition_queries(keys)
+        for shard, positions in enumerate(partition):
+            for position in positions.tolist():
+                assert router.shard_for_query(keys[position]) == shard
+
+    @settings(deadline=None, max_examples=200)
+    @given(
+        shard_count=st.integers(1, 16),
+        prefix_len=st.integers(0, 16),
+        data=st.data(),
+    )
+    def test_matching_address_lands_on_a_stored_shard(
+        self, shard_count, prefix_len, data
+    ):
+        """The shard a query routes to holds every prefix matching it."""
+        key_bits = 16
+        router = PrefixRangeRouter(shard_count, key_bits=key_bits)
+        value = data.draw(st.integers(0, (1 << prefix_len) - 1) if prefix_len else st.just(0))
+        mask = (1 << (key_bits - prefix_len)) - 1
+        prefix = TernaryKey(
+            value=value << (key_bits - prefix_len), mask=mask, width=key_bits
+        )
+        stored_on = router.shards_for_stored(prefix)
+        low_bits = data.draw(st.integers(0, mask))
+        address = prefix.value | low_bits
+        assert router.shard_for_query(address) in stored_on

@@ -209,6 +209,26 @@ class TestMetadataGuard:
         with pytest.raises(IncomparableRunsError, match="worker_count"):
             compare_telemetry(base, cur)
 
+    def test_mismatched_topology_refuses_comparison(self):
+        """Shard topology is configuration: a 4-shard run diffed against
+        an 8-shard baseline is a layout change, not a regression."""
+        base = dict(
+            make_snapshot(),
+            metadata=dict(
+                self.META,
+                topology={"shard_count": 4, "router": "ConsistentHashRouter"},
+            ),
+        )
+        cur = dict(
+            make_snapshot(),
+            metadata=dict(
+                self.META,
+                topology={"shard_count": 8, "router": "ConsistentHashRouter"},
+            ),
+        )
+        with pytest.raises(IncomparableRunsError, match="topology"):
+            compare_telemetry(base, cur)
+
     def test_legacy_snapshot_without_metadata_still_compares(self):
         base = make_snapshot()
         cur = dict(make_snapshot(), metadata=dict(self.META))
