@@ -244,7 +244,10 @@ def check_gates(result: dict) -> None:
         section = result[leg]
         assert section["wrong"] == 0, (leg, section)
         accounted = (
-            section["completed"] + section["shed"] + section["wrong"]
+            section["completed"]
+            + section["shed"]
+            + section.get("failed", 0)
+            + section["wrong"]
         )
         assert accounted == section["requests"], (leg, section)
     assert result["speedup_vs_baseline"] >= MIN_SPEEDUP, result

@@ -259,6 +259,16 @@ def build_parser() -> argparse.ArgumentParser:
         "closed-loop shed fraction exceeds this",
     )
     serve_bench.add_argument(
+        "--replicas", type=int, default=1,
+        help="replicas per shard; >1 serves through the fault-tolerant "
+        "replicated path (deadlines, retries, failover)",
+    )
+    serve_bench.add_argument(
+        "--chaos", action="store_true",
+        help="kill one replica of every shard mid-stream (requires "
+        "--replicas >= 2) and report failover behaviour",
+    )
+    serve_bench.add_argument(
         "--seed", type=int, default=7, help="workload RNG seed"
     )
     serve_bench.add_argument(
@@ -558,9 +568,11 @@ def cmd_telemetry_health(args: argparse.Namespace) -> int:
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.errors import ServiceOverloadError
+    from repro.errors import ConfigurationError, ServiceOverloadError
     from repro.serving import (
         CaramCluster,
+        FaultTolerantService,
+        ReplicatedCluster,
         ShardedService,
         make_request_stream,
         run_closed_loop,
@@ -568,11 +580,25 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     )
     from repro.telemetry.workload import KEY_BITS
 
-    cluster = CaramCluster.build(
-        shard_count=args.shards,
-        index_bits=args.index_bits,
-        slots=args.slots,
-    )
+    if args.replicas < 1:
+        raise ConfigurationError("--replicas must be >= 1")
+    if args.chaos and args.replicas < 2:
+        raise ConfigurationError("--chaos requires --replicas >= 2")
+
+    replicated = args.replicas > 1
+    if replicated:
+        cluster = ReplicatedCluster.build(
+            shard_count=args.shards,
+            replication=args.replicas,
+            index_bits=args.index_bits,
+            slots=args.slots,
+        )
+    else:
+        cluster = CaramCluster.build(
+            shard_count=args.shards,
+            index_bits=args.index_bits,
+            slots=args.slots,
+        )
     stored = _distinct_keys(args.records, args.seed)
     records = [(key, key & 0xFFFF) for key in stored]
     cluster.load(records)
@@ -589,16 +615,44 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             key_bits=KEY_BITS,
         )
 
-    async def run():
-        async with ShardedService(
-            cluster,
+    def make_service():
+        kwargs = dict(
             max_batch_size=args.max_batch,
             max_delay=args.max_delay_ms / 1000.0,
             max_pending=args.max_pending,
-        ) as service:
+        )
+        if replicated:
+            return FaultTolerantService(cluster, **kwargs)
+        return ShardedService(cluster, **kwargs)
+
+    async def kill_one_replica_midstream(service):
+        # Wait until roughly half the closed-loop traffic has completed,
+        # then crash replica 1 of every shard.
+        target = max(1, args.requests // 2)
+        while service.stats.completed < target and service._accepting:
+            await asyncio.sleep(0.005)
+        from repro.serving.replication import ChaosSpec
+
+        for shard_id in range(args.shards):
+            cluster.inject_chaos(shard_id, 1, ChaosSpec(mode="crash"))
+        return True
+
+    async def run():
+        async with make_service() as service:
+            killer = None
+            if args.chaos:
+                killer = asyncio.ensure_future(
+                    kill_one_replica_midstream(service)
+                )
             closed = await run_closed_loop(
                 service, stream_of(args.requests, 1), users=args.users
             )
+            if killer is not None:
+                killer.cancel()
+                try:
+                    await killer
+                except asyncio.CancelledError:
+                    pass
             opened = None
             if args.open_qps is not None:
                 opened = await run_open_loop(
@@ -615,10 +669,10 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     for name, report_dict in reports.items():
         print(f"{name}:")
         for key in (
-            "requests", "completed", "shed", "wrong",
+            "requests", "completed", "shed", "failed", "wrong",
             "sustained_qps", "coalescing_factor",
         ):
-            value = report_dict[key]
+            value = report_dict.get(key, 0)
             if isinstance(value, float):
                 value = round(value, 2)
             print(f"  {key}: {value}")
@@ -629,6 +683,37 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                 f"{latency['p50'] * 1e3:.3f} ms / "
                 f"{latency['p99'] * 1e3:.3f} ms"
             )
+    if replicated:
+        membership = cluster.membership()
+        failover = {
+            "replication": args.replicas,
+            "chaos": bool(args.chaos),
+            "membership": membership,
+        }
+        for stat in (
+            "retries", "timeouts", "hedges", "hedge_wins",
+            "evictions", "probations", "readmissions", "exhausted",
+        ):
+            failover[stat] = sum(
+                getattr(rset.stats, stat) for rset in cluster.shards
+            )
+        reports["failover"] = failover
+        print("failover:")
+        for stat in (
+            "retries", "timeouts", "evictions", "readmissions",
+            "exhausted",
+        ):
+            print(f"  {stat}: {failover[stat]}")
+        alive = sum(
+            1
+            for entry in membership.values()
+            for counters in entry["replicas"].values()
+            if counters["state"] == "active"
+        )
+        total = sum(
+            len(entry["replicas"]) for entry in membership.values()
+        )
+        print(f"  replicas active: {alive}/{total}")
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(reports, handle, indent=2)

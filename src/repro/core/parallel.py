@@ -27,6 +27,17 @@ Division of labor per batch:
   replay through the parent's ``access_sink``, preserving
   ``physical_row_fetches`` / ``account_reads`` parity.
 
+The access replay is also what lets the parallel engines compose with
+the **reliability layer**: workers only ever read a guarded snapshot of
+the mirror, and the parent replays every touched bucket through
+``access_sink`` — where fault sampling, ECC scrub ticks, and quarantine
+run in-process, exactly as on the serial path.  Deterministic fault
+configurations (stuck cells, dead rows, zero flip rate) are
+bit-identical to serial; a nonzero ``bit_flip_rate`` draws the same
+seeded streams but at batch-merge granularity rather than per chunk, so
+the *set* of sampled faults can differ while every answer remains
+correct-or-typed-error (the soak property the tests pin).
+
 Scalar-fallback keys (multi-home ternary) never leave the parent: they
 run through the inner engine's scalar path after the shards merge, same
 as single-core.  Worker processes carry no tracer — per-attempt

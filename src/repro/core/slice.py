@@ -475,12 +475,12 @@ class CARAMSlice:
         """
         if self._batch_engine is None:
             self._batch_engine = self._build_batch_engine()
-        if self._reliability is not None and self._engine_workers >= 2:
-            raise ConfigurationError(
-                "parallel batch engines do not compose with the "
-                "reliability layer (fault sampling must see every access "
-                "in-process); use a single-core engine spec"
-            )
+        # Parallel engines compose with the reliability layer: workers
+        # read a guarded snapshot mirror and ship the bucket ids they
+        # touched back with their columns; the merge replays them through
+        # the access sink in deterministic shard order, so fault
+        # sampling, scrub ticks, and read accounting all happen
+        # in-process exactly as on the serial path.
         result_set = self._batch_engine.search_columnar(keys, search_mask)
         if self._reliability is not None:
             result_set = self._reliability.overlay_result_set(

@@ -645,12 +645,10 @@ class SliceGroup:
         :meth:`repro.core.slice.CARAMSlice.search_batch_columnar`)."""
         if self._batch_engine is None:
             self._batch_engine = self._build_batch_engine()
-        if self._reliability is not None and self._engine_workers >= 2:
-            raise ConfigurationError(
-                "parallel batch engines do not compose with the "
-                "reliability layer (fault sampling must see every access "
-                "in-process); use a single-core engine spec"
-            )
+        # Parallel engines compose with the reliability layer — see
+        # CARAMSlice.search_batch_columnar: workers report touched
+        # bucket ids and the merge replays them through the access sink
+        # in-process, in deterministic shard order.
         result_set = self._batch_engine.search_columnar(keys, search_mask)
         if self._reliability is not None:
             result_set = self._reliability.overlay_result_set(

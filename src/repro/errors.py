@@ -136,6 +136,36 @@ class ServiceOverloadError(CaRamError):
         self.shard_id = shard_id
 
 
+class ShardUnavailableError(CaRamError):
+    """No replica of a shard could answer within the failover policy.
+
+    Raised by the fault-tolerant serving path
+    (:class:`~repro.serving.replication.FaultTolerantService`) when every
+    replica of the owning shard is evicted, crashed, timed out, or
+    errored through the retry/hedge budget — the whole replica set is
+    down, not just one copy.  Single-replica failures never surface this
+    error; they fail over.
+
+    Attributes:
+        shard_id: the logical shard whose replica set was exhausted
+            (``None`` when unknown).
+        attempts: how many replica calls were tried before giving up
+            (``None`` when not applicable, e.g. a chaos-injected crash).
+    """
+
+    exit_code = 13
+
+    def __init__(
+        self,
+        message: str,
+        shard_id: Optional[int] = None,
+        attempts: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.attempts = attempts
+
+
 #: Alias of :class:`CaRamError` (the generic library-error spelling).
 ReproError = CaRamError
 
@@ -157,4 +187,5 @@ __all__ = [
     "HealthDegradedError",
     "HealthCriticalError",
     "ServiceOverloadError",
+    "ShardUnavailableError",
 ]

@@ -12,6 +12,10 @@ Layers (each its own module, composable separately):
   (:class:`~repro.errors.ServiceOverloadError`), graceful drain.
 * :mod:`repro.serving.loadgen` — closed/open-loop load generation with
   Zipf-skewed traffic and per-request answer verification.
+* :mod:`repro.serving.replication` — replica sets, chaos injection, and
+  the fault-tolerant request path (deadlines, retries, hedging,
+  circuit-breaker membership,
+  :class:`~repro.errors.ShardUnavailableError`).
 """
 
 from repro.serving.cluster import CaramCluster, CaramShard, ShardSpec
@@ -26,6 +30,15 @@ from repro.serving.router import (
     ConsistentHashRouter,
     PrefixRangeRouter,
     ShardRouter,
+)
+from repro.serving.replication import (
+    ChaosSpec,
+    FailoverPolicy,
+    FaultTolerantService,
+    Replica,
+    ReplicaSet,
+    ReplicatedCluster,
+    ShardChaos,
 )
 from repro.serving.service import CoalescerStats, ShardedService
 
@@ -43,4 +56,11 @@ __all__ = [
     "make_request_stream",
     "run_closed_loop",
     "run_open_loop",
+    "ChaosSpec",
+    "ShardChaos",
+    "FailoverPolicy",
+    "Replica",
+    "ReplicaSet",
+    "ReplicatedCluster",
+    "FaultTolerantService",
 ]

@@ -22,8 +22,13 @@ strangers) and counts wrong answers — the benchmark's zero-wrong gate.
 Per-request latency (enqueue to answer, coalescing wait included) feeds a
 :class:`~repro.telemetry.histogram.LatencyHistogram`, so reports carry
 p50/p99 within the sketch's relative-error bound.  All accounting closes:
-``requests == completed + shed + wrong_errors`` — nothing is dropped
-without an error.
+``requests == completed + shed + failed + wrong`` — nothing is dropped
+without an error.  ``shed`` counts admission-control rejections
+(:class:`~repro.errors.ServiceOverloadError`); ``failed`` counts every
+other typed :class:`~repro.errors.CaRamError` (the fault-tolerant path's
+:class:`~repro.errors.ShardUnavailableError` when a whole replica set is
+down, detected corruption, ...) — under chaos a request may legitimately
+fail, but it must fail *loudly and typed*, never silently wrong.
 """
 
 from __future__ import annotations
@@ -35,7 +40,11 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ServiceOverloadError
+from repro.errors import (
+    CaRamError,
+    ConfigurationError,
+    ServiceOverloadError,
+)
 from repro.serving.service import ShardedService
 from repro.telemetry.histogram import LatencyHistogram
 from repro.utils.rng import make_rng
@@ -127,6 +136,7 @@ class LoadReport:
     requests: int
     completed: int
     shed: int
+    failed: int
     wrong: int
     duration_s: float
     offered_qps: Optional[float]
@@ -139,6 +149,10 @@ class LoadReport:
     def shed_fraction(self) -> float:
         return self.shed / self.requests if self.requests else 0.0
 
+    @property
+    def failed_fraction(self) -> float:
+        return self.failed / self.requests if self.requests else 0.0
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "mode": self.mode,
@@ -146,6 +160,8 @@ class LoadReport:
             "completed": self.completed,
             "shed": self.shed,
             "shed_fraction": self.shed_fraction,
+            "failed": self.failed,
+            "failed_fraction": self.failed_fraction,
             "wrong": self.wrong,
             "duration_s": self.duration_s,
             "offered_qps": self.offered_qps,
@@ -159,11 +175,12 @@ class LoadReport:
 class _Accounting:
     """Shared tallies all user/request coroutines fold into."""
 
-    __slots__ = ("completed", "shed", "wrong", "latency")
+    __slots__ = ("completed", "shed", "failed", "wrong", "latency")
 
     def __init__(self, latency_error: Optional[float]) -> None:
         self.completed = 0
         self.shed = 0
+        self.failed = 0
         self.wrong = 0
         self.latency = (
             LatencyHistogram(latency_error)
@@ -179,6 +196,11 @@ class _Accounting:
             result = await service.lookup(key)
         except ServiceOverloadError:
             self.shed += 1
+            return
+        except CaRamError:
+            # Typed failure (replica set down, detected corruption, ...):
+            # the request resolved loudly — count it, never drop it.
+            self.failed += 1
             return
         self.latency.observe(time.perf_counter() - started)
         answer = MISS if not result.hit else result.data
@@ -205,6 +227,7 @@ def _report(
         requests=stream_len,
         completed=accounting.completed,
         shed=accounting.shed,
+        failed=accounting.failed,
         wrong=accounting.wrong,
         duration_s=duration,
         offered_qps=offered_qps,

@@ -171,6 +171,7 @@ class ShardedService:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._accepting = True
         self._closed = False
+        self._close_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
     # Request path
@@ -192,6 +193,13 @@ class ShardedService:
             )
         shard_id = self.cluster.router.shard_for_query(key)
         lane = self._lanes[shard_id]
+        loop = self._ensure_started()
+        if lane.task is not None and lane.task.done():
+            raise ServiceOverloadError(
+                f"shard {shard_id} lane worker is not running; "
+                "request rejected",
+                shard_id=shard_id,
+            )
         self.stats.requests += 1
         if len(lane.pending) >= self.max_pending:
             self.stats.shed += 1
@@ -200,7 +208,6 @@ class ShardedService:
                 f"({self.max_pending} pending); request shed",
                 shard_id=shard_id,
             )
-        loop = self._ensure_started()
         future: asyncio.Future = loop.create_future()
         if not lane.pending:
             lane.oldest_at = loop.time()
@@ -241,38 +248,62 @@ class ShardedService:
     async def _run_lane(self, lane: _Lane) -> None:
         loop = self._loop
         assert loop is not None and lane.event is not None
-        while True:
-            while not lane.pending:
-                if self._closed:
-                    return
-                lane.event.clear()
-                await lane.event.wait()
-            # Coalescing window: hold the batch open until it fills or
-            # its oldest request's deadline passes.  A drain flushes
-            # immediately.
-            while (
-                len(lane.pending) < self.max_batch_size
-                and self._accepting
-                and not self._closed
-            ):
-                remaining = lane.oldest_at + self.max_delay - loop.time()
-                if remaining <= 0:
-                    break
-                lane.event.clear()
+        try:
+            while True:
+                while not lane.pending:
+                    if self._closed:
+                        return
+                    lane.event.clear()
+                    await lane.event.wait()
+                # Coalescing window: hold the batch open until it fills
+                # or its oldest request's deadline passes.  A drain
+                # flushes immediately.
+                while (
+                    len(lane.pending) < self.max_batch_size
+                    and self._accepting
+                    and not self._closed
+                ):
+                    remaining = (
+                        lane.oldest_at + self.max_delay - loop.time()
+                    )
+                    if remaining <= 0:
+                        break
+                    lane.event.clear()
+                    try:
+                        await asyncio.wait_for(
+                            lane.event.wait(), remaining
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                batch = lane.pending[: self.max_batch_size]
+                del lane.pending[: len(batch)]
+                # Requests still queued (or arriving mid-execute) inherit
+                # the already-expired window, so a backlog flushes
+                # back-to-back instead of re-arming a delay it has
+                # already paid.
+                lane.busy = True
                 try:
-                    await asyncio.wait_for(lane.event.wait(), remaining)
-                except asyncio.TimeoutError:
-                    break
-            batch = lane.pending[: self.max_batch_size]
-            del lane.pending[: len(batch)]
-            # Requests still queued (or arriving mid-execute) inherit the
-            # already-expired window, so a backlog flushes back-to-back
-            # instead of re-arming a delay it has already paid.
-            lane.busy = True
-            try:
-                await self._execute(lane, batch)
-            finally:
-                lane.busy = False
+                    await self._execute(lane, batch)
+                finally:
+                    lane.busy = False
+        finally:
+            # The worker is leaving (close, cancellation, or a bug that
+            # escaped _execute): whatever is still queued must resolve to
+            # a typed error, never hang on a future nobody will answer.
+            self._fail_pending(
+                lane,
+                ServiceOverloadError(
+                    f"shard {lane.shard.shard_id} lane worker exited "
+                    "with requests queued",
+                    shard_id=lane.shard.shard_id,
+                ),
+            )
+
+    def _fail_pending(self, lane: _Lane, error: Exception) -> None:
+        pending, lane.pending = lane.pending, []
+        for request in pending:
+            if not request.future.done():
+                request.future.set_exception(error)
 
     async def _execute(self, lane: _Lane, batch: List[_Request]) -> None:
         """Resolve one flushed batch against the lane's shard.
@@ -289,17 +320,8 @@ class ShardedService:
         for mask, group in itertools.groupby(batch, key=lambda r: r.mask):
             requests = list(group)
             keys = [request.key for request in requests]
-
-            def run(
-                shard=lane.shard, keys=keys, mask=mask
-            ) -> List[SearchResult]:
-                return shard.search_batch_columnar(keys, mask).results()
-
             try:
-                if self.offload:
-                    results = await self._loop.run_in_executor(None, run)
-                else:
-                    results = run()
+                results = await self._resolve(lane, keys, mask)
             except Exception as error:  # noqa: BLE001 - fan the failure out
                 for request in requests:
                     if not request.future.done():
@@ -308,6 +330,24 @@ class ShardedService:
             for request, result in zip(requests, results):
                 if not request.future.done():
                     request.future.set_result(result)
+
+    async def _resolve(
+        self, lane: _Lane, keys: List[KeyInput], mask: int
+    ) -> List[SearchResult]:
+        """Answer one same-mask sub-batch against the lane's shard.
+
+        The single overridable seam of the request path: subclasses (the
+        fault-tolerant replicated service) swap in deadlines, retries,
+        and hedging here while inheriting coalescing, admission control,
+        and drain unchanged.
+        """
+
+        def run() -> List[SearchResult]:
+            return lane.shard.search_batch_columnar(keys, mask).results()
+
+        if self.offload:
+            return await self._loop.run_in_executor(None, run)
+        return run()
 
     # ------------------------------------------------------------------
     # Shutdown
@@ -329,9 +369,22 @@ class ShardedService:
             await asyncio.sleep(0)
 
     async def aclose(self) -> None:
-        """Drain, stop the lane workers, and close every shard."""
-        if self._closed:
+        """Drain, stop the lane workers, and close every shard.
+
+        Idempotent and safe to call concurrently — every caller (and
+        every concurrent call racing the first) awaits the same close
+        task, the teardown body runs exactly once, and any request still
+        in flight resolves to its answer or a typed
+        :class:`ServiceOverloadError`; nothing hangs.
+        """
+        if self._closed and self._close_task is None:
             return
+        if self._close_task is None:
+            loop = asyncio.get_running_loop()
+            self._close_task = loop.create_task(self._aclose_once())
+        await asyncio.shield(self._close_task)
+
+    async def _aclose_once(self) -> None:
         await self.drain()
         self._closed = True
         for lane in self._lanes:
@@ -339,8 +392,26 @@ class ShardedService:
                 lane.event.set()
         for lane in self._lanes:
             if lane.task is not None:
-                await lane.task
+                task = lane.task
                 lane.task = None
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    # A lane killed from outside still closes cleanly;
+                    # cancellation of the close itself propagates.
+                    if not task.cancelled():
+                        raise
+            # Belt and braces: a lane whose worker never started (the
+            # service saw no traffic) can still hold nothing, but a
+            # worker that died early leaves its queue to the cleanup in
+            # _run_lane; anything remaining here fails typed.
+            self._fail_pending(
+                lane,
+                ServiceOverloadError(
+                    "service closed; request rejected",
+                    shard_id=lane.shard.shard_id,
+                ),
+            )
         self.cluster.close()
 
     async def __aenter__(self) -> "ShardedService":

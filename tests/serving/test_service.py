@@ -229,6 +229,90 @@ class TestLifecycle:
         )
 
 
+class TestAcloseHardening:
+    """aclose is idempotent, concurrent-safe, and never strands futures."""
+
+    def test_concurrent_aclose_runs_teardown_once(self):
+        records = make_records()
+        service = make_service(records=records)
+        closed = []
+        original_close = service.cluster.close
+        service.cluster.close = lambda: (
+            closed.append(True),
+            original_close(),
+        )
+
+        async def run():
+            await service.lookup(records[0][0])
+            await asyncio.gather(*(service.aclose() for _ in range(5)))
+            await service.aclose()  # and again after completion
+
+        asyncio.run(run())
+        assert closed == [True]
+
+    def test_aclose_concurrent_with_inflight_lookups_resolves_all(self):
+        """Lookups admitted before/while aclose runs either get their
+        answer or a typed error — never a hang."""
+        records = make_records()
+        service = make_service(
+            shard_count=1,
+            records=records,
+            max_batch_size=100,
+            max_delay=60.0,  # only drain/close can flush
+        )
+
+        async def run():
+            tasks = [
+                asyncio.ensure_future(service.lookup(key))
+                for key, _ in records[:8]
+            ]
+            await asyncio.sleep(0)  # let them enqueue
+            closers = [
+                asyncio.ensure_future(service.aclose()) for _ in range(3)
+            ]
+            outcomes = await asyncio.wait_for(
+                asyncio.gather(*tasks, return_exceptions=True), 10.0
+            )
+            await asyncio.gather(*closers)
+            return outcomes
+
+        outcomes = asyncio.run(run())
+        assert len(outcomes) == 8
+        for outcome in outcomes:
+            if isinstance(outcome, Exception):
+                assert isinstance(outcome, ServiceOverloadError)
+            else:
+                assert outcome.hit
+
+    def test_dead_lane_rejects_typed_and_fails_pending(self):
+        """A lane whose worker died fails its queue with a typed error
+        and rejects new arrivals instead of queueing them forever."""
+        records = make_records()
+        service = make_service(
+            shard_count=1,
+            records=records,
+            max_batch_size=100,
+            max_delay=60.0,
+        )
+
+        async def run():
+            task = asyncio.ensure_future(service.lookup(records[0][0]))
+            await asyncio.sleep(0.01)  # let the lane worker start waiting
+            lane = service._lanes[0]
+            lane.task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await lane.task
+            # The queued request resolved to a typed error...
+            with pytest.raises(ServiceOverloadError):
+                await asyncio.wait_for(task, 5.0)
+            # ...and new arrivals are rejected loudly.
+            with pytest.raises(ServiceOverloadError):
+                await service.lookup(records[1][0])
+
+        asyncio.run(run())
+        asyncio.run(service.aclose())
+
+
 class TestParityProperty:
     """Hypothesis: concurrent coalesced lookups == one direct batch."""
 
